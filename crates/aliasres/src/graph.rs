@@ -1,0 +1,148 @@
+//! Router-level graph construction (ITDK-style): collapse an
+//! interface-level trace set with resolved alias sets into routers and
+//! links — the paper's §7.2 goal ("produce router-level topologies and
+//! facilitate comparative graph analyses").
+
+use analysis::TraceSet;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv6Addr;
+
+/// A router-level topology graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RouterGraph {
+    /// Node id → its interface addresses.
+    pub nodes: Vec<Vec<Ipv6Addr>>,
+    /// Undirected links between node ids (deduplicated, a < b).
+    pub links: BTreeSet<(u32, u32)>,
+}
+
+impl RouterGraph {
+    /// Builds the graph from traces, merging interfaces per `aliases`.
+    /// Interfaces outside any alias group become single-interface nodes.
+    pub fn build(traces: &TraceSet, aliases: &[Vec<Ipv6Addr>]) -> RouterGraph {
+        let mut node_of: HashMap<Ipv6Addr, u32> = HashMap::new();
+        let mut nodes: Vec<Vec<Ipv6Addr>> = Vec::new();
+        for group in aliases {
+            let id = nodes.len() as u32;
+            nodes.push(group.clone());
+            for &a in group {
+                node_of.insert(a, id);
+            }
+        }
+        let intern = |a: Ipv6Addr, nodes: &mut Vec<Vec<Ipv6Addr>>,
+                          node_of: &mut HashMap<Ipv6Addr, u32>| {
+            *node_of.entry(a).or_insert_with(|| {
+                let id = nodes.len() as u32;
+                nodes.push(vec![a]);
+                id
+            })
+        };
+
+        let mut links = BTreeSet::new();
+        for trace in traces.traces.values() {
+            // Consecutive responding hops are adjacent routers. A gap of
+            // exactly one silent TTL is bridged (the standard inference);
+            // wider gaps are not.
+            let hops: Vec<(u8, Ipv6Addr)> = trace.hops.iter().map(|(&t, &a)| (t, a)).collect();
+            for w in hops.windows(2) {
+                let (t1, a1) = w[0];
+                let (t2, a2) = w[1];
+                if t2 - t1 <= 2 && a1 != a2 {
+                    let n1 = intern(a1, &mut nodes, &mut node_of);
+                    let n2 = intern(a2, &mut nodes, &mut node_of);
+                    if n1 != n2 {
+                        links.insert((n1.min(n2), n1.max(n2)));
+                    }
+                }
+            }
+        }
+        RouterGraph { nodes, links }
+    }
+
+    /// Number of router nodes observed in links.
+    pub fn connected_node_count(&self) -> usize {
+        let mut seen = BTreeSet::new();
+        for &(a, b) in &self.links {
+            seen.insert(a);
+            seen.insert(b);
+        }
+        seen.len()
+    }
+
+    /// Degree distribution over connected nodes.
+    pub fn degree_histogram(&self) -> BTreeMap<u32, u32> {
+        let mut deg: HashMap<u32, u32> = HashMap::new();
+        for &(a, b) in &self.links {
+            *deg.entry(a).or_default() += 1;
+            *deg.entry(b).or_default() += 1;
+        }
+        let mut hist = BTreeMap::new();
+        for (_, d) in deg {
+            *hist.entry(d).or_default() += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::Trace;
+
+    fn trace(target: &str, hops: &[(u8, &str)]) -> Trace {
+        let mut t = Trace::new(target.parse().unwrap());
+        for &(ttl, h) in hops {
+            t.hops.insert(ttl, h.parse().unwrap());
+        }
+        t
+    }
+
+    fn ts(traces: Vec<Trace>) -> TraceSet {
+        let mut set = TraceSet::default();
+        for t in traces {
+            set.traces.insert(t.target, t);
+        }
+        set
+    }
+
+    #[test]
+    fn links_from_consecutive_hops() {
+        let t = trace("2001:db8::1", &[(1, "::a"), (2, "::b"), (3, "::c")]);
+        let g = RouterGraph::build(&ts(vec![t]), &[]);
+        assert_eq!(g.links.len(), 2);
+        assert_eq!(g.connected_node_count(), 3);
+    }
+
+    #[test]
+    fn single_gap_bridged_wider_not() {
+        let t = trace("2001:db8::1", &[(1, "::a"), (3, "::b"), (6, "::c")]);
+        let g = RouterGraph::build(&ts(vec![t]), &[]);
+        // a-(gap)-b bridged; b..c gap of 3 TTLs not.
+        assert_eq!(g.links.len(), 1);
+    }
+
+    #[test]
+    fn aliases_collapse_nodes() {
+        // Two traces crossing different interfaces of one router R.
+        let t1 = trace("2001:db8::1", &[(1, "::a"), (2, "::aa1")]);
+        let t2 = trace("2001:db8::2", &[(1, "::a"), (2, "::aa2")]);
+        let no_alias = RouterGraph::build(&ts(vec![t1.clone(), t2.clone()]), &[]);
+        assert_eq!(no_alias.connected_node_count(), 3);
+        let aliased = RouterGraph::build(
+            &ts(vec![t1, t2]),
+            &[vec!["::aa1".parse().unwrap(), "::aa2".parse().unwrap()]],
+        );
+        assert_eq!(aliased.connected_node_count(), 2);
+        assert_eq!(aliased.links.len(), 1);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let t = trace("2001:db8::1", &[(1, "::a"), (2, "::b"), (3, "::c")]);
+        let g = RouterGraph::build(&ts(vec![t]), &[]);
+        let h = g.degree_histogram();
+        assert_eq!(h[&1], 2); // ::a and ::c
+        assert_eq!(h[&2], 1); // ::b
+    }
+}

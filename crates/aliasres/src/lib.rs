@@ -1,0 +1,22 @@
+//! Speedtrap-style IPv6 alias resolution and router-level graphs — the
+//! paper's stated follow-on (§7.2, citing Luckie et al. [42]).
+//!
+//! Interface-level discovery (the paper's contribution) produces a set
+//! of router *interface* addresses; turning them into a router-level
+//! topology requires deciding which interfaces belong to one physical
+//! router. IPv6 removed the per-packet IP-ID from the fixed header, but
+//! it reappears in the Fragment extension header — drawn, on most
+//! platforms, from a **single counter shared by all interfaces**.
+//! Speedtrap elicits fragmented Echo Replies with oversized Echo
+//! Requests and declares two interfaces aliases when their
+//! identification sequences interleave along one monotonic counter.
+//!
+//! * [`speedtrap`] — the prober and the monotonic-bound alias test;
+//! * [`graph`] — collapsing an interface-level trace set into a
+//!   router-level graph using resolved aliases (ITDK-style).
+
+pub mod graph;
+pub mod speedtrap;
+
+pub use graph::RouterGraph;
+pub use speedtrap::{resolve_aliases, AliasConfig, AliasSets};

@@ -1,0 +1,269 @@
+//! Dataset export/import — the release artifacts the paper ships
+//! (targets, discovered topology, subnet inferences) [7].
+//!
+//! Formats are deliberately plain: line-oriented text with `#` comments
+//! for address lists, and header-bearing CSV for response records, so
+//! the files interoperate with the usual measurement tooling (yarrp's
+//! own output, scamper's warts-to-text, ITDK dumps). No external
+//! parsing crates are needed; the writers emit nothing that requires
+//! quoting.
+
+use crate::subnets::CandidateSubnet;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::Ipv6Addr;
+use std::path::Path;
+use std::str::FromStr;
+use v6addr::Ipv6Prefix;
+use v6packet::icmp6::DestUnreachCode;
+use yarrp6::{ProbeLog, ResponseKind, ResponseRecord};
+
+/// Writes an address list (targets or seeds), one per line.
+pub fn write_addrs(path: &Path, name: &str, addrs: &[Ipv6Addr]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# beholder address list: {name}")?;
+    writeln!(w, "# count: {}", addrs.len())?;
+    for a in addrs {
+        writeln!(w, "{a}")?;
+    }
+    w.flush()
+}
+
+/// Reads an address list written by [`write_addrs`] (or any file with
+/// one address per line; `#` comments and blank lines are skipped).
+pub fn read_addrs(path: &Path) -> io::Result<Vec<Ipv6Addr>> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let a = Ipv6Addr::from_str(t).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        out.push(a);
+    }
+    Ok(out)
+}
+
+fn kind_to_str(kind: ResponseKind) -> (&'static str, u8) {
+    match kind {
+        ResponseKind::TimeExceeded => ("te", 0),
+        ResponseKind::DestUnreachable(c) => ("du", c.code()),
+        ResponseKind::EchoReply => ("echo", 0),
+        ResponseKind::Tcp => ("tcp", 0),
+    }
+}
+
+fn kind_from_str(s: &str, code: u8) -> Option<ResponseKind> {
+    Some(match s {
+        "te" => ResponseKind::TimeExceeded,
+        "du" => ResponseKind::DestUnreachable(DestUnreachCode::from_code(code)?),
+        "echo" => ResponseKind::EchoReply,
+        "tcp" => ResponseKind::Tcp,
+        _ => return None,
+    })
+}
+
+/// Writes a probe log as CSV (header + one row per response).
+pub fn write_log_csv(path: &Path, log: &ProbeLog) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# vantage={} set={} prober={}", log.vantage, log.target_set, log.prober)?;
+    writeln!(
+        w,
+        "# probes={} fills={} traces={} duration_us={}",
+        log.probes_sent, log.fills, log.traces, log.duration_us
+    )?;
+    writeln!(w, "target,responder,kind,code,probe_ttl,rtt_us,recv_us,cksum_ok")?;
+    for r in &log.records {
+        let (k, c) = kind_to_str(r.kind);
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            r.target,
+            r.responder,
+            k,
+            c,
+            r.probe_ttl.map(|t| t.to_string()).unwrap_or_default(),
+            r.rtt_us.map(|t| t.to_string()).unwrap_or_default(),
+            r.recv_us,
+            u8::from(r.target_cksum_ok),
+        )?;
+    }
+    w.flush()
+}
+
+/// Reads the records of a CSV probe log back (metadata comments are
+/// ignored; counters are not reconstructed).
+pub fn read_log_csv(path: &Path) -> io::Result<Vec<ResponseRecord>> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("target,") {
+            continue;
+        }
+        let f: Vec<&str> = t.split(',').collect();
+        if f.len() != 8 {
+            return Err(bad(format!("line {}: {} fields", lineno + 1, f.len())));
+        }
+        let parse_addr = |s: &str| {
+            Ipv6Addr::from_str(s).map_err(|e| bad(format!("line {}: {e}", lineno + 1)))
+        };
+        let kind = kind_from_str(f[2], f[3].parse().unwrap_or(255))
+            .ok_or_else(|| bad(format!("line {}: bad kind {}", lineno + 1, f[2])))?;
+        out.push(ResponseRecord {
+            target: parse_addr(f[0])?,
+            responder: parse_addr(f[1])?,
+            kind,
+            probe_ttl: if f[4].is_empty() {
+                None
+            } else {
+                Some(f[4].parse().map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?)
+            },
+            rtt_us: if f[5].is_empty() {
+                None
+            } else {
+                Some(f[5].parse().map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?)
+            },
+            recv_us: f[6].parse().map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?,
+            target_cksum_ok: f[7] == "1",
+        });
+    }
+    Ok(out)
+}
+
+/// Writes inferred subnets, one `prefix,exact` per line.
+pub fn write_subnets(path: &Path, cands: &[CandidateSubnet]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# beholder candidate subnets (prefix length = inferred minimum)")?;
+    writeln!(w, "prefix,exact")?;
+    for c in cands {
+        writeln!(w, "{},{}", c.prefix, u8::from(c.exact))?;
+    }
+    w.flush()
+}
+
+/// Reads a subnet list written by [`write_subnets`].
+pub fn read_subnets(path: &Path) -> io::Result<Vec<CandidateSubnet>> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("prefix,") {
+            continue;
+        }
+        let (p, e) = t.split_once(',').ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}", lineno + 1))
+        })?;
+        let prefix = Ipv6Prefix::from_str(p).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        out.push(CandidateSubnet {
+            prefix,
+            exact: e == "1",
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("beholder-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn addrs_roundtrip() {
+        let path = tmp("addrs");
+        let addrs: Vec<Ipv6Addr> = vec!["2001:db8::1".parse().unwrap(), "::1".parse().unwrap()];
+        write_addrs(&path, "test", &addrs).unwrap();
+        assert_eq!(read_addrs(&path).unwrap(), addrs);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn addrs_rejects_garbage() {
+        let path = tmp("bad-addrs");
+        std::fs::write(&path, "2001:db8::1\nnot-an-address\n").unwrap();
+        assert!(read_addrs(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn log_roundtrip() {
+        let path = tmp("log");
+        let mut log = ProbeLog {
+            vantage: "EU-NET".into(),
+            target_set: "caida-z64".into(),
+            prober: "yarrp6".into(),
+            probes_sent: 2,
+            ..Default::default()
+        };
+        log.records.push(ResponseRecord {
+            target: "2001:db8::1".parse().unwrap(),
+            responder: "2001:db8:f::1".parse().unwrap(),
+            kind: ResponseKind::TimeExceeded,
+            probe_ttl: Some(3),
+            rtt_us: Some(12_000),
+            recv_us: 99,
+            target_cksum_ok: true,
+        });
+        log.records.push(ResponseRecord {
+            target: "2001:db8::2".parse().unwrap(),
+            responder: "2001:db8::2".parse().unwrap(),
+            kind: ResponseKind::DestUnreachable(DestUnreachCode::PortUnreachable),
+            probe_ttl: None,
+            rtt_us: None,
+            recv_us: 150,
+            target_cksum_ok: false,
+        });
+        write_log_csv(&path, &log).unwrap();
+        let back = read_log_csv(&path).unwrap();
+        assert_eq!(back, log.records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn subnets_roundtrip() {
+        let path = tmp("subnets");
+        let cands = vec![
+            CandidateSubnet {
+                prefix: "2001:db8::/48".parse().unwrap(),
+                exact: false,
+            },
+            CandidateSubnet {
+                prefix: "2001:db8:1:2::/64".parse().unwrap(),
+                exact: true,
+            },
+        ];
+        write_subnets(&path, &cands).unwrap();
+        assert_eq!(read_subnets(&path).unwrap(), cands);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_campaign_export() {
+        use simnet::config::TopologyConfig;
+        let topo = std::sync::Arc::new(simnet::generate::generate(TopologyConfig::tiny(5)));
+        let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(20).collect();
+        let set = targets::TargetSet::new("t", addrs);
+        let res = yarrp6::campaign::run_campaign(&topo, 0, &set, &yarrp6::YarrpConfig::default());
+        let path = tmp("campaign");
+        write_log_csv(&path, &res.log).unwrap();
+        let back = read_log_csv(&path).unwrap();
+        assert_eq!(back, res.log.records);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

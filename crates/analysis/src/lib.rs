@@ -1,0 +1,19 @@
+//! Analysis of probing campaigns: trace reconstruction, discovery
+//! metrics (Tables 3/4/6/7, Figures 5/6/7) and subnet inference (§6,
+//! Figure 8).
+//!
+//! Everything here consumes only the prober's [`yarrp6::ProbeLog`] plus
+//! *public* routing metadata (BGP table, registry prefixes, ASN
+//! equivalences) — never the simulator's ground truth, which appears
+//! only in [`validate`] where the paper, too, compares against operator
+//! truth data.
+
+pub mod export;
+pub mod metrics;
+pub mod subnets;
+pub mod traces;
+pub mod validate;
+
+pub use metrics::{discovery_curve, hop_responsiveness, CampaignMetrics};
+pub use subnets::{discover_by_path_div, ia_hack, CandidateSubnet, PathDivParams};
+pub use traces::{AsnResolver, Trace, TraceSet};

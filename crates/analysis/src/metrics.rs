@@ -1,0 +1,335 @@
+//! Campaign metrics: the quantities behind Tables 3, 4, 6 and 7 and
+//! Figures 5, 6 and 7.
+
+use crate::traces::TraceSet;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv6Addr;
+use v6addr::iid::{classify, IidClass};
+use yarrp6::{ProbeLog, ResponseKind};
+
+/// One campaign's Table 7 row (without the cross-campaign exclusives,
+/// which need the whole grid — see [`exclusive_features`]).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CampaignMetrics {
+    /// Campaign identity.
+    pub name: String,
+    /// Probes emitted (the paper's "Traces" column counts probes here).
+    pub probes: u64,
+    /// Unique targets probed.
+    pub targets: u64,
+    /// Unique Time-Exceeded sources ("Rtr Int Addrs").
+    pub interface_addrs: u64,
+    /// Distinct BGP prefixes covering discovered interfaces.
+    pub int_bgp_prefixes: u64,
+    /// Distinct origin ASNs of discovered interfaces.
+    pub int_asns: u64,
+    /// Fraction of traces that penetrated the target's origin AS: the
+    /// destination itself answered, or some responding hop resolves to
+    /// the target's ASN (Table 7's "Reach Int Target ASN").
+    pub reach_frac: f64,
+    /// 95th-percentile path length.
+    pub path_len_p95: u8,
+    /// Median path length.
+    pub path_len_median: u8,
+    /// EUI-64 interface addresses discovered.
+    pub eui64_addrs: u64,
+    /// EUI-64 share of all interface addresses.
+    pub eui64_frac: f64,
+    /// 5th percentile of EUI-64 path offsets (offset ≤ 0; 0 = last hop).
+    pub eui64_offset_p5: i16,
+    /// Median EUI-64 path offset.
+    pub eui64_offset_median: i16,
+}
+
+fn percentile<T: Copy + Ord>(sorted: &[T], p: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    Some(sorted[idx])
+}
+
+impl CampaignMetrics {
+    /// Computes the row for one campaign.
+    pub fn compute(log: &ProbeLog, bgp: &v6addr::BgpTable) -> CampaignMetrics {
+        let ts = TraceSet::from_log(log);
+        let ifaces = log.interface_addrs();
+
+        let mut pfxs = BTreeSet::new();
+        let mut asns = BTreeSet::new();
+        for &a in &ifaces {
+            if let Some((p, asn)) = bgp.lookup(a) {
+                pfxs.insert(p);
+                asns.insert(asn.0);
+            }
+        }
+
+        let mut path_lens: Vec<u8> = ts
+            .traces
+            .values()
+            .filter_map(|t| t.path_len())
+            .collect();
+        path_lens.sort_unstable();
+        let reached = ts
+            .traces
+            .values()
+            .filter(|t| {
+                if t.reached_at.is_some() {
+                    return true;
+                }
+                let Some(tasn) = bgp.origin(t.target) else {
+                    return false;
+                };
+                t.hops
+                    .values()
+                    .chain(t.unreachable.iter().map(|(_, r)| r))
+                    .any(|&h| bgp.origin(h) == Some(tasn))
+            })
+            .count();
+
+        // EUI-64 interfaces and their path offsets. Offset is relative to
+        // the trace's path length: 0 means last hop on path.
+        let mut eui_addrs: BTreeSet<Ipv6Addr> = BTreeSet::new();
+        let mut offsets: Vec<i16> = Vec::new();
+        for t in ts.traces.values() {
+            let Some(plen) = t.path_len() else { continue };
+            for (&ttl, &hop) in &t.hops {
+                if classify(hop) == IidClass::Eui64 {
+                    eui_addrs.insert(hop);
+                    offsets.push(ttl as i16 - plen as i16);
+                }
+            }
+        }
+        offsets.sort_unstable();
+
+        CampaignMetrics {
+            name: format!("{} {}", log.vantage, log.target_set),
+            probes: log.probes_sent,
+            targets: log.traces,
+            interface_addrs: ifaces.len() as u64,
+            int_bgp_prefixes: pfxs.len() as u64,
+            int_asns: asns.len() as u64,
+            reach_frac: if ts.is_empty() {
+                0.0
+            } else {
+                reached as f64 / ts.len() as f64
+            },
+            path_len_p95: percentile(&path_lens, 0.95).unwrap_or(0),
+            path_len_median: percentile(&path_lens, 0.5).unwrap_or(0),
+            eui64_addrs: eui_addrs.len() as u64,
+            eui64_frac: if ifaces.is_empty() {
+                0.0
+            } else {
+                eui_addrs.len() as f64 / ifaces.len() as f64
+            },
+            eui64_offset_p5: percentile(&offsets, 0.05).unwrap_or(0),
+            eui64_offset_median: percentile(&offsets, 0.5).unwrap_or(0),
+        }
+    }
+}
+
+/// Per-hop responsiveness (Figure 5): for each TTL, the fraction of
+/// traces that received a Time-Exceeded from that hop.
+pub fn hop_responsiveness(log: &ProbeLog, max_ttl: u8) -> Vec<f64> {
+    let total = log.traces.max(1) as f64;
+    let mut counts = vec![0u64; max_ttl as usize + 1];
+    let mut seen: BTreeSet<(Ipv6Addr, u8)> = BTreeSet::new();
+    for r in &log.records {
+        if r.kind == ResponseKind::TimeExceeded {
+            if let Some(ttl) = r.probe_ttl {
+                if ttl <= max_ttl && seen.insert((r.target, ttl)) {
+                    counts[ttl as usize] += 1;
+                }
+            }
+        }
+    }
+    (1..=max_ttl as usize).map(|t| counts[t] as f64 / total).collect()
+}
+
+/// Discovery curve (Figure 7): cumulative unique interface addresses as
+/// a function of probes emitted. Probe position is recovered from the
+/// response's send timestamp and the campaign rate (stateless probers
+/// do not number their probes).
+pub fn discovery_curve(log: &ProbeLog) -> Vec<(u64, u64)> {
+    let rate_interval = if log.probes_sent > 0 && log.duration_us > 0 {
+        (log.duration_us as f64 / log.probes_sent as f64).max(1.0)
+    } else {
+        1.0
+    };
+    // Order TE records by send time (recv - rtt).
+    let mut sends: Vec<(u64, Ipv6Addr)> = log
+        .records
+        .iter()
+        .filter(|r| r.kind == ResponseKind::TimeExceeded)
+        .map(|r| {
+            let sent = r.recv_us - r.rtt_us.unwrap_or(0).min(r.recv_us);
+            (sent, r.responder)
+        })
+        .collect();
+    sends.sort_unstable();
+    let mut seen = BTreeSet::new();
+    let mut curve = Vec::new();
+    for (sent_us, addr) in sends {
+        if seen.insert(addr) {
+            let probe_no = (sent_us as f64 / rate_interval) as u64 + 1;
+            curve.push((probe_no, seen.len() as u64));
+        }
+    }
+    curve
+}
+
+/// Cross-campaign exclusive features (Figure 6 insets / Table 7
+/// "Excl" columns): for each campaign, how many interfaces / prefixes /
+/// ASNs no *other* campaign in the grid discovered.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExclusiveFeatures {
+    /// Interfaces unique to this campaign.
+    pub interfaces: u64,
+    /// BGP prefixes unique to this campaign.
+    pub prefixes: u64,
+    /// ASNs unique to this campaign.
+    pub asns: u64,
+}
+
+/// Computes exclusives for each log against the others.
+pub fn exclusive_features(
+    logs: &[&ProbeLog],
+    bgp: &v6addr::BgpTable,
+) -> Vec<ExclusiveFeatures> {
+    let mut iface_count: BTreeMap<Ipv6Addr, u32> = BTreeMap::new();
+    let mut pfx_count: BTreeMap<v6addr::Ipv6Prefix, u32> = BTreeMap::new();
+    let mut asn_count: BTreeMap<u32, u32> = BTreeMap::new();
+    let per_log: Vec<(BTreeSet<Ipv6Addr>, BTreeSet<v6addr::Ipv6Prefix>, BTreeSet<u32>)> = logs
+        .iter()
+        .map(|log| {
+            let ifaces = log.interface_addrs();
+            let mut pfxs = BTreeSet::new();
+            let mut asns = BTreeSet::new();
+            for &a in &ifaces {
+                if let Some((p, asn)) = bgp.lookup(a) {
+                    pfxs.insert(p);
+                    asns.insert(asn.0);
+                }
+            }
+            for &a in &ifaces {
+                *iface_count.entry(a).or_default() += 1;
+            }
+            for &p in &pfxs {
+                *pfx_count.entry(p).or_default() += 1;
+            }
+            for &a in &asns {
+                *asn_count.entry(a).or_default() += 1;
+            }
+            (ifaces, pfxs, asns)
+        })
+        .collect();
+    per_log
+        .iter()
+        .map(|(ifaces, pfxs, asns)| ExclusiveFeatures {
+            interfaces: ifaces.iter().filter(|a| iface_count[a] == 1).count() as u64,
+            prefixes: pfxs.iter().filter(|p| pfx_count[p] == 1).count() as u64,
+            asns: asns.iter().filter(|a| asn_count[a] == 1).count() as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yarrp6::ResponseRecord;
+
+    fn rec(target: &str, responder: &str, kind: ResponseKind, ttl: u8, recv: u64) -> ResponseRecord {
+        ResponseRecord {
+            target: target.parse().unwrap(),
+            responder: responder.parse().unwrap(),
+            kind,
+            probe_ttl: Some(ttl),
+            rtt_us: Some(10),
+            recv_us: recv,
+            target_cksum_ok: true,
+        }
+    }
+
+    fn sample_log() -> ProbeLog {
+        let mut log = ProbeLog {
+            vantage: "V".into(),
+            target_set: "S".into(),
+            probes_sent: 100,
+            traces: 2,
+            duration_us: 100_000,
+            ..Default::default()
+        };
+        log.records.push(rec("2001:db8::1", "2001:db8:f::1", ResponseKind::TimeExceeded, 1, 20));
+        log.records.push(rec("2001:db8::1", "2001:db8:f::2", ResponseKind::TimeExceeded, 2, 30));
+        log.records.push(rec(
+            "2001:db8::1",
+            "2001:db8:f:0:0211:22ff:fe33:4455",
+            ResponseKind::TimeExceeded,
+            3,
+            40,
+        ));
+        log.records.push(rec("2001:db8::1", "2001:db8::1", ResponseKind::EchoReply, 4, 50));
+        log.records.push(rec("2001:db8::2", "2001:db8:f::1", ResponseKind::TimeExceeded, 1, 60));
+        log
+    }
+
+    fn bgp() -> v6addr::BgpTable {
+        let mut b = v6addr::BgpTable::new();
+        b.announce("2001:db8::/32".parse().unwrap(), v6addr::Asn(1));
+        b
+    }
+
+    #[test]
+    fn metrics_row() {
+        let m = CampaignMetrics::compute(&sample_log(), &bgp());
+        assert_eq!(m.interface_addrs, 3);
+        assert_eq!(m.int_bgp_prefixes, 1);
+        assert_eq!(m.int_asns, 1);
+        // Trace 1 reached its destination; trace 2's hop resolves to the
+        // target's own AS — both count as reaching the target ASN.
+        assert_eq!(m.reach_frac, 1.0);
+        assert_eq!(m.eui64_addrs, 1);
+        // EUI-64 hop at ttl 3, path len 4 → offset -1.
+        assert_eq!(m.eui64_offset_median, -1);
+        // Path lengths are [1, 4]; the median index rounds up to 4.
+        assert_eq!(m.path_len_median, 4);
+    }
+
+    #[test]
+    fn responsiveness_counts_per_trace() {
+        let r = hop_responsiveness(&sample_log(), 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], 1.0); // both traces saw hop 1
+        assert_eq!(r[1], 0.5);
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let c = discovery_curve(&sample_log());
+        assert_eq!(c.len(), 3); // 3 unique interfaces
+        for w in c.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert_eq!(w[1].1, w[0].1 + 1);
+        }
+    }
+
+    #[test]
+    fn exclusives_across_campaigns() {
+        let log1 = sample_log();
+        let mut log2 = ProbeLog {
+            traces: 1,
+            ..Default::default()
+        };
+        log2.records.push(rec("2001:db8::9", "2001:db8:f::1", ResponseKind::TimeExceeded, 1, 5));
+        log2.records.push(rec("2001:db8::9", "2001:db8:f::9", ResponseKind::TimeExceeded, 2, 6));
+        let b = bgp();
+        let ex = exclusive_features(&[&log1, &log2], &b);
+        // log1 exclusively has ::2 and the EUI hop; log2 exclusively ::9.
+        assert_eq!(ex[0].interfaces, 2);
+        assert_eq!(ex[1].interfaces, 1);
+        // The /32 prefix is shared.
+        assert_eq!(ex[0].prefixes, 0);
+        assert_eq!(ex[1].prefixes, 0);
+    }
+}

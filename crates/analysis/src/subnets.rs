@@ -1,0 +1,398 @@
+//! Subnet discovery from trace results (§6).
+//!
+//! Two techniques:
+//!
+//! * **Path divergence** (`discoverByPathDiv`, after Lee & Spring's
+//!   Hobbit adapted to IPv6): when traces to two targets share a
+//!   significant *last common subpath* (LCS) and then diverge into
+//!   significant *divergent suffixes* (DS), the targets are taken to be
+//!   in different subnets; their Discriminating Prefix Length then
+//!   lower-bounds both subnets' prefix lengths. The implementation is
+//!   deliberately conservative, gated by the paper's parameters
+//!   (`c, C, A, s, S, z, T`).
+//! * **The IA hack**: when a trace's last hop is a `::1`-IID address in
+//!   the *same /64* as the target, the gateway of the target's LAN
+//!   answered — the /64 is discovered exactly and the trace is known to
+//!   be complete.
+//!
+//! Candidate subnets report *minimum* prefix lengths: "we've discovered
+//! a subnet having a prefix length of at least that reported".
+
+use crate::traces::{AsnResolver, Trace, TraceSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+use v6addr::{bits, dpl, Asn, Ipv6Prefix};
+
+/// The discoverByPathDiv gate parameters (§6 defaults).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PathDivParams {
+    /// `c` — minimum LCS length.
+    pub min_lcs: usize,
+    /// `C` — LCS hops whose ASN must match the target's ASN.
+    pub lcs_asn_matches: usize,
+    /// `A` — require the LCS's last hop outside the vantage AS.
+    pub last_lcs_outside_vantage_as: bool,
+    /// `s` — minimum DS length.
+    pub min_ds: usize,
+    /// `S` — DS hops whose ASN must match the target's ASN.
+    pub ds_asn_matches: usize,
+    /// `T` — require both targets in the same (equivalent) ASN.
+    pub targets_same_asn: bool,
+    /// Tolerate non-responding TTLs inside the common subpath (they are
+    /// skipped and never counted toward `c`/`C`). The paper's strictest
+    /// reading ("missing hop addresses are not allowed in the LCS") is
+    /// `false`; the default `true` keeps vantages with a permanently
+    /// silent hop (like the paper's own) usable.
+    pub allow_gaps: bool,
+}
+
+impl Default for PathDivParams {
+    fn default() -> Self {
+        PathDivParams {
+            min_lcs: 2,
+            lcs_asn_matches: 1,
+            last_lcs_outside_vantage_as: true,
+            min_ds: 1,
+            ds_asn_matches: 1,
+            targets_same_asn: true,
+            allow_gaps: true,
+        }
+    }
+}
+
+/// A discovered candidate subnet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CandidateSubnet {
+    /// The subnet's covering prefix at the inferred minimum length.
+    pub prefix: Ipv6Prefix,
+    /// True when produced by the IA hack (exact /64), false for the
+    /// path-divergence lower bound.
+    pub exact: bool,
+}
+
+/// Runs path-divergence discovery over a set of traces.
+///
+/// Pairs are formed between *address-adjacent* targets (sorted order):
+/// nearest neighbors have the highest DPL and thus give the tightest
+/// subnet bounds; comparing all O(n²) pairs adds nothing since any
+/// farther pair has lower DPL than some adjacent chain.
+pub fn discover_by_path_div(
+    ts: &TraceSet,
+    resolver: &AsnResolver,
+    vantage_asn: Asn,
+    params: &PathDivParams,
+) -> Vec<CandidateSubnet> {
+    let traces = ts.iter_sorted();
+    // Per-target best (max) DPL bound.
+    let mut best: HashMap<Ipv6Addr, u8> = HashMap::new();
+    for pair in traces.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if let Some(n) = divergence_bound(a, b, resolver, vantage_asn, params) {
+            for t in [a.target, b.target] {
+                let e = best.entry(t).or_insert(0);
+                *e = (*e).max(n);
+            }
+        }
+    }
+    let mut out: Vec<CandidateSubnet> = best
+        .into_iter()
+        .map(|(t, n)| CandidateSubnet {
+            prefix: Ipv6Prefix::truncating(t, n),
+            exact: false,
+        })
+        .collect();
+    out.sort_by_key(|c| (c.prefix.base_word(), c.prefix.len()));
+    out.dedup();
+    out
+}
+
+/// Tests one target pair for significant divergence; returns the DPL
+/// bound when the gates pass.
+fn divergence_bound(
+    a: &Trace,
+    b: &Trace,
+    resolver: &AsnResolver,
+    vantage_asn: Asn,
+    params: &PathDivParams,
+) -> Option<u8> {
+    // T: both targets in the same organization.
+    let asn_a = resolver.origin(a.target)?;
+    let asn_b = resolver.origin(b.target)?;
+    if params.targets_same_asn && !resolver.same_org(asn_a, asn_b) {
+        return None;
+    }
+
+    let ha = a.hop_vec();
+    let hb = b.hop_vec();
+
+    // LCS: common prefix of the hop sequences. A position where both
+    // responded with the same address extends it; differing responses
+    // mark the divergence point; a missing response either terminates
+    // the LCS (strict mode) or is skipped without being counted.
+    let mut lcs_hops: Vec<Ipv6Addr> = Vec::new();
+    let mut i = 0usize;
+    let mut diverged_at = None;
+    while i < ha.len().min(hb.len()) {
+        match (ha[i], hb[i]) {
+            (Some(x), Some(y)) if x == y => {
+                lcs_hops.push(x);
+                i += 1;
+            }
+            (Some(_), Some(_)) => {
+                diverged_at = Some(i);
+                break;
+            }
+            _ => {
+                if !params.allow_gaps {
+                    break;
+                }
+                i += 1;
+            }
+        }
+    }
+    let div = diverged_at?;
+    if lcs_hops.len() < params.min_lcs {
+        return None;
+    }
+    // A: divergence must happen outside the vantage AS.
+    if params.last_lcs_outside_vantage_as {
+        let last_asn = resolver.origin(*lcs_hops.last()?)?;
+        if resolver.same_org(last_asn, vantage_asn) {
+            return None;
+        }
+    }
+    // C: enough LCS hops inside the target's organization.
+    let lcs_matches = lcs_hops
+        .iter()
+        .filter(|&&h| {
+            resolver
+                .origin(h)
+                .map(|x| resolver.same_org(x, asn_a))
+                .unwrap_or(false)
+        })
+        .count();
+    if lcs_matches < params.lcs_asn_matches {
+        return None;
+    }
+    // DS: both suffixes non-empty (z = 0) and long enough, counting only
+    // responding hops from the divergence point on.
+    let ds_a: Vec<Ipv6Addr> = ha[div..].iter().flatten().copied().collect();
+    let ds_b: Vec<Ipv6Addr> = hb[div..].iter().flatten().copied().collect();
+    if ds_a.len() < params.min_ds || ds_b.len() < params.min_ds {
+        return None;
+    }
+    // S: enough DS hops inside the target's organization, on each side.
+    let count_in_org = |ds: &[Ipv6Addr], asn: Asn| {
+        ds.iter()
+            .filter(|&&h| {
+                resolver
+                    .origin(h)
+                    .map(|x| resolver.same_org(x, asn))
+                    .unwrap_or(false)
+            })
+            .count()
+    };
+    if count_in_org(&ds_a, asn_a) < params.ds_asn_matches
+        || count_in_org(&ds_b, asn_b) < params.ds_asn_matches
+    {
+        return None;
+    }
+
+    dpl::dpl_of_pair(a.target, b.target)
+}
+
+/// The IA hack: traces whose last hop is a low-byte (`::1`) address in
+/// the target's own /64 discovered that /64 exactly.
+pub fn ia_hack(ts: &TraceSet) -> Vec<CandidateSubnet> {
+    let mut out = Vec::new();
+    for t in ts.iter_sorted() {
+        let Some((_, last)) = t.last_hop() else {
+            continue;
+        };
+        let lw = u128::from(last);
+        let tw = u128::from(t.target);
+        let same_64 = bits::net_bits(lw) == bits::net_bits(tw);
+        let is_one = bits::iid_bits(lw) == 1;
+        if same_64 && is_one {
+            out.push(CandidateSubnet {
+                prefix: Ipv6Prefix::from_word(tw, 64),
+                exact: true,
+            });
+        }
+    }
+    out.sort_by_key(|c| c.prefix.base_word());
+    out.dedup();
+    out
+}
+
+/// Histogram of candidate counts by minimum prefix length (Fig 8b).
+pub fn by_prefix_length(cands: &[CandidateSubnet]) -> std::collections::BTreeMap<u8, u64> {
+    let mut m = std::collections::BTreeMap::new();
+    for c in cands {
+        *m.entry(c.prefix.len()).or_default() += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Hand-built trace: hops at ttl 1.. from a list.
+    fn trace(target: &str, hops: &[&str]) -> Trace {
+        let mut t = Trace::new(target.parse().unwrap());
+        for (i, h) in hops.iter().enumerate() {
+            t.hops.insert(i as u8 + 1, h.parse().unwrap());
+        }
+        t
+    }
+
+    fn resolver() -> AsnResolver {
+        let mut bgp = v6addr::BgpTable::new();
+        bgp.announce("2001:db8::/32".parse().unwrap(), Asn(100)); // target org
+        bgp.announce("2620:1::/32".parse().unwrap(), Asn(50)); // transit
+        bgp.announce("2620:2::/32".parse().unwrap(), Asn(1)); // vantage
+        AsnResolver::new(bgp, vec![], &[])
+    }
+
+    fn ts(traces: Vec<Trace>) -> TraceSet {
+        let mut set = TraceSet::default();
+        for t in traces {
+            set.traces.insert(t.target, t);
+        }
+        set
+    }
+
+    #[test]
+    fn detects_divergence_and_bounds_subnet() {
+        // Shared: transit hop + org border; divergent: two distribution
+        // routers inside the org.
+        let a = trace(
+            "2001:db8:0:1::aa",
+            &["2620:1::1", "2001:db8:ff::1", "2001:db8:ff::10"],
+        );
+        let b = trace(
+            "2001:db8:0:2::bb",
+            &["2620:1::1", "2001:db8:ff::1", "2001:db8:ff::20"],
+        );
+        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        assert_eq!(cands.len(), 2);
+        // Targets differ first within group 4 (0:1 vs 0:2): DPL = 62? The
+        // words differ at ...0001 vs ...0010 in bits 48..64 → common
+        // prefix 48 + 12 = 60, DPL 61? Compute exactly:
+        let n = dpl::dpl_of_pair(
+            "2001:db8:0:1::aa".parse().unwrap(),
+            "2001:db8:0:2::bb".parse().unwrap(),
+        )
+        .unwrap();
+        assert!(cands.iter().all(|c| c.prefix.len() == n));
+    }
+
+    #[test]
+    fn no_divergence_no_candidates() {
+        // Identical paths except final hop missing: no divergent suffix.
+        let a = trace("2001:db8:0:1::aa", &["2620:1::1", "2001:db8:ff::1"]);
+        let b = trace("2001:db8:0:2::bb", &["2620:1::1", "2001:db8:ff::1"]);
+        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn different_asn_targets_rejected() {
+        let a = trace(
+            "2001:db8:0:1::aa",
+            &["2620:1::1", "2001:db8:ff::1", "2001:db8:ff::10"],
+        );
+        let b = trace(
+            "2620:2:0:2::bb",
+            &["2620:1::1", "2001:db8:ff::1", "2001:db8:ff::20"],
+        );
+        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn short_lcs_rejected() {
+        let a = trace("2001:db8:0:1::aa", &["2620:1::1", "2001:db8:ff::10"]);
+        let b = trace("2001:db8:0:2::bb", &["2620:1::1", "2001:db8:ff::20"]);
+        // LCS = 1 < c = 2.
+        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn missing_hop_in_lcs_rejected() {
+        let mut a = trace("2001:db8:0:1::aa", &[]);
+        a.hops.insert(1, "2620:1::1".parse().unwrap());
+        a.hops.insert(3, "2001:db8:ff::10".parse().unwrap()); // gap at 2
+        let b = trace(
+            "2001:db8:0:2::bb",
+            &["2620:1::1", "2001:db8:ff::1", "2001:db8:ff::20"],
+        );
+        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn divergence_inside_vantage_as_rejected() {
+        // All common hops inside the vantage AS (2620:2::/32, ASN 1).
+        let a = trace(
+            "2001:db8:0:1::aa",
+            &["2620:2::1", "2620:2::2", "2001:db8:ff::10"],
+        );
+        let b = trace(
+            "2001:db8:0:2::bb",
+            &["2620:2::1", "2620:2::2", "2001:db8:ff::20"],
+        );
+        let cands = discover_by_path_div(&ts(vec![a.clone(), b.clone()]), &resolver(), Asn(1), &PathDivParams::default());
+        assert!(cands.is_empty());
+        // With the gate disabled (and C relaxed — the LCS is all vantage
+        // hops), the same pair passes.
+        let relaxed = PathDivParams {
+            last_lcs_outside_vantage_as: false,
+            lcs_asn_matches: 0,
+            ..Default::default()
+        };
+        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &relaxed);
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn ia_hack_finds_gateway_64() {
+        let mut t = trace("2001:db8:0:7::abcd", &["2620:1::1", "2001:db8:0:7::1"]);
+        t.reached_at = None;
+        let cands = ia_hack(&ts(vec![t]));
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0].exact);
+        assert_eq!(cands[0].prefix, "2001:db8:0:7::/64".parse().unwrap());
+        // A last hop in a different /64 does not trigger.
+        let t2 = trace("2001:db8:0:8::abcd", &["2620:1::1", "2001:db8:0:9::1"]);
+        assert!(ia_hack(&ts(vec![t2])).is_empty());
+        // A non-::1 last hop does not trigger.
+        let t3 = trace("2001:db8:0:8::abcd", &["2620:1::1", "2001:db8:0:8::2"]);
+        assert!(ia_hack(&ts(vec![t3])).is_empty());
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let cands = vec![
+            CandidateSubnet {
+                prefix: "2001:db8::/48".parse().unwrap(),
+                exact: false,
+            },
+            CandidateSubnet {
+                prefix: "2001:db8:1::/48".parse().unwrap(),
+                exact: false,
+            },
+            CandidateSubnet {
+                prefix: "2001:db8:2:3::/64".parse().unwrap(),
+                exact: true,
+            },
+        ];
+        let h: BTreeMap<u8, u64> = by_prefix_length(&cands);
+        assert_eq!(h[&48], 2);
+        assert_eq!(h[&64], 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Reconstructing per-target traces from stateless response records.
+//!
+//! Yarrp6 responses arrive in no particular order, interleaved across
+//! all destinations; this module groups them back into traceroute-style
+//! paths.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv6Addr;
+use v6addr::{Asn, BgpTable, Ipv6Prefix};
+use yarrp6::{ProbeLog, ResponseKind};
+
+/// One reconstructed trace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trace {
+    /// The probed destination.
+    pub target: Ipv6Addr,
+    /// TTL → responding router interface (Time Exceeded sources only).
+    pub hops: BTreeMap<u8, Ipv6Addr>,
+    /// Smallest TTL at which the destination itself answered, if any.
+    pub reached_at: Option<u8>,
+    /// Destination Unreachable responses seen: (ttl, responder).
+    pub unreachable: Vec<(u8, Ipv6Addr)>,
+}
+
+impl Trace {
+    /// An empty trace toward `target`.
+    pub fn new(target: Ipv6Addr) -> Self {
+        Trace {
+            target,
+            hops: BTreeMap::new(),
+            reached_at: None,
+            unreachable: Vec::new(),
+        }
+    }
+
+    /// Estimated path length in router hops: the TTL of the destination
+    /// response when reached, else the deepest responding hop (a lower
+    /// bound).
+    pub fn path_len(&self) -> Option<u8> {
+        self.reached_at
+            .or_else(|| self.hops.keys().next_back().copied())
+    }
+
+    /// The deepest responding hop address (the "last hop" of §6).
+    pub fn last_hop(&self) -> Option<(u8, Ipv6Addr)> {
+        self.hops.iter().next_back().map(|(&t, &a)| (t, a))
+    }
+
+    /// The hop sequence `ttl=1..=k` with gaps as `None`, up to the
+    /// deepest response.
+    pub fn hop_vec(&self) -> Vec<Option<Ipv6Addr>> {
+        let Some((&max, _)) = self.hops.iter().next_back() else {
+            return Vec::new();
+        };
+        (1..=max).map(|t| self.hops.get(&t).copied()).collect()
+    }
+}
+
+/// All traces of one campaign, indexed by target.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSet {
+    /// target → trace.
+    pub traces: HashMap<Ipv6Addr, Trace>,
+    /// Campaign identity, carried through for reporting.
+    pub vantage: String,
+    /// Target-set name.
+    pub target_set: String,
+    /// Records dropped because the quoted destination failed the target
+    /// checksum (middlebox rewriting detected): their "target" is not
+    /// an address we probed, so including them would fabricate traces.
+    pub rewritten_dropped: u64,
+}
+
+impl TraceSet {
+    /// Builds traces from a probe log.
+    pub fn from_log(log: &ProbeLog) -> Self {
+        let mut traces: HashMap<Ipv6Addr, Trace> = HashMap::new();
+        let mut rewritten_dropped = 0u64;
+        for r in &log.records {
+            if !r.target_cksum_ok {
+                rewritten_dropped += 1;
+                continue;
+            }
+            let t = traces.entry(r.target).or_insert_with(|| Trace::new(r.target));
+            match r.kind {
+                ResponseKind::TimeExceeded => {
+                    if let Some(ttl) = r.probe_ttl {
+                        // First responder wins; duplicates (fill + main
+                        // probes) are consistent by path determinism.
+                        t.hops.entry(ttl).or_insert(r.responder);
+                    }
+                }
+                ResponseKind::DestUnreachable(c)
+                    if c != v6packet::icmp6::DestUnreachCode::PortUnreachable =>
+                {
+                    if let Some(ttl) = r.probe_ttl {
+                        t.unreachable.push((ttl, r.responder));
+                    }
+                }
+                _ => {
+                    // Destination responded (echo reply, TCP, port
+                    // unreachable from the host).
+                    let at = r.probe_ttl.unwrap_or(u8::MAX);
+                    t.reached_at = Some(t.reached_at.map_or(at, |x| x.min(at)));
+                }
+            }
+        }
+        TraceSet {
+            traces,
+            vantage: log.vantage.clone(),
+            target_set: log.target_set.clone(),
+            rewritten_dropped,
+        }
+    }
+
+    /// Number of traces with at least one response.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True when no responses were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Iterates traces in target order (deterministic).
+    pub fn iter_sorted(&self) -> Vec<&Trace> {
+        let mut v: Vec<&Trace> = self.traces.values().collect();
+        v.sort_by_key(|t| u128::from(t.target));
+        v
+    }
+}
+
+/// Resolves addresses to origin ASNs using the *public* view: BGP,
+/// registry-only prefixes, and declared ASN equivalences (§6's two
+/// augmentations).
+#[derive(Clone, Debug)]
+pub struct AsnResolver {
+    bgp: BgpTable,
+    extra: Vec<(Ipv6Prefix, Asn)>,
+}
+
+impl AsnResolver {
+    /// Builds a resolver; `extra` are the registry-only prefixes and
+    /// `equivalences` the sibling-ASN declarations.
+    pub fn new(
+        bgp: BgpTable,
+        extra: Vec<(Ipv6Prefix, Asn)>,
+        equivalences: &[(Asn, Asn)],
+    ) -> Self {
+        let mut bgp = bgp;
+        for &(a, b) in equivalences {
+            bgp.declare_equivalent(a, b);
+        }
+        AsnResolver { bgp, extra }
+    }
+
+    /// Origin ASN under the augmented view.
+    pub fn origin(&self, addr: Ipv6Addr) -> Option<Asn> {
+        self.bgp.origin(addr).or_else(|| {
+            self.extra
+                .iter()
+                .find(|(p, _)| p.contains_addr(addr))
+                .map(|&(_, a)| a)
+        })
+    }
+
+    /// Are two ASNs the same organization?
+    pub fn same_org(&self, a: Asn, b: Asn) -> bool {
+        self.bgp.same_org(a, b)
+    }
+
+    /// The underlying BGP table.
+    pub fn bgp(&self) -> &BgpTable {
+        &self.bgp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yarrp6::ResponseRecord;
+
+    fn rec(target: &str, responder: &str, kind: ResponseKind, ttl: Option<u8>) -> ResponseRecord {
+        ResponseRecord {
+            target: target.parse().unwrap(),
+            responder: responder.parse().unwrap(),
+            kind,
+            probe_ttl: ttl,
+            rtt_us: Some(1),
+            recv_us: 0,
+            target_cksum_ok: true,
+        }
+    }
+
+    #[test]
+    fn reconstructs_hops_and_reach() {
+        let mut log = ProbeLog::default();
+        log.records.push(rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(1)));
+        log.records.push(rec("2001:db8::1", "::b", ResponseKind::TimeExceeded, Some(3)));
+        log.records.push(rec("2001:db8::1", "2001:db8::1", ResponseKind::EchoReply, Some(4)));
+        log.records.push(rec("2001:db8::1", "2001:db8::1", ResponseKind::EchoReply, Some(7)));
+        let ts = TraceSet::from_log(&log);
+        let t = &ts.traces[&"2001:db8::1".parse::<Ipv6Addr>().unwrap()];
+        assert_eq!(t.hops.len(), 2);
+        assert_eq!(t.reached_at, Some(4));
+        assert_eq!(t.path_len(), Some(4));
+        assert_eq!(t.hop_vec(), vec![
+            Some("::a".parse().unwrap()),
+            None,
+            Some("::b".parse().unwrap()),
+        ]);
+        assert_eq!(t.last_hop().unwrap().0, 3);
+    }
+
+    #[test]
+    fn unreached_path_len_is_deepest_hop() {
+        let mut log = ProbeLog::default();
+        log.records.push(rec("2001:db8::2", "::a", ResponseKind::TimeExceeded, Some(5)));
+        let ts = TraceSet::from_log(&log);
+        let t = &ts.traces[&"2001:db8::2".parse::<Ipv6Addr>().unwrap()];
+        assert_eq!(t.reached_at, None);
+        assert_eq!(t.path_len(), Some(5));
+    }
+
+    #[test]
+    fn resolver_augmentations() {
+        let mut bgp = BgpTable::new();
+        bgp.announce("2001:db8::/32".parse().unwrap(), Asn(1));
+        let extra = vec![("2a10::/32".parse().unwrap(), Asn(2))];
+        let r = AsnResolver::new(bgp, extra, &[(Asn(1), Asn(51))]);
+        assert_eq!(r.origin("2001:db8::1".parse().unwrap()), Some(Asn(1)));
+        assert_eq!(r.origin("2a10::9".parse().unwrap()), Some(Asn(2)));
+        assert_eq!(r.origin("3fff::1".parse().unwrap()), None);
+        assert!(r.same_org(Asn(1), Asn(51)));
+        assert!(!r.same_org(Asn(1), Asn(2)));
+    }
+}

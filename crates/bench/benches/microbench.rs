@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks for the performance-critical primitives:
+//! the permutation, the probe codec, trie lookup, DPL, kIP aggregation
+//! and end-to-end engine injection. These are the pieces that determine
+//! whether a prober can sustain 100kpps-class rates (the original Yarrp
+//! ran at 100kpps).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use simnet::config::TopologyConfig;
+use simnet::Engine;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+use v6packet::probe::{decode_quotation, ProbeSpec, Protocol};
+use yarrp6::perm::Permutation;
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("permutation");
+    for n in [1_000u64, 1_000_000] {
+        let p = Permutation::new(n, 42);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("apply_n{n}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let v = p.apply(i % n);
+                i += 1;
+                black_box(v)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_probe_codec(c: &mut Criterion) {
+    let spec = ProbeSpec {
+        src: "2001:db8:f00::1".parse().unwrap(),
+        target: "2001:db8:1:2::abcd".parse().unwrap(),
+        protocol: Protocol::Icmp6,
+        ttl: 9,
+        instance: 7,
+        elapsed_us: 123_456,
+    };
+    let mut g = c.benchmark_group("probe_codec");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("build", |b| b.iter(|| black_box(spec.build())));
+    let wire = spec.build();
+    g.bench_function("decode_quotation", |b| {
+        b.iter(|| black_box(decode_quotation(&wire).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let topo = simnet::generate::generate(TopologyConfig::tiny(7));
+    let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(1000).collect();
+    let mut g = c.benchmark_group("bgp_lpm");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("longest_match", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let a = addrs[i % addrs.len()];
+            i += 1;
+            black_box(topo.bgp.lookup(a))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dpl(c: &mut Criterion) {
+    let topo = simnet::generate::generate(TopologyConfig::tiny(7));
+    let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).collect();
+    let mut g = c.benchmark_group("dpl");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function(format!("set_of_{}", addrs.len()), |b| {
+        b.iter(|| black_box(v6addr::dpl::dpl_of_set(&addrs)))
+    });
+    g.finish();
+}
+
+fn bench_kip(c: &mut Criterion) {
+    let topo = simnet::generate::generate(TopologyConfig::tiny(7));
+    let clients = topo.active_client_64s();
+    let mut g = c.benchmark_group("kip");
+    g.throughput(Throughput::Elements(clients.len() as u64));
+    g.bench_function(format!("aggregate_{}_k32", clients.len()), |b| {
+        b.iter(|| black_box(seeds::kip::kip_aggregate(&clients, 32)))
+    });
+    g.finish();
+}
+
+fn bench_engine_inject(c: &mut Criterion) {
+    let topo = Arc::new(simnet::generate::generate(TopologyConfig::tiny(7)));
+    let targets: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(256).collect();
+    let src = topo.vantages[0].addr;
+    let wires: Vec<Vec<u8>> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            ProbeSpec {
+                src,
+                target: t,
+                protocol: Protocol::Icmp6,
+                ttl: (i % 16) as u8 + 1,
+                instance: 1,
+                elapsed_us: 0,
+            }
+            .build()
+        })
+        .collect();
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("inject", |b| {
+        let mut e = Engine::new(topo.clone());
+        let mut i = 0u64;
+        b.iter(|| {
+            let w = &wires[(i as usize) % wires.len()];
+            let d = e.inject(w, i * 100);
+            i += 1;
+            black_box(d)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_permutation,
+    bench_probe_codec,
+    bench_trie,
+    bench_dpl,
+    bench_kip,
+    bench_engine_inject
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §4.2 "Protocol" trial — ICMPv6 vs UDP vs TCP probing of the CAIDA
+//! target set at 20pps from two vantages: interface discovery and
+//! non-Time-Exceeded response counts per protocol.
+
+use beholder_bench::fmt::{header, human, row};
+use beholder_bench::Scenario;
+use yarrp6::campaign::run_campaign;
+use yarrp6::{Protocol, YarrpConfig};
+
+fn main() {
+    let sc = Scenario::load();
+    // The trial probes the CAIDA seed addresses directly (::1 + random
+    // per prefix), as the production systems do — not the fixediid
+    // re-synthesis used by the Table 7 campaigns.
+    let set = targets::synthesize::known("caida-seed", sc.seeds.caida.addrs());
+    println!(
+        "Protocol trial: caida seed (::1 + random per prefix) at 20pps (scale {:?})\n",
+        sc.scale
+    );
+    header(&[
+        ("Vantage", 10),
+        ("Protocol", 9),
+        ("IntAddrs", 9),
+        ("NonTE", 8),
+        ("DestResp", 9),
+    ]);
+    let mut icmp_ifaces = 0u64;
+    let mut other_ifaces = Vec::new();
+    for vantage in [1u8, 2] {
+        for proto in [Protocol::Icmp6, Protocol::Udp, Protocol::Tcp] {
+            let cfg = YarrpConfig {
+                protocol: proto,
+                rate_pps: 20,
+                fill_mode: false,
+                ..Default::default()
+            };
+            let res = run_campaign(&sc.topo, vantage, &set, &cfg);
+            let ints = res.log.interface_addrs().len() as u64;
+            if proto == Protocol::Icmp6 {
+                icmp_ifaces += ints;
+            } else {
+                other_ifaces.push(ints);
+            }
+            row(&[
+                (sc.topo.vantages[vantage as usize].name.clone(), 10),
+                (proto.to_string(), 9),
+                (human(ints), 9),
+                (human(res.log.other_responses()), 8),
+                (human(res.log.reached_targets().len() as u64), 9),
+            ]);
+        }
+    }
+    let avg_other = other_ifaces.iter().sum::<u64>() as f64 / other_ifaces.len().max(1) as f64;
+    println!(
+        "\nICMPv6 vs UDP/TCP average interface delta: {:+.1}%",
+        100.0 * (icmp_ifaces as f64 / 2.0 - avg_other) / avg_other.max(1.0)
+    );
+    println!("Expect: ICMPv6 discovers a few percent more interfaces (paper: +2.1–2.2%)");
+    println!("and markedly more non-TE responses — it penetrates firewalled edges.");
+}

@@ -1,0 +1,159 @@
+//! Campaign drivers: binding probers to vantages and target sets.
+//!
+//! A campaign is `(vantage, target set, prober config)` run against a
+//! fresh [`Engine`] (fresh token buckets — campaigns are independent, as
+//! the paper launched its 54 campaigns separately). The parallel driver
+//! fans campaigns out across OS threads with crossbeam; the engine is
+//! per-campaign so no locking is needed beyond the shared, read-only
+//! topology.
+
+use crate::record::ProbeLog;
+use crate::yarrp::{self, YarrpConfig};
+use simnet::{Engine, EngineStats, Topology};
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+use targets::TargetSet;
+
+/// A finished campaign: the prober's log plus the engine's ground-truth
+/// accounting (used by tests and the rate-limiting analyses).
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// The prober's view.
+    pub log: ProbeLog,
+    /// The simulator's view.
+    pub engine_stats: EngineStats,
+}
+
+/// Runs one Yarrp6 campaign on a fresh engine.
+pub fn run_campaign(
+    topo: &Arc<Topology>,
+    vantage_idx: u8,
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+) -> CampaignResult {
+    let mut engine = Engine::new(topo.clone());
+    let mut log = yarrp::run(&mut engine, vantage_idx, &set.addrs, cfg);
+    log.target_set = set.name.clone();
+    CampaignResult {
+        log,
+        engine_stats: engine.stats,
+    }
+}
+
+/// Runs one Yarrp6 campaign over raw addresses (trial harness).
+pub fn run_campaign_addrs(
+    topo: &Arc<Topology>,
+    vantage_idx: u8,
+    set_name: &str,
+    addrs: &[Ipv6Addr],
+    cfg: &YarrpConfig,
+) -> CampaignResult {
+    let mut engine = Engine::new(topo.clone());
+    let mut log = yarrp::run(&mut engine, vantage_idx, addrs, cfg);
+    log.target_set = set_name.to_string();
+    CampaignResult {
+        log,
+        engine_stats: engine.stats,
+    }
+}
+
+/// A campaign specification for the parallel driver.
+pub struct CampaignSpec<'a> {
+    /// Vantage index.
+    pub vantage_idx: u8,
+    /// Target set to probe.
+    pub set: &'a TargetSet,
+    /// Prober configuration.
+    pub cfg: YarrpConfig,
+}
+
+/// Runs many campaigns in parallel (one thread each, bounded by the
+/// machine), returning results in input order.
+pub fn run_campaigns_parallel(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+) -> Vec<CampaignResult> {
+    let mut out: Vec<Option<CampaignResult>> = (0..specs.len()).map(|_| None).collect();
+    let chunk = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let topo = topo.clone();
+            handles.push((
+                i,
+                s.spawn(move |_| run_campaign(&topo, spec.vantage_idx, spec.set, &spec.cfg)),
+            ));
+            // Crude backpressure: join in waves to bound live threads.
+            if handles.len() >= chunk {
+                for (j, h) in handles.drain(..) {
+                    out[j] = Some(h.join().expect("campaign thread panicked"));
+                }
+            }
+        }
+        for (j, h) in handles.drain(..) {
+            out[j] = Some(h.join().expect("campaign thread panicked"));
+        }
+    })
+    .expect("campaign scope panicked");
+    out.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::config::TopologyConfig;
+    use simnet::generate::generate;
+
+    fn fixture() -> (Arc<Topology>, TargetSet) {
+        let topo = Arc::new(generate(TopologyConfig::tiny(42)));
+        let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(40).collect();
+        let set = TargetSet::new("test-set", addrs);
+        (topo, set)
+    }
+
+    #[test]
+    fn single_campaign_runs() {
+        let (topo, set) = fixture();
+        let res = run_campaign(&topo, 0, &set, &YarrpConfig::default());
+        assert_eq!(res.log.target_set, "test-set");
+        assert_eq!(res.log.vantage, "EU-NET");
+        assert!(res.engine_stats.probes >= res.log.probes_sent);
+        assert!(!res.log.records.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (topo, set) = fixture();
+        let cfg = YarrpConfig::default();
+        let serial: Vec<CampaignResult> = (0..3u8)
+            .map(|v| run_campaign(&topo, v, &set, &cfg))
+            .collect();
+        let specs: Vec<CampaignSpec> = (0..3u8)
+            .map(|v| CampaignSpec {
+                vantage_idx: v,
+                set: &set,
+                cfg,
+            })
+            .collect();
+        let parallel = run_campaigns_parallel(&topo, &specs);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.log.records, p.log.records, "campaign divergence");
+            assert_eq!(s.engine_stats, p.engine_stats);
+        }
+    }
+
+    #[test]
+    fn vantages_differ_in_results() {
+        let (topo, set) = fixture();
+        let cfg = YarrpConfig::default();
+        let a = run_campaign(&topo, 0, &set, &cfg);
+        let c = run_campaign(&topo, 2, &set, &cfg);
+        // US-EDU-2's longer on-prem path shows up in its discoveries.
+        assert_ne!(
+            a.log.interface_addrs(),
+            c.log.interface_addrs()
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! Response records and probe logs — what a campaign produces.
+//!
+//! A [`ResponseRecord`] is decoded *statelessly* from response bytes: the
+//! prober looks only at what came back (quotation, echo body, TCP ports),
+//! exactly as Yarrp6 does on the wire. [`ProbeLog`] collects the records
+//! of one campaign together with send-side counters.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv6Addr;
+use v6packet::icmp6::{self, DestUnreachCode, Icmp6Type};
+use v6packet::probe::{decode_echo_body, decode_quotation};
+use v6packet::tcp;
+
+/// The classified response type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResponseKind {
+    /// ICMPv6 Time Exceeded — a router hop.
+    TimeExceeded,
+    /// ICMPv6 Destination Unreachable with code.
+    DestUnreachable(DestUnreachCode),
+    /// ICMPv6 Echo Reply — destination reached (ICMPv6 probes).
+    EchoReply,
+    /// TCP RST/SYN-ACK — destination reached (TCP probes).
+    Tcp,
+}
+
+impl ResponseKind {
+    /// Did the *destination itself* respond?
+    pub fn is_destination(&self) -> bool {
+        matches!(
+            self,
+            ResponseKind::EchoReply
+                | ResponseKind::Tcp
+                | ResponseKind::DestUnreachable(DestUnreachCode::PortUnreachable)
+        )
+    }
+}
+
+/// One decoded response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseRecord {
+    /// The probed target this response answers (from the quotation).
+    pub target: Ipv6Addr,
+    /// Responding source address.
+    pub responder: Ipv6Addr,
+    /// Response classification.
+    pub kind: ResponseKind,
+    /// Originating probe hop limit, when recoverable (TCP destination
+    /// responses carry no quotation).
+    pub probe_ttl: Option<u8>,
+    /// Round-trip time, when recoverable.
+    pub rtt_us: Option<u64>,
+    /// Virtual receive time.
+    pub recv_us: u64,
+    /// Target checksum verified against the quoted destination (false
+    /// flags middlebox rewriting; always true for TCP).
+    pub target_cksum_ok: bool,
+}
+
+/// Why a received packet was discarded instead of recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Discard {
+    /// Unparseable bytes.
+    Malformed,
+    /// Yarrp6 magic/instance mismatch: not ours.
+    NotOurs,
+}
+
+/// Decodes response `bytes` received at `recv_us` for prober `instance`.
+pub fn decode_response(
+    bytes: &[u8],
+    recv_us: u64,
+    instance: u8,
+) -> Result<ResponseRecord, Discard> {
+    if let Some((outer, msg)) = icmp6::parse(bytes) {
+        match msg.ty {
+            Icmp6Type::TimeExceeded | Icmp6Type::DestUnreachable(_) => {
+                let d = decode_quotation(&msg.body).map_err(|_| Discard::Malformed)?;
+                if d.instance != instance {
+                    return Err(Discard::NotOurs);
+                }
+                let kind = match msg.ty {
+                    Icmp6Type::TimeExceeded => ResponseKind::TimeExceeded,
+                    Icmp6Type::DestUnreachable(c) => ResponseKind::DestUnreachable(c),
+                    _ => unreachable!(),
+                };
+                Ok(ResponseRecord {
+                    target: d.target,
+                    responder: outer.src,
+                    kind,
+                    probe_ttl: Some(d.ttl),
+                    rtt_us: Some(recv_us.saturating_sub(d.elapsed_us as u64)),
+                    recv_us,
+                    target_cksum_ok: d.target_cksum_ok,
+                })
+            }
+            Icmp6Type::EchoReply => {
+                let (inst, ttl, elapsed) =
+                    decode_echo_body(&msg.body).map_err(|_| Discard::Malformed)?;
+                if inst != instance {
+                    return Err(Discard::NotOurs);
+                }
+                Ok(ResponseRecord {
+                    target: outer.src,
+                    responder: outer.src,
+                    kind: ResponseKind::EchoReply,
+                    probe_ttl: Some(ttl),
+                    rtt_us: Some(recv_us.saturating_sub(elapsed as u64)),
+                    recv_us,
+                    target_cksum_ok: true,
+                })
+            }
+            Icmp6Type::EchoRequest => Err(Discard::NotOurs),
+        }
+    } else if let Some((outer, seg)) = tcp::parse(bytes) {
+        // A destination's RST/SYN-ACK: our probes use dport 80, so the
+        // response's source port must be 80 and its dport must carry the
+        // target checksum.
+        if seg.sport != v6packet::probe::DST_PORT {
+            return Err(Discard::NotOurs);
+        }
+        if seg.dport != v6packet::csum::addr_checksum(outer.src) {
+            // Target checksum mismatch: response from a rewritten target.
+            return Ok(ResponseRecord {
+                target: outer.src,
+                responder: outer.src,
+                kind: ResponseKind::Tcp,
+                probe_ttl: None,
+                rtt_us: None,
+                recv_us,
+                target_cksum_ok: false,
+            });
+        }
+        Ok(ResponseRecord {
+            target: outer.src,
+            responder: outer.src,
+            kind: ResponseKind::Tcp,
+            probe_ttl: None,
+            rtt_us: None,
+            recv_us,
+            target_cksum_ok: true,
+        })
+    } else {
+        Err(Discard::Malformed)
+    }
+}
+
+/// The output of one probing campaign.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProbeLog {
+    /// Vantage name.
+    pub vantage: String,
+    /// Target-set name.
+    pub target_set: String,
+    /// Prober name ("yarrp6", "sequential", "doubletree").
+    pub prober: String,
+    /// Probes emitted.
+    pub probes_sent: u64,
+    /// Fill-mode probes among them.
+    pub fills: u64,
+    /// Unique targets traced.
+    pub traces: u64,
+    /// Responses discarded (wrong instance / malformed).
+    pub discarded: u64,
+    /// Virtual duration of the campaign (µs).
+    pub duration_us: u64,
+    /// All decoded responses, in receive order.
+    pub records: Vec<ResponseRecord>,
+}
+
+impl ProbeLog {
+    /// Unique interface addresses: distinct sources of Time Exceeded
+    /// messages (the paper's §4.2 definition, Table 7's "Rtr Int Addrs").
+    pub fn interface_addrs(&self) -> std::collections::BTreeSet<Ipv6Addr> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == ResponseKind::TimeExceeded)
+            .map(|r| r.responder)
+            .collect()
+    }
+
+    /// Distinct sources of *any* ICMPv6/TCP response.
+    pub fn responder_addrs(&self) -> std::collections::BTreeSet<Ipv6Addr> {
+        self.records.iter().map(|r| r.responder).collect()
+    }
+
+    /// Count of non-Time-Exceeded responses (Table 3's "Other ICMPv6").
+    pub fn other_responses(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.kind != ResponseKind::TimeExceeded)
+            .count() as u64
+    }
+
+    /// Targets whose destination answered (Table 7's "Reach Target %"
+    /// numerator).
+    pub fn reached_targets(&self) -> std::collections::BTreeSet<Ipv6Addr> {
+        self.records
+            .iter()
+            .filter(|r| r.kind.is_destination())
+            .map(|r| r.target)
+            .collect()
+    }
+
+    /// Sorts records by receive time (probers append in emission order;
+    /// analysis wants arrival order).
+    pub fn sort_by_recv(&mut self) {
+        self.records.sort_by_key(|r| r.recv_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use v6packet::probe::{ProbeSpec, Protocol};
+
+    fn spec(proto: Protocol) -> ProbeSpec {
+        ProbeSpec {
+            src: "2001:db8:f::1".parse().unwrap(),
+            target: "2001:db8:1::abcd".parse().unwrap(),
+            protocol: proto,
+            ttl: 6,
+            instance: 9,
+            elapsed_us: 1_000,
+        }
+    }
+
+    #[test]
+    fn te_response_decodes() {
+        let probe = spec(Protocol::Icmp6).build();
+        let err = icmp6::build_error(
+            "2001:db8:42::1".parse().unwrap(),
+            "2001:db8:f::1".parse().unwrap(),
+            Icmp6Type::TimeExceeded,
+            &probe,
+            64,
+        );
+        let r = decode_response(&err, 25_000, 9).unwrap();
+        assert_eq!(r.kind, ResponseKind::TimeExceeded);
+        assert_eq!(r.responder, "2001:db8:42::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(r.target, "2001:db8:1::abcd".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(r.probe_ttl, Some(6));
+        assert_eq!(r.rtt_us, Some(24_000));
+    }
+
+    #[test]
+    fn wrong_instance_rejected() {
+        let probe = spec(Protocol::Icmp6).build();
+        let err = icmp6::build_error(
+            "::1".parse().unwrap(),
+            "2001:db8:f::1".parse().unwrap(),
+            Icmp6Type::TimeExceeded,
+            &probe,
+            64,
+        );
+        assert_eq!(decode_response(&err, 0, 8), Err(Discard::NotOurs));
+    }
+
+    #[test]
+    fn echo_reply_decodes() {
+        let s = spec(Protocol::Icmp6);
+        let probe = s.build();
+        let data = &probe[40 + 8..];
+        let reply = icmp6::build_echo_reply(s.target, s.src, 0x1111, 80, data, 60);
+        let r = decode_response(&reply, 9_000, 9).unwrap();
+        assert_eq!(r.kind, ResponseKind::EchoReply);
+        assert_eq!(r.target, s.target);
+        assert_eq!(r.probe_ttl, Some(6));
+        assert_eq!(r.rtt_us, Some(8_000));
+    }
+
+    #[test]
+    fn tcp_rst_decodes_without_state() {
+        let s = spec(Protocol::Tcp);
+        let ck = v6packet::csum::addr_checksum(s.target);
+        let rst = tcp::build_response(s.target, s.src, 80, ck, tcp::flags::RST, 60);
+        let r = decode_response(&rst, 5_000, 9).unwrap();
+        assert_eq!(r.kind, ResponseKind::Tcp);
+        assert_eq!(r.target, s.target);
+        assert_eq!(r.probe_ttl, None);
+        assert!(r.target_cksum_ok);
+    }
+
+    #[test]
+    fn garbage_discarded() {
+        assert_eq!(decode_response(&[1, 2, 3], 0, 0), Err(Discard::Malformed));
+    }
+
+    #[test]
+    fn log_accessors() {
+        let mut log = ProbeLog::default();
+        let mk = |resp: &str, kind: ResponseKind, recv| ResponseRecord {
+            target: "2001:db8::1".parse().unwrap(),
+            responder: resp.parse().unwrap(),
+            kind,
+            probe_ttl: Some(1),
+            rtt_us: Some(1),
+            recv_us: recv,
+            target_cksum_ok: true,
+        };
+        log.records.push(mk("::a", ResponseKind::TimeExceeded, 30));
+        log.records.push(mk("::a", ResponseKind::TimeExceeded, 10));
+        log.records.push(mk("::b", ResponseKind::EchoReply, 20));
+        assert_eq!(log.interface_addrs().len(), 1);
+        assert_eq!(log.responder_addrs().len(), 2);
+        assert_eq!(log.other_responses(), 1);
+        assert_eq!(log.reached_targets().len(), 1);
+        log.sort_by_recv();
+        assert_eq!(log.records[0].recv_us, 10);
+    }
+}

@@ -1,0 +1,786 @@
+//! The packet engine: probes in, responses out, all in virtual time.
+//!
+//! [`Engine::inject`] accepts a serialized probe at virtual time `now_us`
+//! and produces the serialized response — an ICMPv6 Time Exceeded from the
+//! expiring router, an ICMPv6 Destination Unreachable per policy, an Echo
+//! Reply or TCP segment from a reached host — or silence, when the probe
+//! (or the response budget of the router, per RFC 4443 rate limiting) ran
+//! out.
+//!
+//! The engine is the *only* channel between the prober and the topology:
+//! probers never peek at ground truth, so their discoveries are earned the
+//! same way they would be on the real Internet.
+
+use crate::flow::{self, FlowKey};
+use crate::ratelimit::TokenBucket;
+use crate::route::{self, DestEntry, ResolvedPath};
+use crate::topology::{HostKind, RouterId, Topology, UnknownAddrPolicy};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use v6packet::icmp6::{self, DestUnreachCode, Icmp6Type};
+use v6packet::{ip6, proto_num, tcp, Ipv6Header};
+
+/// A response scheduled for delivery back at the vantage.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// Virtual arrival time at the prober (µs).
+    pub at_us: u64,
+    /// Serialized response packet.
+    pub bytes: Vec<u8>,
+}
+
+/// Outcome counters, updated per injected probe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Probes injected.
+    pub probes: u64,
+    /// Probes that failed to parse as IPv6 or lacked a known vantage.
+    pub malformed: u64,
+    /// Probes lost in transit.
+    pub lost: u64,
+    /// ICMPv6 errors suppressed by token buckets.
+    pub rate_limited: u64,
+    /// Hops that never answer (or answer only ICMPv6).
+    pub silent_router: u64,
+    /// UDP/TCP probes eaten by destination-AS firewalls.
+    pub fw_dropped: u64,
+    /// Time Exceeded responses emitted.
+    pub time_exceeded: u64,
+    /// Echo replies emitted.
+    pub echo_replies: u64,
+    /// TCP responses emitted.
+    pub tcp_responses: u64,
+    /// Destination Unreachable responses by code.
+    pub du_no_route: u64,
+    /// See above.
+    pub du_admin: u64,
+    /// See above.
+    pub du_addr: u64,
+    /// See above.
+    pub du_port: u64,
+    /// See above.
+    pub du_reject: u64,
+    /// Dest-zone probes silently dropped by policy/ND throttling.
+    pub dest_silent: u64,
+    /// Fragmented echo replies emitted (speedtrap probing).
+    pub frag_echo_replies: u64,
+    /// Quotations whose destination a middlebox rewrote.
+    pub rewritten_quotes: u64,
+}
+
+impl EngineStats {
+    /// Total responses of any kind.
+    pub fn responses(&self) -> u64 {
+        self.time_exceeded
+            + self.echo_replies
+            + self.tcp_responses
+            + self.dest_unreach_total()
+    }
+
+    /// All Destination Unreachable responses.
+    pub fn dest_unreach_total(&self) -> u64 {
+        self.du_no_route + self.du_admin + self.du_addr + self.du_port + self.du_reject
+    }
+
+    /// Non-Time-Exceeded ICMPv6 responses — the paper's depth signal
+    /// (Table 3's "Other ICMPv6" column).
+    pub fn other_icmp6(&self) -> u64 {
+        self.echo_replies + self.dest_unreach_total()
+    }
+}
+
+/// The simulation engine for one probing campaign.
+pub struct Engine {
+    topo: Arc<Topology>,
+    buckets: Vec<TokenBucket>,
+    path_cache: HashMap<(u8, u128, u64), Arc<ResolvedPath>>,
+    /// Per-router fragment-identification counters: one monotonic
+    /// counter shared by all of a router's interfaces (the speedtrap
+    /// alias signal). Seeded per router so counters are unsynchronized.
+    frag_counters: Vec<u32>,
+    /// Outcome counters.
+    pub stats: EngineStats,
+}
+
+impl Engine {
+    /// A fresh engine (full token buckets, empty caches) over `topo`.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        let buckets = topo
+            .routers
+            .iter()
+            .map(|r| {
+                TokenBucket::new(if r.aggressive_rl {
+                    topo.config.aggressive_rl
+                } else {
+                    topo.config.default_rl
+                })
+            })
+            .collect();
+        let frag_counters = (0..topo.routers.len())
+            .map(|i| flow::mix64(i as u64 ^ 0xf4a6) as u32)
+            .collect();
+        Engine {
+            topo,
+            buckets,
+            path_cache: HashMap::new(),
+            frag_counters,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The topology under test.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Resets buckets and statistics (keeps path caches — the topology is
+    /// unchanged).
+    pub fn reset(&mut self) {
+        for (b, r) in self.buckets.iter_mut().zip(&self.topo.routers) {
+            *b = TokenBucket::new(if r.aggressive_rl {
+                self.topo.config.aggressive_rl
+            } else {
+                self.topo.config.default_rl
+            });
+        }
+        for (i, c) in self.frag_counters.iter_mut().enumerate() {
+            *c = flow::mix64(i as u64 ^ 0xf4a6) as u32;
+        }
+        self.stats = EngineStats::default();
+    }
+
+    /// Resolves (with caching) the forward path a probe with this header
+    /// and flow takes.
+    pub fn resolve_path(
+        &mut self,
+        vantage_idx: u8,
+        dst: std::net::Ipv6Addr,
+        flow_hash: u64,
+    ) -> Arc<ResolvedPath> {
+        let key = (vantage_idx, u128::from(dst), flow_hash);
+        if let Some(p) = self.path_cache.get(&key) {
+            return p.clone();
+        }
+        let v = &self.topo.vantages[vantage_idx as usize];
+        let p = Arc::new(route::resolve(&self.topo, v, dst, flow_hash));
+        self.path_cache.insert(key, p.clone());
+        p
+    }
+
+    /// Injects a probe at virtual time `now_us`; returns the response
+    /// delivery, if any.
+    pub fn inject(&mut self, wire: &[u8], now_us: u64) -> Option<Delivery> {
+        self.stats.probes += 1;
+        let Some(hdr) = Ipv6Header::decode(wire) else {
+            self.stats.malformed += 1;
+            return None;
+        };
+        let Some(vidx) = self
+            .topo
+            .vantages
+            .iter()
+            .position(|v| v.addr == hdr.src)
+            .map(|i| i as u8)
+        else {
+            self.stats.malformed += 1;
+            return None;
+        };
+
+        // Flow key from the transport header.
+        let body = &wire[ip6::HEADER_LEN.min(wire.len())..];
+        let (sport, dport) = match hdr.next_header {
+            proto_num::TCP | proto_num::UDP if body.len() >= 4 => (
+                u16::from_be_bytes([body[0], body[1]]),
+                u16::from_be_bytes([body[2], body[3]]),
+            ),
+            proto_num::ICMP6 if body.len() >= 8 => (
+                u16::from_be_bytes([body[4], body[5]]),
+                u16::from_be_bytes([body[6], body[7]]),
+            ),
+            _ => {
+                self.stats.malformed += 1;
+                return None;
+            }
+        };
+        let fk = FlowKey {
+            src: hdr.src,
+            dst: hdr.dst,
+            flow_label: hdr.flow_label,
+            proto: hdr.next_header,
+            sport,
+            dport,
+        };
+        let flow_hash = fk.hash();
+        let path = self.resolve_path(vidx, hdr.dst, flow_hash);
+        let vaddr = self.topo.vantages[vidx as usize].addr;
+        let is_icmp = hdr.next_header == proto_num::ICMP6;
+        let dst_word = u128::from(hdr.dst);
+        let ttl = hdr.hop_limit as usize;
+
+        // Transit loss applies to every probe (hash-keyed, deterministic).
+        let loss_key = flow::mix2(flow::mix2(dst_word as u64, (dst_word >> 64) as u64), (hdr.hop_limit as u64) << 32 | 0x1055);
+        if flow::draw_milli(loss_key, self.topo.config.loss_milli) {
+            self.stats.lost += 1;
+            return None;
+        }
+
+        // Destination-AS firewall eats UDP/TCP probes traveling past it.
+        if let (Some(f), false) = (path.firewall_hop, is_icmp) {
+            if ttl > f as usize + 1 {
+                self.stats.fw_dropped += 1;
+                // Firewalls mostly drop silently; a minority emit
+                // admin-prohibited, rate limited like any other error.
+                if !flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0xf1a3), 250) {
+                    return None;
+                }
+                let router = path.hops[f as usize];
+                let prev = prev_hop_key(&path.hops, f as usize, vidx);
+                return self.router_error(
+                    router,
+                    prev,
+                    vaddr,
+                    Icmp6Type::DestUnreachable(DestUnreachCode::AdminProhibited),
+                    wire,
+                    now_us,
+                    f as usize + 1,
+                );
+            }
+        }
+
+        if ttl <= path.len() {
+            // Expires in transit at hops[ttl-1].
+            if self.topo.config.vantage_silent_hop == Some((vidx, hdr.hop_limit)) {
+                self.stats.silent_router += 1;
+                return None;
+            }
+            let router = path.hops[ttl - 1];
+            let info = &self.topo.routers[router.0 as usize];
+            if !info.responsive || (info.icmp_only && !is_icmp) {
+                self.stats.silent_router += 1;
+                return None;
+            }
+            let prev = prev_hop_key(&path.hops, ttl - 1, vidx);
+            return self
+                .router_error(router, prev, vaddr, Icmp6Type::TimeExceeded, wire, now_us, ttl)
+                .inspect(|_| self.stats.time_exceeded += 1)
+                .or_else(|| {
+                    self.stats.rate_limited += 1;
+                    None
+                });
+        }
+
+        // Reached the destination zone.
+        let cfg = &self.topo.config;
+        let hops = path.len();
+
+        // Direct probes to a *router interface* (alias-resolution
+        // probing): the router answers echoes itself; oversized echoes
+        // force fragmentation and expose the shared identification
+        // counter.
+        if let Some(rid) = self.topo.router_by_iface(hdr.dst) {
+            let info = &self.topo.routers[rid.0 as usize];
+            if !info.responsive {
+                self.stats.silent_router += 1;
+                return None;
+            }
+            if !is_icmp {
+                // Routers drop unsolicited TCP/UDP to their interfaces.
+                self.stats.dest_silent += 1;
+                return None;
+            }
+            let data = &body[8..];
+            // The reply's source is the probed interface itself.
+            if data.len() >= 1000 {
+                let id = self.frag_counters[rid.0 as usize];
+                self.frag_counters[rid.0 as usize] = id.wrapping_add(1);
+                self.stats.frag_echo_replies += 1;
+                let bytes = v6packet::frag::build_fragmented_echo_reply(
+                    hdr.dst, vaddr, sport, dport, data, 64, id,
+                );
+                return Some(self.deliver(bytes, now_us, hops + 1, dst_word));
+            }
+            self.stats.echo_replies += 1;
+            let bytes = icmp6::build_echo_reply(hdr.dst, vaddr, sport, dport, data, 64);
+            return Some(self.deliver(bytes, now_us, hops + 1, dst_word));
+        }
+
+        match path.dest {
+            DestEntry::Host(kind) => {
+                let silent_milli = if kind == HostKind::Client {
+                    cfg.client_silent_milli
+                } else {
+                    cfg.host_fw_milli
+                };
+                if flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0xf00d), silent_milli) {
+                    self.stats.dest_silent += 1;
+                    return None;
+                }
+                match hdr.next_header {
+                    proto_num::ICMP6 => {
+                        self.stats.echo_replies += 1;
+                        let data = &body[8..];
+                        let bytes = icmp6::build_echo_reply(hdr.dst, vaddr, sport, dport, data, 64);
+                        Some(self.deliver(bytes, now_us, hops + 1, dst_word))
+                    }
+                    proto_num::UDP => {
+                        // No listener on the probe port: port unreachable
+                        // from the host itself.
+                        self.stats.du_port += 1;
+                        let bytes = icmp6::build_error(
+                            hdr.dst,
+                            vaddr,
+                            Icmp6Type::DestUnreachable(DestUnreachCode::PortUnreachable),
+                            wire,
+                            64,
+                        );
+                        Some(self.deliver(bytes, now_us, hops + 1, dst_word))
+                    }
+                    _ => {
+                        self.stats.tcp_responses += 1;
+                        let bytes = tcp::build_response(
+                            hdr.dst,
+                            vaddr,
+                            dport,
+                            sport,
+                            tcp::flags::RST | tcp::flags::ACK,
+                            64,
+                        );
+                        Some(self.deliver(bytes, now_us, hops + 1, dst_word))
+                    }
+                }
+            }
+            DestEntry::NoHost { responder } => {
+                let prev = prev_hop_key(&path.hops, path.hops.len(), vidx);
+                self.dest_policy_response(responder, prev, vaddr, wire, now_us, hops, cfg.nohost_du_milli, dst_word)
+            }
+            DestEntry::NoSubnet { responder } => {
+                let prev = prev_hop_key(&path.hops, path.hops.len(), vidx);
+                self.dest_policy_response(responder, prev, vaddr, wire, now_us, hops, cfg.nosubnet_du_milli, dst_word)
+            }
+            DestEntry::Unrouted { responder } => {
+                if !flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0x2042), cfg.noroute_du_milli) {
+                    self.stats.dest_silent += 1;
+                    return None;
+                }
+                let prev = prev_hop_key(&path.hops, path.hops.len(), vidx);
+                let r = self.router_error(
+                    responder,
+                    prev,
+                    vaddr,
+                    Icmp6Type::DestUnreachable(DestUnreachCode::NoRoute),
+                    wire,
+                    now_us,
+                    hops,
+                );
+                if r.is_some() {
+                    self.stats.du_no_route += 1;
+                } else {
+                    self.stats.rate_limited += 1;
+                }
+                r
+            }
+        }
+    }
+
+    /// Destination-zone policy response for unassigned space.
+    #[allow(clippy::too_many_arguments)]
+    fn dest_policy_response(
+        &mut self,
+        responder: RouterId,
+        prev_key: u64,
+        vaddr: std::net::Ipv6Addr,
+        wire: &[u8],
+        now_us: u64,
+        hops: usize,
+        du_milli: u32,
+        dst_word: u128,
+    ) -> Option<Delivery> {
+        if !flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0xdead), du_milli) {
+            self.stats.dest_silent += 1;
+            return None;
+        }
+        let as_idx = self.topo.routers[responder.0 as usize].as_idx;
+        let code = match self.topo.ases[as_idx as usize].unknown_policy {
+            UnknownAddrPolicy::AddrUnreachable => DestUnreachCode::AddrUnreachable,
+            UnknownAddrPolicy::AdminProhibited => DestUnreachCode::AdminProhibited,
+            UnknownAddrPolicy::RejectRoute => DestUnreachCode::RejectRoute,
+            UnknownAddrPolicy::Silent => {
+                self.stats.dest_silent += 1;
+                return None;
+            }
+        };
+        let r = self.router_error(
+            responder,
+            prev_key,
+            vaddr,
+            Icmp6Type::DestUnreachable(code),
+            wire,
+            now_us,
+            hops,
+        );
+        if r.is_some() {
+            match code {
+                DestUnreachCode::AddrUnreachable => self.stats.du_addr += 1,
+                DestUnreachCode::AdminProhibited => self.stats.du_admin += 1,
+                DestUnreachCode::RejectRoute => self.stats.du_reject += 1,
+                _ => {}
+            }
+        } else {
+            self.stats.rate_limited += 1;
+        }
+        r
+    }
+
+    /// Emits an ICMPv6 error from `router` if its token bucket allows;
+    /// `hop_count` scales the RTT.
+    #[allow(clippy::too_many_arguments)]
+    fn router_error(
+        &mut self,
+        router: RouterId,
+        prev_key: u64,
+        vaddr: std::net::Ipv6Addr,
+        ty: Icmp6Type,
+        wire: &[u8],
+        now_us: u64,
+        hop_count: usize,
+    ) -> Option<Delivery> {
+        let info = &self.topo.routers[router.0 as usize];
+        if !info.responsive {
+            self.stats.silent_router += 1;
+            return None;
+        }
+        if !self.buckets[router.0 as usize].try_consume(now_us) {
+            return None;
+        }
+        // Quote the packet as the router saw it: hop limit exhausted.
+        let mut quoted = wire.to_vec();
+        if ty == Icmp6Type::TimeExceeded {
+            quoted[7] = 0;
+        }
+        // Interior routers of a middlebox-fronted AS saw a *rewritten*
+        // destination; their quotations carry it. The prober's target
+        // checksum (in the source port / ICMPv6 id) is how this
+        // tampering is detected (paper §4.1).
+        if self.topo.ases[info.as_idx as usize].middlebox
+            && info.role != crate::topology::RouterRole::Border
+        {
+            quoted[39] ^= 0x40;
+            self.stats.rewritten_quotes += 1;
+        }
+        // The source address depends on the arrival direction: multi-
+        // interface routers answer from the interface facing the probe.
+        let addr = info.response_addr(router, prev_key);
+        let bytes = icmp6::build_error(addr, vaddr, ty, &quoted, 64);
+        let dst_word = u128::from(Ipv6Header::decode(wire).map(|h| h.dst).unwrap_or(addr));
+        Some(self.deliver(bytes, now_us, hop_count, dst_word))
+    }
+
+    fn deliver(&self, bytes: Vec<u8>, now_us: u64, hop_count: usize, key: u128) -> Delivery {
+        let lat = self.topo.config.hop_latency_us;
+        let oneway = hop_count as u64 * lat + flow::jitter_us(flow::mix128(key), lat);
+        Delivery {
+            at_us: now_us + 2 * oneway,
+            bytes,
+        }
+    }
+}
+
+/// Direction key for the hop at `idx` in `hops`: the previous router's
+/// id, or a vantage marker for the first hop.
+fn prev_hop_key(hops: &[RouterId], idx: usize, vidx: u8) -> u64 {
+    if idx == 0 || hops.is_empty() {
+        0xface_0000 + vidx as u64
+    } else {
+        let i = idx.min(hops.len()) - 1;
+        hops[i].0 as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopologyConfig;
+    use crate::generate::generate;
+    use v6packet::probe::{decode_quotation, ProbeSpec, Protocol};
+
+    fn engine() -> Engine {
+        Engine::new(Arc::new(generate(TopologyConfig::tiny(42))))
+    }
+
+    fn spec(e: &Engine, target: std::net::Ipv6Addr, ttl: u8, proto: Protocol) -> ProbeSpec {
+        ProbeSpec {
+            src: e.topology().vantages[0].addr,
+            target,
+            protocol: proto,
+            ttl,
+            instance: 1,
+            elapsed_us: 0,
+        }
+    }
+
+    #[test]
+    fn hop1_time_exceeded_roundtrip() {
+        let mut e = engine();
+        let (host, _) = e.topology().hosts().next().unwrap();
+        let s = spec(&e, host, 1, Protocol::Icmp6);
+        let d = e.inject(&s.build(), 0).expect("hop 1 must answer at t=0");
+        assert!(d.at_us > 0);
+        let (outer, msg) = icmp6::parse(&d.bytes).unwrap();
+        assert_eq!(msg.ty, Icmp6Type::TimeExceeded);
+        // First hop is the first on-prem router.
+        let first = e.topology().vantages[0].onprem[0];
+        assert_eq!(outer.src, e.topology().routers[first.0 as usize].addr);
+        let dec = decode_quotation(&msg.body).unwrap();
+        assert_eq!(dec.target, host);
+        assert_eq!(dec.ttl, 1);
+        assert!(dec.target_cksum_ok);
+    }
+
+    #[test]
+    fn full_trace_reaches_host() {
+        let mut e = engine();
+        // Find a non-client host (clients are mostly firewalled).
+        let (host, _) = e
+            .topology()
+            .hosts()
+            .find(|(_, k)| *k == HostKind::Server)
+            .unwrap();
+        let mut reached = false;
+        for ttl in 1..=32u8 {
+            let s = spec(&e, host, ttl, Protocol::Icmp6);
+            if let Some(d) = e.inject(&s.build(), ttl as u64 * 100_000) {
+                if let Some((outer, msg)) = icmp6::parse(&d.bytes) {
+                    if msg.ty == Icmp6Type::EchoReply {
+                        assert_eq!(outer.src, host);
+                        reached = true;
+                    }
+                }
+            }
+        }
+        // Host firewalls are hash-keyed; most Server hosts respond. If
+        // this specific host is firewalled the test would be vacuous, so
+        // assert via stats instead: either reached or dest_silent.
+        assert!(reached || e.stats.dest_silent > 0);
+    }
+
+    #[test]
+    fn udp_to_host_yields_port_unreachable() {
+        let mut e = engine();
+        // Pick a server in a non-firewalling AS.
+        let topo = e.topology().clone();
+        let target = topo
+            .hosts()
+            .find(|(a, k)| {
+                *k == HostKind::Server
+                    && topo
+                        .bgp
+                        .origin(*a)
+                        .and_then(|asn| topo.as_by_asn(asn))
+                        .map(|i| !topo.ases[i as usize].fw_blocks_udp_tcp)
+                        .unwrap_or(false)
+                    && !flow::draw_milli(
+                        flow::mix2(flow::mix128(u128::from(*a)), 0xf00d),
+                        topo.config.host_fw_milli,
+                    )
+            })
+            .map(|(a, _)| a)
+            .expect("an unfirewalled server must exist");
+        let mut got_port_unreach = false;
+        for ttl in 1..=32u8 {
+            let s = spec(&e, target, ttl, Protocol::Udp);
+            if let Some(d) = e.inject(&s.build(), ttl as u64 * 100_000) {
+                if let Some((outer, msg)) = icmp6::parse(&d.bytes) {
+                    if msg.ty == Icmp6Type::DestUnreachable(DestUnreachCode::PortUnreachable) {
+                        assert_eq!(outer.src, target);
+                        let dec = decode_quotation(&msg.body).unwrap();
+                        assert_eq!(dec.target, target);
+                        got_port_unreach = true;
+                    }
+                }
+            }
+        }
+        assert!(got_port_unreach);
+    }
+
+    #[test]
+    fn rate_limiting_suppresses_bursts() {
+        let mut e = engine();
+        let (host, _) = e.topology().hosts().next().unwrap();
+        // Hammer hop 1 with TTL-1 probes at effectively infinite rate.
+        let mut answered = 0;
+        let n = 1_000;
+        for i in 0..n {
+            let s = spec(&e, host, 1, Protocol::Icmp6);
+            if e.inject(&s.build(), i as u64).is_some() {
+                answered += 1;
+            }
+        }
+        assert!(answered < n / 2, "rate limiting must bite: {answered}/{n}");
+        assert!(e.stats.rate_limited > 0);
+        // The same burst spread over several virtual minutes succeeds.
+        e.reset();
+        let mut answered_slow = 0;
+        for i in 0..200u64 {
+            let s = spec(&e, host, 1, Protocol::Icmp6);
+            if e.inject(&s.build(), i * 50_000).is_some() {
+                answered_slow += 1;
+            }
+        }
+        assert!(answered_slow >= 190, "slow probing mostly answered: {answered_slow}");
+    }
+
+    #[test]
+    fn responses_arrive_later_for_farther_hops() {
+        let mut e = engine();
+        let (host, _) = e.topology().hosts().next().unwrap();
+        let d1 = e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 0)
+            .unwrap();
+        // TTL 3 is still on-prem+border, always present.
+        let d3 = e
+            .inject(&spec(&e, host, 3, Protocol::Icmp6).build(), 0)
+            .unwrap();
+        assert!(d3.at_us > d1.at_us);
+    }
+
+    #[test]
+    fn stats_account_for_every_probe() {
+        let mut e = engine();
+        let topo = e.topology().clone();
+        let mut n = 0u64;
+        for (host, _) in topo.hosts().take(50) {
+            for ttl in 1..=20u8 {
+                let s = spec(&e, host, ttl, Protocol::Icmp6);
+                e.inject(&s.build(), n * 1_000);
+                n += 1;
+            }
+        }
+        let s = e.stats;
+        assert_eq!(s.probes, n);
+        let accounted = s.responses()
+            + s.lost
+            + s.rate_limited
+            + s.silent_router
+            + s.dest_silent
+            + s.malformed;
+        // fw_dropped probes may still produce an admin-prohibited reply
+        // (counted in responses) or be rate-limited; they are not a
+        // disjoint outcome, so accounted >= probes - fw_dropped overlap.
+        assert!(
+            accounted >= s.probes,
+            "unaccounted probes: {} < {}",
+            accounted,
+            s.probes
+        );
+    }
+
+    #[test]
+    fn icmp_penetrates_firewalled_ases_deeper_than_udp() {
+        let mut e = engine();
+        let topo = e.topology().clone();
+        let fw_as = topo
+            .ases
+            .iter()
+            .position(|a| a.fw_blocks_udp_tcp && a.subnet_root.is_some())
+            .expect("firewalled stub with subnets") as u32;
+        // A host inside the firewalled AS.
+        let target = topo
+            .hosts()
+            .find(|(a, _)| {
+                topo.bgp
+                    .origin(*a)
+                    .and_then(|x| topo.as_by_asn(x))
+                    == Some(fw_as)
+            })
+            .map(|(a, _)| a)
+            .expect("host in firewalled AS");
+        let mut icmp_hops = std::collections::HashSet::new();
+        let mut udp_hops = std::collections::HashSet::new();
+        for ttl in 1..=24u8 {
+            let t = ttl as u64 * 200_000;
+            if let Some(d) = e.inject(&spec(&e, target, ttl, Protocol::Icmp6).build(), t) {
+                if let Some((outer, msg)) = icmp6::parse(&d.bytes) {
+                    if msg.ty == Icmp6Type::TimeExceeded {
+                        icmp_hops.insert(outer.src);
+                    }
+                }
+            }
+            if let Some(d) = e.inject(&spec(&e, target, ttl, Protocol::Udp).build(), t + 50_000) {
+                if let Some((outer, msg)) = icmp6::parse(&d.bytes) {
+                    if msg.ty == Icmp6Type::TimeExceeded {
+                        udp_hops.insert(outer.src);
+                    }
+                }
+            }
+        }
+        assert!(
+            icmp_hops.len() > udp_hops.len(),
+            "icmp {} <= udp {}",
+            icmp_hops.len(),
+            udp_hops.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod middlebox_tests {
+    use super::*;
+    use crate::config::TopologyConfig;
+    use crate::generate::generate;
+    use crate::topology::AsTier;
+    use v6packet::probe::{decode_quotation, ProbeSpec, Protocol};
+
+    /// Probes into a middlebox-fronted AS produce quotations whose
+    /// destination fails the target checksum — and only those.
+    #[test]
+    fn middlebox_rewrites_are_detectable() {
+        let mut cfg = TopologyConfig::tiny(42);
+        cfg.middlebox_milli = 400; // make boxes common for the test
+        let topo = std::sync::Arc::new(generate(cfg));
+        let mb_as = topo
+            .ases
+            .iter()
+            .position(|a| a.middlebox && matches!(a.tier, AsTier::Stub) && a.subnet_root.is_some())
+            .expect("a middlebox stub must exist at 40%") as u32;
+        let target = topo
+            .hosts()
+            .find(|(a, _)| {
+                topo.bgp
+                    .origin(*a)
+                    .and_then(|x| topo.as_by_asn(x))
+                    == Some(mb_as)
+            })
+            .map(|(a, _)| a)
+            .expect("host in middlebox AS");
+        let mut e = Engine::new(topo.clone());
+        let mut saw_rewrite = false;
+        let mut saw_clean = false;
+        for ttl in 1..=24u8 {
+            let spec = ProbeSpec {
+                src: topo.vantages[1].addr,
+                target,
+                protocol: Protocol::Icmp6,
+                ttl,
+                instance: 1,
+                elapsed_us: 0,
+            };
+            if let Some(d) = e.inject(&spec.build(), ttl as u64 * 200_000) {
+                if let Some((_, msg)) = v6packet::icmp6::parse(&d.bytes) {
+                    if msg.ty == v6packet::icmp6::Icmp6Type::TimeExceeded {
+                        let dec = decode_quotation(&msg.body).unwrap();
+                        if dec.target_cksum_ok {
+                            saw_clean = true; // transit hops before the box
+                        } else {
+                            saw_rewrite = true; // interior hops behind it
+                            assert_ne!(dec.target, target);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(saw_clean, "transit quotations must stay clean");
+        assert!(saw_rewrite, "interior quotations must be rewritten");
+        assert!(e.stats.rewritten_quotes > 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! The generated Internet: ASes, routers, subnet plans, hosts, vantages.
+//!
+//! All entities live in flat arenas indexed by small integer ids, keeping
+//! the structure compact and the generation deterministic. Ground truth —
+//! the exact subnet plan and host population — is queryable for the §6
+//! validation experiments, but the probing engine only ever reveals it
+//! through packets.
+
+use crate::config::TopologyConfig;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv6Addr;
+use v6addr::{Asn, BgpTable, Ipv6Prefix, PrefixTrie};
+
+/// Index into [`Topology::ases`].
+pub type AsIdx = u32;
+
+/// Index into [`Topology::routers`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RouterId(pub u32);
+
+/// Index into [`Topology::subnets`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubnetId(pub u32);
+
+/// One of the three probing vantage points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VantageId(pub u8);
+
+/// AS role in the transit hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AsTier {
+    /// Default-free clique member.
+    Tier1,
+    /// Regional transit.
+    Tier2,
+    /// The high-centrality peering hub (Hurricane Electric analogue).
+    Hub,
+    /// Edge/stub enterprise network.
+    Stub,
+    /// Residential ISP with CPE subscribers; payload is the index into
+    /// `TopologyConfig::cpe_isps`.
+    CpeIsp(u8),
+}
+
+/// How a stub answers probes to covered-but-unassigned addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnknownAddrPolicy {
+    /// ICMPv6 address unreachable (code 3).
+    AddrUnreachable,
+    /// ICMPv6 administratively prohibited (code 1).
+    AdminProhibited,
+    /// ICMPv6 reject route (code 6).
+    RejectRoute,
+    /// Silent drop.
+    Silent,
+}
+
+/// One autonomous system.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The (primary) AS number.
+    pub asn: Asn,
+    /// Role in the hierarchy.
+    pub tier: AsTier,
+    /// Prefixes announced into BGP.
+    pub prefixes: Vec<Ipv6Prefix>,
+    /// Router-infrastructure prefix. May be *unannounced* (see
+    /// [`AsInfo::infra_announced`]) — the §6 record-keeping complication.
+    pub infra_prefix: Ipv6Prefix,
+    /// Whether the infra prefix is visible in BGP.
+    pub infra_announced: bool,
+    /// A sibling ASN used to originate customer prefixes, if any — the
+    /// §6 "equivalent ASN" complication.
+    pub sibling_asn: Option<Asn>,
+    /// Entry (border) router.
+    pub border: RouterId,
+    /// Second border for ECMP entry, if the AS load-balances.
+    pub border2: Option<RouterId>,
+    /// Backbone routers crossed when transiting this AS.
+    pub core: Vec<RouterId>,
+    /// Adjacent ASes (undirected graph).
+    pub neighbors: Vec<AsIdx>,
+    /// Root of this AS's subnet plan, if it hosts subnets.
+    pub subnet_root: Option<SubnetId>,
+    /// Border firewall drops UDP/TCP probes toward end hosts.
+    pub fw_blocks_udp_tcp: bool,
+    /// Response policy for covered-but-unassigned addresses.
+    pub unknown_policy: UnknownAddrPolicy,
+    /// An NPTv6-style middlebox rewrites inbound destinations (flips a
+    /// low IID bit) before packets traverse this AS's interior.
+    pub middlebox: bool,
+}
+
+/// Router role (determines its response-address style).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouterRole {
+    /// AS backbone.
+    Core,
+    /// AS border.
+    Border,
+    /// Intermediate distribution/aggregation router.
+    Distribution,
+    /// /64 LAN gateway (responds from `prefix::1` — IA-hack visible).
+    LanGateway,
+    /// Subscriber CPE (responds from an EUI-64 address).
+    Cpe,
+}
+
+/// One router we may hear from. A physical router owns one or more
+/// interface addresses; which one sources an ICMPv6 error depends on the
+/// direction the probe arrived from — the reason *alias resolution*
+/// (grouping interfaces back into routers) is its own research problem,
+/// and the per-router fragment-identification counter is the signal
+/// speedtrap-style resolution exploits.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouterInfo {
+    /// Primary interface address (always present).
+    pub addr: Ipv6Addr,
+    /// Additional interface addresses (aliases of this router).
+    pub alt_addrs: Vec<Ipv6Addr>,
+    /// Owning AS.
+    pub as_idx: AsIdx,
+    /// Role.
+    pub role: RouterRole,
+    /// Uses the aggressive rate-limit class.
+    pub aggressive_rl: bool,
+    /// Never originates ICMPv6 errors (silent hop).
+    pub responsive: bool,
+    /// Responds only to ICMPv6 probes (the §4.2 stateful-security hop).
+    pub icmp_only: bool,
+}
+
+impl RouterInfo {
+    /// The interface address used when answering a probe that arrived
+    /// from `prev` (a stable per-direction choice).
+    pub fn response_addr(&self, router_id: RouterId, prev: u64) -> Ipv6Addr {
+        if self.alt_addrs.is_empty() {
+            return self.addr;
+        }
+        let n = self.alt_addrs.len() + 1;
+        let pick = crate::flow::mix2(router_id.0 as u64, prev) as usize % n;
+        if pick == 0 {
+            self.addr
+        } else {
+            self.alt_addrs[pick - 1]
+        }
+    }
+
+    /// All interface addresses of this router.
+    pub fn all_addrs(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        std::iter::once(self.addr).chain(self.alt_addrs.iter().copied())
+    }
+}
+
+/// Subnet-plan node kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubnetKind {
+    /// Interior distribution subnet with a city-level location — the §6
+    /// ground truth granularity.
+    Distribution {
+        /// Synthetic city identifier.
+        city: u16,
+    },
+    /// Active /64 LAN with hosts.
+    Lan,
+    /// Residential subscriber delegation (IA), /56 or /64.
+    CpeDelegation {
+        /// Has an active WWW client (visible to the CDN seed).
+        active_client: bool,
+    },
+}
+
+/// One node in an AS's subnet plan.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubnetNode {
+    /// Covered prefix.
+    pub prefix: Ipv6Prefix,
+    /// Gateway / distribution router for this node — the hop a trace
+    /// crosses when descending into the subnet.
+    pub router: RouterId,
+    /// Parent node (None at the AS's plan root).
+    pub parent: Option<SubnetId>,
+    /// Owning AS.
+    pub as_idx: AsIdx,
+    /// Node kind.
+    pub kind: SubnetKind,
+}
+
+/// Host address classes (drives IID synthesis and seed visibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostKind {
+    /// Manually numbered server (low-byte IID); likely in forward DNS.
+    Server,
+    /// SLAAC with EUI-64 IID.
+    Slaac,
+    /// SLAAC privacy (random IID).
+    Privacy,
+    /// Residential WWW client (random IID, inside a CPE delegation);
+    /// visible only to the CDN.
+    Client,
+}
+
+/// A probing vantage point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Vantage {
+    /// Identifier (index).
+    pub id: VantageId,
+    /// Display name (EU-NET, US-EDU-1, US-EDU-2).
+    pub name: String,
+    /// Probe source address.
+    pub addr: Ipv6Addr,
+    /// Hosting AS.
+    pub as_idx: AsIdx,
+    /// On-premises router chain crossed before the AS border.
+    pub onprem: Vec<RouterId>,
+}
+
+/// A fully generated synthetic Internet.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Generation parameters.
+    pub config: TopologyConfig,
+    /// All ASes.
+    pub ases: Vec<AsInfo>,
+    /// The global routing table (announced prefixes only).
+    pub bgp: BgpTable,
+    /// All router interfaces.
+    pub routers: Vec<RouterInfo>,
+    /// All subnet-plan nodes.
+    pub subnets: Vec<SubnetNode>,
+    /// Most-specific active subnet per address.
+    pub subnet_trie: PrefixTrie<SubnetId>,
+    /// Sorted host address words (for existence checks).
+    pub host_words: Vec<u128>,
+    /// Parallel to `host_words`: the host's class.
+    pub host_kinds: Vec<HostKind>,
+    /// The three vantages.
+    pub vantages: Vec<Vantage>,
+    /// BFS parent array per vantage over the AS graph
+    /// (`as_parents[v][a]` = previous AS on the path from vantage `v`'s AS
+    /// to AS `a`, or `u32::MAX` if unreachable/self).
+    pub(crate) as_parents: Vec<Vec<AsIdx>>,
+    /// Registry-only (unannounced) infra prefixes: the §6 augmentation.
+    pub rir_extra: Vec<(Ipv6Prefix, Asn)>,
+    /// Declared sibling-ASN pairs: the §6 equivalence augmentation.
+    pub asn_equivalences: Vec<(Asn, Asn)>,
+    /// ASN (including siblings) → owning AS index.
+    pub(crate) asn_index: std::collections::HashMap<u32, AsIdx>,
+    /// Interface address → owning router (for direct-probing lookups).
+    pub(crate) iface_index: std::collections::HashMap<u128, RouterId>,
+}
+
+impl Topology {
+    /// Does a host exist at `addr`?
+    pub fn host_exists(&self, addr: Ipv6Addr) -> bool {
+        self.host_words.binary_search(&u128::from(addr)).is_ok()
+    }
+
+    /// The host's class, if one exists at `addr`.
+    pub fn host_kind(&self, addr: Ipv6Addr) -> Option<HostKind> {
+        self.host_words
+            .binary_search(&u128::from(addr))
+            .ok()
+            .map(|i| self.host_kinds[i])
+    }
+
+    /// Iterates `(address, kind)` over the full host population.
+    pub fn hosts(&self) -> impl Iterator<Item = (Ipv6Addr, HostKind)> + '_ {
+        self.host_words
+            .iter()
+            .zip(&self.host_kinds)
+            .map(|(&w, &k)| (Ipv6Addr::from(w), k))
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.host_words.len()
+    }
+
+    /// All router response addresses (every interface of every router) —
+    /// the discovery *ceiling* any campaign can reach.
+    pub fn router_addrs(&self) -> impl Iterator<Item = Ipv6Addr> + '_ {
+        self.routers.iter().flat_map(|r| r.all_addrs())
+    }
+
+    /// The router owning interface address `addr`, if any.
+    pub fn router_by_iface(&self, addr: Ipv6Addr) -> Option<RouterId> {
+        self.iface_index.get(&u128::from(addr)).copied()
+    }
+
+    /// Ground-truth alias groups: for each router with more than one
+    /// interface, its full address set (the speedtrap validation target).
+    pub fn ground_truth_aliases(&self) -> Vec<Vec<Ipv6Addr>> {
+        self.routers
+            .iter()
+            .filter(|r| !r.alt_addrs.is_empty())
+            .map(|r| r.all_addrs().collect())
+            .collect()
+    }
+
+    /// Ground-truth interior ("distribution") subnets with city labels,
+    /// for §6 validation.
+    pub fn ground_truth_distribution_subnets(&self) -> Vec<(Ipv6Prefix, u16, Asn)> {
+        self.subnets
+            .iter()
+            .filter_map(|s| match s.kind {
+                SubnetKind::Distribution { city } => {
+                    Some((s.prefix, city, self.ases[s.as_idx as usize].asn))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ground-truth active client /64s (for the CDN seed and kIP), as the
+    /// covering /64 of each active subscriber delegation.
+    pub fn active_client_64s(&self) -> Vec<Ipv6Prefix> {
+        self.hosts()
+            .filter(|(_, k)| *k == HostKind::Client)
+            .map(|(a, _)| Ipv6Prefix::truncating(a, 64))
+            .collect()
+    }
+
+    /// Resolves the vantage whose source address is `addr`.
+    pub fn vantage_by_addr(&self, addr: Ipv6Addr) -> Option<&Vantage> {
+        self.vantages.iter().find(|v| v.addr == addr)
+    }
+
+    /// The AS that owns `asn` (primary or sibling).
+    pub fn as_by_asn(&self, asn: Asn) -> Option<AsIdx> {
+        self.asn_index.get(&asn.0).copied()
+    }
+
+    /// The AS hosting `router`.
+    pub fn router_as(&self, router: RouterId) -> &AsInfo {
+        &self.ases[self.routers[router.0 as usize].as_idx as usize]
+    }
+
+    /// Origin ASN of an address under the *augmented* view: BGP plus
+    /// registry-only infra prefixes. Mirrors what the paper's analysis
+    /// does when a hop address is not covered by BGP.
+    pub fn origin_augmented(&self, addr: Ipv6Addr) -> Option<Asn> {
+        if let Some(asn) = self.bgp.origin(addr) {
+            return Some(asn);
+        }
+        self.rir_extra
+            .iter()
+            .find(|(p, _)| p.contains_addr(addr))
+            .map(|&(_, a)| a)
+    }
+
+    /// The subnet chain (root → … → most-specific) covering `addr` inside
+    /// its AS's plan, if any.
+    pub fn subnet_chain(&self, addr: Ipv6Addr) -> Vec<SubnetId> {
+        let Some((_, &leaf)) = self.subnet_trie.longest_match(addr) else {
+            return Vec::new();
+        };
+        let mut chain = vec![leaf];
+        let mut cur = leaf;
+        while let Some(parent) = self.subnets[cur.0 as usize].parent {
+            chain.push(parent);
+            cur = parent;
+        }
+        chain.reverse();
+        chain
+    }
+}

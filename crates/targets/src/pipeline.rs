@@ -1,0 +1,130 @@
+//! End-to-end target catalog: the 18 target sets (9 sources × z48/z64)
+//! that the paper's campaigns probe (Table 5 / Table 7 row space).
+
+use crate::synthesize::{synthesize, IidStrategy};
+use crate::transform::zn;
+use crate::TargetSet;
+use seeds::sources::SeedCatalog;
+
+/// All generated target sets, in table order.
+#[derive(Clone, Debug)]
+pub struct TargetCatalog {
+    /// `(source-name, aggregation)` → target set; aggregation ∈ {48, 64}.
+    pub sets: Vec<TargetSet>,
+}
+
+/// Sources excluded from the exclusivity basis (supersets of others).
+const NON_INDEPENDENT: [&str; 3] = ["tum", "combined", "random"];
+
+impl TargetCatalog {
+    /// Builds every `(source, zn)` combination with the given synthesis
+    /// strategy (campaigns use `fixediid`).
+    pub fn build(catalog: &SeedCatalog, strategy: IidStrategy) -> Self {
+        let mut sets = Vec::new();
+        let mut named = catalog.named();
+        named.push(("combined", &catalog.combined));
+        for (name, list) in named {
+            for n in [48u8, 64] {
+                let prefixes = zn(list, n);
+                sets.push(synthesize(format!("{name}-z{n}"), &prefixes, strategy));
+            }
+        }
+        TargetCatalog { sets }
+    }
+
+    /// Looks a set up by full name (e.g. `"cdn-k32-z64"`).
+    pub fn get(&self, name: &str) -> Option<&TargetSet> {
+        self.sets.iter().find(|s| s.name == name)
+    }
+
+    /// Indices of the independent sets (the Table 5 exclusivity basis:
+    /// everything except TUM, Combined and the random control).
+    pub fn independent_indices(&self) -> Vec<usize> {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                !NON_INDEPENDENT
+                    .iter()
+                    .any(|ni| s.name.starts_with(ni))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All sets as `(name, &set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TargetSet)> {
+        self.sets.iter().map(|s| (s.name.as_str(), s))
+    }
+
+    /// Only the z64 sets (the Fig 3 / Fig 7 slice).
+    pub fn z64_sets(&self) -> Vec<&TargetSet> {
+        self.sets
+            .iter()
+            .filter(|s| s.name.ends_with("-z64"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::config::TopologyConfig;
+    use simnet::generate::generate;
+
+    fn catalog() -> TargetCatalog {
+        let topo = generate(TopologyConfig::tiny(42));
+        let seeds = SeedCatalog::synthesize(&topo, 99);
+        TargetCatalog::build(&seeds, IidStrategy::FixedIid)
+    }
+
+    #[test]
+    fn twenty_sets_built() {
+        let c = catalog();
+        assert_eq!(c.sets.len(), 20); // 10 sources × 2 aggregations
+        assert!(c.get("caida-z64").is_some());
+        assert!(c.get("cdn-k32-z48").is_some());
+        assert!(c.get("combined-z64").is_some());
+        assert!(c.get("nope").is_none());
+    }
+
+    #[test]
+    fn z64_at_least_as_large_as_z48() {
+        let c = catalog();
+        for src in ["caida", "fdns", "fiebig", "cdn-k32"] {
+            let z48 = c.get(&format!("{src}-z48")).unwrap().len();
+            let z64 = c.get(&format!("{src}-z64")).unwrap().len();
+            assert!(z64 >= z48, "{src}: z64 {z64} < z48 {z48}");
+        }
+    }
+
+    #[test]
+    fn independent_basis_excludes_supersets() {
+        let c = catalog();
+        let ind = c.independent_indices();
+        assert_eq!(ind.len(), 14); // 7 independent sources × 2
+        for &i in &ind {
+            let n = &c.sets[i].name;
+            assert!(!n.starts_with("tum") && !n.starts_with("combined") && !n.starts_with("random"));
+        }
+    }
+
+    #[test]
+    fn all_targets_have_fixed_iid() {
+        let c = catalog();
+        for (_, set) in c.iter() {
+            for &a in set.addrs.iter().take(20) {
+                assert_eq!(
+                    u128::from(a) as u64,
+                    crate::synthesize::FIXED_IID
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn z64_slice() {
+        let c = catalog();
+        assert_eq!(c.z64_sets().len(), 10);
+    }
+}

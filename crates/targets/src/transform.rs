@@ -1,0 +1,107 @@
+//! Prefix transformations (§3.1 step 2).
+//!
+//! `zn`: every seed prefix is brought to exactly length *n* — prefixes
+//! shorter than /n are *extended* (base kept, zeros below bit n), longer
+//! ones (including /128 addresses) are *aggregated* to their covering /n.
+//! Duplicates collapse, so a hitlist with many addresses per /64 becomes
+//! one intermediate prefix per /64 under `z64` — the deduplication that
+//! makes host hitlists usable for router discovery.
+
+use crate::TargetSet;
+use seeds::SeedList;
+use v6addr::Ipv6Prefix;
+
+/// Applies the `zn` transformation to every entry of `list`.
+///
+/// Returns the deduplicated, sorted intermediate prefixes (all of length
+/// exactly `n`).
+pub fn zn(list: &SeedList, n: u8) -> Vec<Ipv6Prefix> {
+    assert!(n <= 64, "topology probing aggregates at /64 or coarser");
+    let mut out: Vec<Ipv6Prefix> = list
+        .prefixes()
+        .map(|p| Ipv6Prefix::truncating(p.base(), n))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Convenience: `zn` over an existing target set (used by trials that
+/// re-aggregate).
+pub fn zn_addrs(set: &TargetSet, n: u8) -> Vec<Ipv6Prefix> {
+    assert!(n <= 64);
+    let mut out: Vec<Ipv6Prefix> = set
+        .addrs
+        .iter()
+        .map(|&a| Ipv6Prefix::truncating(a, n))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seeds::SeedEntry;
+    use std::net::Ipv6Addr;
+
+    fn list(entries: Vec<SeedEntry>) -> SeedList {
+        SeedList::new("t", entries)
+    }
+
+    fn addr(s: &str) -> SeedEntry {
+        SeedEntry::Addr(s.parse::<Ipv6Addr>().unwrap())
+    }
+
+    fn pfx(s: &str) -> SeedEntry {
+        SeedEntry::Prefix(s.parse().unwrap())
+    }
+
+    #[test]
+    fn aggregates_addresses() {
+        let l = list(vec![
+            addr("2001:db8:0:1::aaaa"),
+            addr("2001:db8:0:1::bbbb"),
+            addr("2001:db8:0:2::1"),
+        ]);
+        let z64 = zn(&l, 64);
+        assert_eq!(z64.len(), 2); // two /64s
+        let z48 = zn(&l, 48);
+        assert_eq!(z48.len(), 1);
+        assert_eq!(z48[0], "2001:db8::/48".parse().unwrap());
+    }
+
+    #[test]
+    fn extends_short_prefixes() {
+        let l = list(vec![pfx("2001:db8::/32")]);
+        let z48 = zn(&l, 48);
+        assert_eq!(z48, vec!["2001:db8::/48".parse().unwrap()]);
+    }
+
+    #[test]
+    fn mixed_lengths_normalize() {
+        let l = list(vec![pfx("2001:db8::/32"), pfx("2001:db8::/56"), addr("2001:db8::1")]);
+        let z48 = zn(&l, 48);
+        // All three collapse onto the same /48.
+        assert_eq!(z48.len(), 1);
+        assert!(z48.iter().all(|p| p.len() == 48));
+    }
+
+    #[test]
+    fn more_specific_n_yields_more_prefixes() {
+        // Table 3's premise: z64 >= z56 >= z48 >= z40 in prefix count.
+        let l = list(vec![
+            addr("2001:db8:0:1::1"),
+            addr("2001:db8:0:2::1"),
+            addr("2001:db8:1:1::1"),
+            addr("2001:db9::1"),
+        ]);
+        let mut last = 0;
+        for n in [40u8, 48, 56, 64] {
+            let cnt = zn(&l, n).len();
+            assert!(cnt >= last, "z{n} shrank: {cnt} < {last}");
+            last = cnt;
+        }
+    }
+}

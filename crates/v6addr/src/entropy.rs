@@ -1,0 +1,188 @@
+//! Entropy/IP-style address-structure analysis (Foremski, Plonka &
+//! Berger [24]).
+//!
+//! Entropy/IP "uncovers structure in IPv6 addresses" by computing the
+//! Shannon entropy of each address nybble across a set and segmenting
+//! the address into runs of similar entropy: constant network prefixes
+//! (entropy ≈ 0), counted/dense allocation fields (low entropy), and
+//! SLAAC-privacy randomness (entropy ≈ 4 bits/nybble). The paper uses
+//! this family of techniques to reason about seed-set structure; here it
+//! doubles as a diagnostic for the synthesized seed lists — e.g. the
+//! fiebig list shows a low-entropy enumeration field where the random
+//! control does not.
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv6Addr;
+
+/// Number of nybbles in an IPv6 address.
+pub const NYBBLES: usize = 32;
+
+/// Per-nybble entropy profile of an address set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EntropyProfile {
+    /// Shannon entropy in bits (0..=4) for each of the 32 nybbles, most
+    /// significant first.
+    pub bits: [f64; NYBBLES],
+    /// Number of addresses profiled.
+    pub count: usize,
+}
+
+/// A contiguous run of nybbles with similar entropy.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First nybble index (inclusive).
+    pub start: usize,
+    /// Last nybble index (exclusive).
+    pub end: usize,
+    /// Mean entropy of the run (bits/nybble).
+    pub mean_bits: f64,
+    /// Classification of the run.
+    pub class: SegmentClass,
+}
+
+/// Entropy-based segment classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentClass {
+    /// Entropy ≈ 0: constant across the set (shared prefix, zero pad).
+    Constant,
+    /// Low entropy: structured values (subnet counters, low-byte IIDs).
+    Structured,
+    /// Entropy approaching 4 bits: effectively random (privacy IIDs).
+    Random,
+}
+
+impl EntropyProfile {
+    /// Profiles an address set. Returns `None` for empty input.
+    pub fn of(addrs: &[Ipv6Addr]) -> Option<EntropyProfile> {
+        if addrs.is_empty() {
+            return None;
+        }
+        let mut bits = [0.0f64; NYBBLES];
+        let n = addrs.len() as f64;
+        for (pos, b) in bits.iter_mut().enumerate() {
+            let mut counts = [0u64; 16];
+            for a in addrs {
+                let w = u128::from(*a);
+                let nyb = ((w >> (124 - 4 * pos)) & 0xf) as usize;
+                counts[nyb] += 1;
+            }
+            let mut h = 0.0;
+            for &c in &counts {
+                if c > 0 {
+                    let p = c as f64 / n;
+                    h -= p * p.log2();
+                }
+            }
+            *b = h;
+        }
+        Some(EntropyProfile {
+            bits,
+            count: addrs.len(),
+        })
+    }
+
+    /// Segments the profile into runs of similar entropy class.
+    pub fn segments(&self) -> Vec<Segment> {
+        let class_of = |h: f64| {
+            if h < 0.1 {
+                SegmentClass::Constant
+            } else if h < 3.0 {
+                SegmentClass::Structured
+            } else {
+                SegmentClass::Random
+            }
+        };
+        let mut out: Vec<Segment> = Vec::new();
+        let mut start = 0usize;
+        let mut cur = class_of(self.bits[0]);
+        for i in 1..=NYBBLES {
+            let boundary = i == NYBBLES || class_of(self.bits[i]) != cur;
+            if boundary {
+                let slice = &self.bits[start..i];
+                out.push(Segment {
+                    start,
+                    end: i,
+                    mean_bits: slice.iter().sum::<f64>() / slice.len() as f64,
+                    class: cur,
+                });
+                if i < NYBBLES {
+                    start = i;
+                    cur = class_of(self.bits[i]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total entropy of the set (sum over nybbles) — an upper bound on
+    /// the log2 of the effectively-used address space.
+    pub fn total_bits(&self) -> f64 {
+        self.bits.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(addrs: &[&str]) -> EntropyProfile {
+        let v: Vec<Ipv6Addr> = addrs.iter().map(|s| s.parse().unwrap()).collect();
+        EntropyProfile::of(&v).unwrap()
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(EntropyProfile::of(&[]).is_none());
+    }
+
+    #[test]
+    fn constant_set_has_zero_entropy() {
+        let p = profile(&["2001:db8::1", "2001:db8::1"]);
+        assert!(p.total_bits() < 1e-9);
+        let segs = p.segments();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].class, SegmentClass::Constant);
+        assert_eq!((segs[0].start, segs[0].end), (0, NYBBLES));
+    }
+
+    #[test]
+    fn counter_field_is_structured() {
+        // ::1 .. ::4 — the last nybble carries 2 bits of entropy, the
+        // rest is constant.
+        let p = profile(&["2001:db8::1", "2001:db8::2", "2001:db8::3", "2001:db8::4"]);
+        assert!(p.bits[NYBBLES - 1] > 1.9 && p.bits[NYBBLES - 1] <= 2.0);
+        assert!(p.bits[NYBBLES - 2] < 1e-9);
+        let segs = p.segments();
+        assert_eq!(segs.last().unwrap().class, SegmentClass::Structured);
+    }
+
+    #[test]
+    fn random_iids_classified_random() {
+        // Deterministic "random" IIDs via splitmix-ish mixing.
+        let mut addrs = Vec::new();
+        let mut x = 0x12345u64;
+        for _ in 0..512 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (0x2001_0db8u128) << 96 | (x as u128);
+            addrs.push(Ipv6Addr::from(a));
+        }
+        let p = EntropyProfile::of(&addrs).unwrap();
+        let segs = p.segments();
+        // The IID tail must classify Random, the prefix Constant.
+        assert_eq!(segs.first().unwrap().class, SegmentClass::Constant);
+        assert_eq!(segs.last().unwrap().class, SegmentClass::Random);
+        assert!(segs.last().unwrap().mean_bits > 3.2);
+    }
+
+    #[test]
+    fn segments_partition_the_address() {
+        let p = profile(&["2001:db8::1", "2001:db8:0:1::9f3a", "2001:db8::77"]);
+        let segs = p.segments();
+        assert_eq!(segs.first().unwrap().start, 0);
+        assert_eq!(segs.last().unwrap().end, NYBBLES);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_ne!(w[0].class, w[1].class);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! RFC 1071 Internet checksum arithmetic and the IPv6 pseudo-header.
+//!
+//! Checksums here serve two roles: the usual transport validity check, and
+//! two Yarrp6-specific uses (paper §4.1):
+//!
+//! 1. a 16-bit checksum over the *target address* rides in the TCP/UDP
+//!    source port or ICMPv6 identifier, letting the prober detect
+//!    middleboxes that rewrote the destination;
+//! 2. the *fudge* computation forces the transport checksum to a
+//!    per-target constant while the TTL/timestamp bytes vary.
+
+use std::net::Ipv6Addr;
+
+/// Accumulates 16-bit words in ones'-complement arithmetic.
+///
+/// Words are big-endian pairs of bytes; a trailing odd byte is padded with
+/// zero, per RFC 1071.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summer {
+    acc: u32,
+}
+
+impl Summer {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a byte slice.
+    pub fn add_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        let mut chunks = bytes.chunks_exact(2);
+        for c in &mut chunks {
+            self.acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            self.acc += u16::from_be_bytes([*last, 0]) as u32;
+        }
+        self
+    }
+
+    /// Adds a single 16-bit word.
+    pub fn add_u16(&mut self, w: u16) -> &mut Self {
+        self.acc += w as u32;
+        self
+    }
+
+    /// Adds a 32-bit value as two words.
+    pub fn add_u32(&mut self, w: u32) -> &mut Self {
+        self.add_u16((w >> 16) as u16).add_u16(w as u16)
+    }
+
+    /// The folded ones'-complement sum (not inverted).
+    pub fn fold(&self) -> u16 {
+        let mut s = self.acc;
+        while s > 0xffff {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        s as u16
+    }
+
+    /// The checksum: ones' complement of the folded sum.
+    pub fn checksum(&self) -> u16 {
+        !self.fold()
+    }
+}
+
+/// Adds the IPv6 pseudo-header (RFC 8200 §8.1) for an upper-layer packet of
+/// `len` bytes carried by `next_header`.
+pub fn pseudo_header(summer: &mut Summer, src: Ipv6Addr, dst: Ipv6Addr, len: u32, next_header: u8) {
+    summer
+        .add_bytes(&src.octets())
+        .add_bytes(&dst.octets())
+        .add_u32(len)
+        .add_u16(next_header as u16);
+}
+
+/// Full transport checksum over pseudo-header + payload (the payload must
+/// already contain a zeroed — or final — checksum field).
+pub fn transport_checksum(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload: &[u8]) -> u16 {
+    let mut s = Summer::new();
+    pseudo_header(&mut s, src, dst, payload.len() as u32, next_header);
+    s.add_bytes(payload);
+    s.checksum()
+}
+
+/// Verifies a transport checksum: the sum over pseudo-header and payload
+/// (including the checksum field) must fold to `0xffff`.
+pub fn verify_transport(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload: &[u8]) -> bool {
+    let mut s = Summer::new();
+    pseudo_header(&mut s, src, dst, payload.len() as u32, next_header);
+    s.add_bytes(payload);
+    s.fold() == 0xffff
+}
+
+/// The 16-bit Internet checksum of an IPv6 address — Yarrp6's target
+/// fingerprint, carried in the source port / ICMPv6 identifier.
+pub fn addr_checksum(addr: Ipv6Addr) -> u16 {
+    Summer::new().add_bytes(&addr.octets()).checksum()
+}
+
+/// Ones'-complement difference `a ⊖ b`: the value `x` such that
+/// `fold(b + x) == fold(a)`. Used to compute the Yarrp6 fudge.
+pub fn ones_complement_sub(a: u16, b: u16) -> u16 {
+    // Work modulo 0xffff; both 0x0000 and 0xffff are representations of
+    // zero, so normalize to the [0, 0xfffe] range.
+    let a = if a == 0xffff { 0 } else { a as u32 };
+    let b = if b == 0xffff { 0 } else { b as u32 };
+    ((a + 0xffff - b) % 0xffff) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, cksum 0x220d.
+        let mut s = Summer::new();
+        s.add_bytes(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]);
+        assert_eq!(s.fold(), 0xddf2);
+        assert_eq!(s.checksum(), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        let mut a = Summer::new();
+        a.add_bytes(&[0xab]);
+        let mut b = Summer::new();
+        b.add_bytes(&[0xab, 0x00]);
+        assert_eq!(a.fold(), b.fold());
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = [1u8, 2, 3, 4, 5, 6];
+        let mut a = Summer::new();
+        a.add_bytes(&data[..3]).add_bytes(&data[3..]);
+        // Note: incremental split at odd offset changes word alignment, so
+        // only even splits are equivalent; 3-byte split is intentionally
+        // NOT tested for equality. Even split:
+        let mut b = Summer::new();
+        b.add_bytes(&data[..2]).add_bytes(&data[2..]);
+        let mut whole = Summer::new();
+        whole.add_bytes(&data);
+        assert_eq!(b.fold(), whole.fold());
+        let _ = a;
+    }
+
+    #[test]
+    fn transport_roundtrip() {
+        let src: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        let mut payload = vec![0x80, 0x00, 0x00, 0x00, 0x12, 0x34, 0x00, 0x50];
+        let ck = transport_checksum(src, dst, 58, &payload);
+        payload[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify_transport(src, dst, 58, &payload));
+        payload[4] ^= 0xff;
+        assert!(!verify_transport(src, dst, 58, &payload));
+    }
+
+    #[test]
+    fn ones_complement_sub_props() {
+        for (a, b) in [(0x1234u16, 0x0567u16), (0, 0x8000), (0xfffe, 1), (5, 5)] {
+            let x = ones_complement_sub(a, b);
+            let mut s = Summer::new();
+            s.add_u16(b).add_u16(x);
+            let folded = s.fold();
+            let want = if a == 0xffff { 0 } else { a };
+            let got = if folded == 0xffff { 0 } else { folded };
+            assert_eq!(got, want, "a={a:#x} b={b:#x} x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn addr_checksum_distinguishes() {
+        let a = addr_checksum("2001:db8::1".parse().unwrap());
+        let b = addr_checksum("2001:db8::2".parse().unwrap());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,113 @@
+//! The fixed 40-byte IPv6 header (RFC 8200 §3).
+
+use serde::{Deserialize, Serialize};
+use std::net::Ipv6Addr;
+
+/// Length of the fixed IPv6 header.
+pub const HEADER_LEN: usize = 40;
+
+/// A parsed (or to-be-serialized) IPv6 header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv6Header {
+    /// Traffic class (the paper's probes use 0).
+    pub traffic_class: u8,
+    /// 20-bit flow label; kept constant per target for Paris behaviour.
+    pub flow_label: u32,
+    /// Payload length in bytes (everything after this header).
+    pub payload_len: u16,
+    /// Next header protocol number (see [`crate::proto_num`]).
+    pub next_header: u8,
+    /// Hop limit — the "TTL" that topology probing manipulates.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Serializes into the 40-byte wire format.
+    pub fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut b = [0u8; HEADER_LEN];
+        let vtf: u32 =
+            (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xf_ffff);
+        b[0..4].copy_from_slice(&vtf.to_be_bytes());
+        b[4..6].copy_from_slice(&self.payload_len.to_be_bytes());
+        b[6] = self.next_header;
+        b[7] = self.hop_limit;
+        b[8..24].copy_from_slice(&self.src.octets());
+        b[24..40].copy_from_slice(&self.dst.octets());
+        b
+    }
+
+    /// Parses a header from the front of `bytes`. Returns `None` when the
+    /// slice is short or the version nibble is not 6.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        let vtf = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        if vtf >> 28 != 6 {
+            return None;
+        }
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&bytes[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&bytes[24..40]);
+        Some(Ipv6Header {
+            traffic_class: ((vtf >> 20) & 0xff) as u8,
+            flow_label: vtf & 0xf_ffff,
+            payload_len: u16::from_be_bytes([bytes[4], bytes[5]]),
+            next_header: bytes[6],
+            hop_limit: bytes[7],
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Ipv6Header {
+        Ipv6Header {
+            traffic_class: 0xa5,
+            flow_label: 0xbeef,
+            payload_len: 20,
+            next_header: 58,
+            hop_limit: 7,
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8::2".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = hdr();
+        let bytes = h.encode();
+        assert_eq!(Ipv6Header::decode(&bytes), Some(h));
+    }
+
+    #[test]
+    fn version_nibble() {
+        let bytes = hdr().encode();
+        assert_eq!(bytes[0] >> 4, 6);
+    }
+
+    #[test]
+    fn rejects_short_and_wrong_version() {
+        assert_eq!(Ipv6Header::decode(&[0u8; 39]), None);
+        let mut bytes = hdr().encode();
+        bytes[0] = 0x45; // IPv4-style version nibble
+        assert_eq!(Ipv6Header::decode(&bytes), None);
+    }
+
+    #[test]
+    fn flow_label_masked_to_20_bits() {
+        let mut h = hdr();
+        h.flow_label = 0xfff_ffff; // over-wide
+        let decoded = Ipv6Header::decode(&h.encode()).unwrap();
+        assert_eq!(decoded.flow_label, 0xf_ffff);
+    }
+}

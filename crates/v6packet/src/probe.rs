@@ -1,0 +1,469 @@
+//! The Yarrp6 probe codec (paper §4.1, Figure 4).
+//!
+//! A probe is an IPv6 packet whose transport (TCP, UDP or ICMPv6 echo) is
+//! followed by a 12-byte Yarrp6 payload:
+//!
+//! ```text
+//!  0        4         5      6         10       12
+//!  | magic  | instance| ttl  | elapsed  | fudge  |
+//! ```
+//!
+//! * **magic** + **instance** authenticate responses as answers to *this*
+//!   prober instance;
+//! * **ttl** is the originating hop limit (the IPv6 header's own hop limit
+//!   has been decremented en route, so it cannot be recovered from the
+//!   quotation);
+//! * **elapsed** is the send timestamp in µs since campaign start, enabling
+//!   stateless RTT computation;
+//! * **fudge** is chosen so the transport checksum is a **per-target
+//!   constant**: since ICMPv6 checksums participate in per-flow load
+//!   balancing, a varying checksum would send probes of the same target
+//!   down different ECMP paths. With the fudge, all headers a load balancer
+//!   can hash are constant per target (Paris behaviour).
+//!
+//! A 16-bit checksum **of the target address** is carried in the TCP/UDP
+//! source port or ICMPv6 identifier; on decode a mismatch against the
+//! quoted destination reveals middlebox rewriting. The destination port /
+//! echo sequence is the fixed value 80.
+
+use crate::csum::{self, Summer};
+use crate::ip6::{self, Ipv6Header};
+use crate::proto_num;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv6Addr;
+
+/// `"yp6\0"`-style magic tag marking Yarrp6 payloads.
+pub const YARRP6_MAGIC: u32 = 0x7972_7036; // "yrp6"
+
+/// Fixed destination port / echo sequence number.
+pub const DST_PORT: u16 = 80;
+
+/// Length of the Yarrp6 payload.
+pub const PAYLOAD_LEN: usize = 12;
+
+/// Probe transport protocol (paper §4.2 "Protocol" trials).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// ICMPv6 Echo Request — the paper's choice for production campaigns.
+    Icmp6,
+    /// UDP to port 80.
+    Udp,
+    /// TCP SYN to port 80.
+    Tcp,
+}
+
+impl Protocol {
+    /// IPv6 Next Header value.
+    pub fn next_header(self) -> u8 {
+        match self {
+            Protocol::Icmp6 => proto_num::ICMP6,
+            Protocol::Udp => proto_num::UDP,
+            Protocol::Tcp => proto_num::TCP,
+        }
+    }
+
+    /// Transport header length preceding the Yarrp6 payload.
+    pub fn transport_len(self) -> usize {
+        match self {
+            Protocol::Icmp6 => 8,
+            Protocol::Udp => 8,
+            Protocol::Tcp => 20,
+        }
+    }
+
+    /// Total probe length on the wire.
+    pub fn probe_len(self) -> usize {
+        ip6::HEADER_LEN + self.transport_len() + PAYLOAD_LEN
+    }
+
+    /// Parses from a Next Header value.
+    pub fn from_next_header(nh: u8) -> Option<Self> {
+        Some(match nh {
+            proto_num::ICMP6 => Protocol::Icmp6,
+            proto_num::UDP => Protocol::Udp,
+            proto_num::TCP => Protocol::Tcp,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Protocol::Icmp6 => "icmp6",
+            Protocol::Udp => "udp",
+            Protocol::Tcp => "tcp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything needed to emit one probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// Source (vantage) address.
+    pub src: Ipv6Addr,
+    /// Target address.
+    pub target: Ipv6Addr,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Originating hop limit.
+    pub ttl: u8,
+    /// Prober instance identifier.
+    pub instance: u8,
+    /// Microseconds since campaign start at send time.
+    pub elapsed_us: u32,
+}
+
+/// State recovered, statelessly, from a quoted probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodedProbe {
+    /// The probed target (the quoted packet's destination).
+    pub target: Ipv6Addr,
+    /// Transport protocol of the probe.
+    pub protocol: Protocol,
+    /// Originating hop limit recovered from the payload.
+    pub ttl: u8,
+    /// Prober instance.
+    pub instance: u8,
+    /// Send timestamp (µs since campaign start).
+    pub elapsed_us: u32,
+    /// Whether the target checksum in the source port / ICMPv6 identifier
+    /// matches the quoted destination — `false` flags middlebox rewriting.
+    pub target_cksum_ok: bool,
+    /// Hop limit remaining in the quoted header (usually 0 or 1 at the
+    /// expiring router).
+    pub quoted_hop_limit: u8,
+}
+
+/// Why a (quoted) packet failed to decode as a Yarrp6 probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Quotation shorter than the fixed probe layout.
+    Truncated,
+    /// Outer bytes were not an IPv6 header.
+    NotIpv6,
+    /// Next Header was not TCP/UDP/ICMPv6.
+    UnknownProtocol(u8),
+    /// Payload magic did not match [`YARRP6_MAGIC`].
+    BadMagic(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "quotation truncated"),
+            DecodeError::NotIpv6 => write!(f, "quotation is not IPv6"),
+            DecodeError::UnknownProtocol(p) => write!(f, "unknown protocol {p}"),
+            DecodeError::BadMagic(m) => write!(f, "bad yarrp6 magic {m:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl ProbeSpec {
+    /// Serializes the probe to wire bytes, computing the fudge so the
+    /// transport checksum is the per-target constant described in the
+    /// module docs.
+    pub fn build(&self) -> Vec<u8> {
+        let tlen = self.protocol.transport_len();
+        let payload_len = tlen + PAYLOAD_LEN;
+        let target_ck = csum::addr_checksum(self.target);
+
+        // Transport + Yarrp6 payload, checksum and fudge zeroed.
+        let mut body = vec![0u8; payload_len];
+        match self.protocol {
+            Protocol::Icmp6 => {
+                body[0] = 128; // Echo Request
+                body[4..6].copy_from_slice(&target_ck.to_be_bytes());
+                body[6..8].copy_from_slice(&DST_PORT.to_be_bytes());
+            }
+            Protocol::Udp => {
+                body[0..2].copy_from_slice(&target_ck.to_be_bytes());
+                body[2..4].copy_from_slice(&DST_PORT.to_be_bytes());
+                body[4..6].copy_from_slice(&(payload_len as u16).to_be_bytes());
+            }
+            Protocol::Tcp => {
+                body[0..2].copy_from_slice(&target_ck.to_be_bytes());
+                body[2..4].copy_from_slice(&DST_PORT.to_be_bytes());
+                body[12] = 5 << 4; // data offset: 5 words
+                body[13] = 0x02; // SYN
+                body[14..16].copy_from_slice(&0xffffu16.to_be_bytes());
+            }
+        }
+        let p = tlen;
+        body[p..p + 4].copy_from_slice(&YARRP6_MAGIC.to_be_bytes());
+        body[p + 4] = self.instance;
+        body[p + 5] = self.ttl;
+        body[p + 6..p + 10].copy_from_slice(&self.elapsed_us.to_be_bytes());
+        // fudge at p+10..p+12 currently zero.
+
+        // Canonical sum: same packet with ttl = 0 and elapsed = 0.
+        let nh = self.protocol.next_header();
+        let mut canon = Summer::new();
+        csum::pseudo_header(&mut canon, self.src, self.target, payload_len as u32, nh);
+        canon.add_bytes(&body[..p + 4]); // through magic
+        canon.add_u16(self.instance as u16); // (instance, ttl=0) word
+        canon.add_u32(0); // elapsed = 0
+        canon.add_u16(0); // fudge = 0
+        let canon_sum = canon.fold();
+
+        // Actual sum with real ttl/elapsed, fudge still zero.
+        let mut actual = Summer::new();
+        csum::pseudo_header(&mut actual, self.src, self.target, payload_len as u32, nh);
+        actual.add_bytes(&body);
+        let actual_sum = actual.fold();
+
+        // fudge makes the folded sum equal the canonical sum again.
+        let fudge = csum::ones_complement_sub(canon_sum, actual_sum);
+        body[p + 10..p + 12].copy_from_slice(&fudge.to_be_bytes());
+
+        // The checksum over a packet summing to canon must be !canon.
+        let cksum = !canon_sum;
+        let ck_off = match self.protocol {
+            Protocol::Icmp6 => 2,
+            Protocol::Udp => 6,
+            Protocol::Tcp => 16,
+        };
+        body[ck_off..ck_off + 2].copy_from_slice(&cksum.to_be_bytes());
+
+        let hdr = Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: payload_len as u16,
+            next_header: nh,
+            hop_limit: self.ttl,
+            src: self.src,
+            dst: self.target,
+        };
+        let mut out = Vec::with_capacity(ip6::HEADER_LEN + payload_len);
+        out.extend_from_slice(&hdr.encode());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// The constant transport checksum all probes to `target` carry — what
+    /// a per-flow load balancer hashes. Exposed for tests and for the
+    /// simulator's ECMP flow keys.
+    pub fn flow_checksum(&self) -> u16 {
+        let bytes = self.build();
+        let ck_off = ip6::HEADER_LEN
+            + match self.protocol {
+                Protocol::Icmp6 => 2,
+                Protocol::Udp => 6,
+                Protocol::Tcp => 16,
+            };
+        u16::from_be_bytes([bytes[ck_off], bytes[ck_off + 1]])
+    }
+}
+
+/// Decodes Yarrp6 state from a quoted probe packet (the body of an ICMPv6
+/// error). Works on exactly the bytes the prober emitted, however they
+/// were truncated — the fixed layout fits well within any quotation.
+pub fn decode_quotation(quote: &[u8]) -> Result<DecodedProbe, DecodeError> {
+    let hdr = Ipv6Header::decode(quote).ok_or(DecodeError::NotIpv6)?;
+    let protocol =
+        Protocol::from_next_header(hdr.next_header).ok_or(DecodeError::UnknownProtocol(hdr.next_header))?;
+    let tlen = protocol.transport_len();
+    let need = ip6::HEADER_LEN + tlen + PAYLOAD_LEN;
+    if quote.len() < need {
+        return Err(DecodeError::Truncated);
+    }
+    let body = &quote[ip6::HEADER_LEN..];
+    let sport_off = match protocol {
+        Protocol::Icmp6 => 4,
+        Protocol::Udp | Protocol::Tcp => 0,
+    };
+    let carried_ck = u16::from_be_bytes([body[sport_off], body[sport_off + 1]]);
+    let p = tlen;
+    let magic = u32::from_be_bytes([body[p], body[p + 1], body[p + 2], body[p + 3]]);
+    if magic != YARRP6_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    Ok(DecodedProbe {
+        target: hdr.dst,
+        protocol,
+        ttl: body[p + 5],
+        instance: body[p + 4],
+        elapsed_us: u32::from_be_bytes([body[p + 6], body[p + 7], body[p + 8], body[p + 9]]),
+        target_cksum_ok: carried_ck == csum::addr_checksum(hdr.dst),
+        quoted_hop_limit: hdr.hop_limit,
+    })
+}
+
+/// Decodes the Yarrp6 payload from an Echo Reply *body* (the request data
+/// a destination returned verbatim, RFC 4443 §4.2). Returns
+/// `(instance, ttl, elapsed_us)`.
+pub fn decode_echo_body(body: &[u8]) -> Result<(u8, u8, u32), DecodeError> {
+    if body.len() < PAYLOAD_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+    if magic != YARRP6_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    Ok((
+        body[4],
+        body[5],
+        u32::from_be_bytes([body[6], body[7], body[8], body[9]]),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csum::verify_transport;
+
+    fn spec(proto: Protocol, ttl: u8, elapsed: u32) -> ProbeSpec {
+        ProbeSpec {
+            src: "2001:db8:f00::1".parse().unwrap(),
+            target: "2001:db8:1:2::abcd".parse().unwrap(),
+            protocol: proto,
+            ttl,
+            instance: 7,
+            elapsed_us: elapsed,
+        }
+    }
+
+    #[test]
+    fn probe_is_checksum_valid() {
+        for proto in [Protocol::Icmp6, Protocol::Udp, Protocol::Tcp] {
+            let s = spec(proto, 9, 123_456);
+            let pkt = s.build();
+            assert_eq!(pkt.len(), proto.probe_len());
+            let hdr = Ipv6Header::decode(&pkt).unwrap();
+            assert_eq!(hdr.hop_limit, 9);
+            assert!(
+                verify_transport(hdr.src, hdr.dst, proto.next_header(), &pkt[ip6::HEADER_LEN..]),
+                "{proto} checksum invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_constant_across_ttl_and_time() {
+        for proto in [Protocol::Icmp6, Protocol::Udp, Protocol::Tcp] {
+            let base = spec(proto, 1, 0).flow_checksum();
+            for ttl in [1u8, 2, 16, 32, 255] {
+                for elapsed in [0u32, 1, 999_999, u32::MAX] {
+                    assert_eq!(
+                        spec(proto, ttl, elapsed).flow_checksum(),
+                        base,
+                        "{proto} ttl={ttl} elapsed={elapsed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for proto in [Protocol::Icmp6, Protocol::Udp, Protocol::Tcp] {
+            let s = spec(proto, 13, 77_000);
+            let d = decode_quotation(&s.build()).unwrap();
+            assert_eq!(d.target, s.target);
+            assert_eq!(d.protocol, proto);
+            assert_eq!(d.ttl, 13);
+            assert_eq!(d.instance, 7);
+            assert_eq!(d.elapsed_us, 77_000);
+            assert!(d.target_cksum_ok);
+        }
+    }
+
+    #[test]
+    fn middlebox_rewrite_detected() {
+        let s = spec(Protocol::Udp, 5, 1);
+        let mut pkt = s.build();
+        // Rewrite the destination address in the IPv6 header.
+        pkt[39] ^= 0x01;
+        let d = decode_quotation(&pkt).unwrap();
+        assert!(!d.target_cksum_ok);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode_quotation(&[0u8; 10]), Err(DecodeError::NotIpv6));
+        let s = spec(Protocol::Icmp6, 5, 1);
+        let pkt = s.build();
+        assert_eq!(
+            decode_quotation(&pkt[..50]),
+            Err(DecodeError::Truncated)
+        );
+        let mut bad_magic = pkt.clone();
+        bad_magic[ip6::HEADER_LEN + 8] = 0; // clobber magic
+        assert!(matches!(
+            decode_quotation(&bad_magic),
+            Err(DecodeError::BadMagic(_))
+        ));
+        let mut bad_proto = pkt;
+        bad_proto[6] = 99;
+        assert_eq!(
+            decode_quotation(&bad_proto),
+            Err(DecodeError::UnknownProtocol(99))
+        );
+    }
+
+    #[test]
+    fn flow_identity_comes_from_source_port() {
+        // The target checksum in the source port cancels the target's
+        // pseudo-header contribution, so the transport *checksum field* is
+        // a global constant; per-target flow diversity comes from the
+        // source port / ICMPv6 identifier itself.
+        let a = spec(Protocol::Icmp6, 1, 0);
+        let mut b = a;
+        b.target = "2001:db8:1:3::abcd".parse().unwrap();
+        assert_eq!(a.flow_checksum(), b.flow_checksum());
+        let pa = a.build();
+        let pb = b.build();
+        // ICMPv6 identifier at transport offset 4.
+        assert_ne!(
+            &pa[ip6::HEADER_LEN + 4..ip6::HEADER_LEN + 6],
+            &pb[ip6::HEADER_LEN + 4..ip6::HEADER_LEN + 6]
+        );
+    }
+
+    #[test]
+    fn quoted_through_icmp_error_roundtrip() {
+        use crate::icmp6;
+        let s = spec(Protocol::Icmp6, 4, 42);
+        let probe = s.build();
+        // A router at hop 4 quotes the probe with hop limit exhausted.
+        let mut expired = probe.clone();
+        expired[7] = 0;
+        let err = icmp6::build_error(
+            "2001:db8:beef::1".parse().unwrap(),
+            s.src,
+            Icmp6TypeAlias::TimeExceeded,
+            &expired,
+            63,
+        );
+        let (outer, msg) = icmp6::parse(&err).unwrap();
+        assert_eq!(outer.dst, s.src);
+        let d = decode_quotation(&msg.body).unwrap();
+        assert_eq!(d.ttl, 4);
+        assert_eq!(d.elapsed_us, 42);
+        assert_eq!(d.quoted_hop_limit, 0);
+        assert_eq!(d.target, s.target);
+    }
+
+    use crate::icmp6::Icmp6Type as Icmp6TypeAlias;
+
+    #[test]
+    fn echo_body_roundtrip() {
+        let s = spec(Protocol::Icmp6, 11, 5_000);
+        let pkt = s.build();
+        // The echo data is everything after the 8-byte ICMPv6 header.
+        let body = &pkt[ip6::HEADER_LEN + 8..];
+        let (inst, ttl, elapsed) = decode_echo_body(body).unwrap();
+        assert_eq!((inst, ttl, elapsed), (7, 11, 5_000));
+        assert_eq!(decode_echo_body(&body[..8]), Err(DecodeError::Truncated));
+        let mut bad = body.to_vec();
+        bad[0] = 0;
+        assert!(matches!(
+            decode_echo_body(&bad),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+}

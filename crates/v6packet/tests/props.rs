@@ -1,0 +1,110 @@
+//! Property tests: every randomly-parameterized probe is checksum-valid,
+//! flow-constant, and decodes back to its spec — including after being
+//! quoted inside an ICMPv6 error.
+
+use proptest::prelude::*;
+use std::net::Ipv6Addr;
+use v6packet::csum::verify_transport;
+use v6packet::icmp6::{self, DestUnreachCode, Icmp6Type};
+use v6packet::probe::{decode_quotation, ProbeSpec, Protocol};
+use v6packet::{ip6, Ipv6Header};
+
+fn protocols() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Icmp6),
+        Just(Protocol::Udp),
+        Just(Protocol::Tcp)
+    ]
+}
+
+prop_compose! {
+    fn specs()(
+        src: u128,
+        target: u128,
+        protocol in protocols(),
+        ttl in 1u8..=255,
+        instance: u8,
+        elapsed_us: u32,
+    ) -> ProbeSpec {
+        ProbeSpec {
+            src: Ipv6Addr::from(src),
+            target: Ipv6Addr::from(target),
+            protocol,
+            ttl,
+            instance,
+            elapsed_us,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn probes_always_checksum_valid(spec in specs()) {
+        let pkt = spec.build();
+        let hdr = Ipv6Header::decode(&pkt).unwrap();
+        prop_assert!(verify_transport(
+            hdr.src, hdr.dst, spec.protocol.next_header(), &pkt[ip6::HEADER_LEN..]
+        ));
+    }
+
+    #[test]
+    fn flow_checksum_independent_of_ttl_time(
+        spec in specs(), ttl2 in 1u8..=255, elapsed2: u32,
+    ) {
+        let mut other = spec;
+        other.ttl = ttl2;
+        other.elapsed_us = elapsed2;
+        prop_assert_eq!(spec.flow_checksum(), other.flow_checksum());
+    }
+
+    #[test]
+    fn decode_inverts_build(spec in specs()) {
+        let d = decode_quotation(&spec.build()).unwrap();
+        prop_assert_eq!(d.target, spec.target);
+        prop_assert_eq!(d.protocol, spec.protocol);
+        prop_assert_eq!(d.ttl, spec.ttl);
+        prop_assert_eq!(d.instance, spec.instance);
+        prop_assert_eq!(d.elapsed_us, spec.elapsed_us);
+        prop_assert!(d.target_cksum_ok);
+    }
+
+    #[test]
+    fn decode_survives_error_quotation(
+        spec in specs(),
+        router: u128,
+        code in 0usize..6,
+    ) {
+        let probe = spec.build();
+        let ty = match code {
+            0 => Icmp6Type::TimeExceeded,
+            1 => Icmp6Type::DestUnreachable(DestUnreachCode::NoRoute),
+            2 => Icmp6Type::DestUnreachable(DestUnreachCode::AdminProhibited),
+            3 => Icmp6Type::DestUnreachable(DestUnreachCode::AddrUnreachable),
+            4 => Icmp6Type::DestUnreachable(DestUnreachCode::PortUnreachable),
+            _ => Icmp6Type::DestUnreachable(DestUnreachCode::RejectRoute),
+        };
+        let err = icmp6::build_error(Ipv6Addr::from(router), spec.src, ty, &probe, 64);
+        let (outer, msg) = icmp6::parse(&err).unwrap();
+        prop_assert_eq!(outer.src, Ipv6Addr::from(router));
+        prop_assert_eq!(msg.ty, ty);
+        let d = decode_quotation(&msg.body).unwrap();
+        prop_assert_eq!(d.target, spec.target);
+        prop_assert_eq!(d.ttl, spec.ttl);
+        prop_assert_eq!(d.elapsed_us, spec.elapsed_us);
+    }
+
+    /// Flipping any single byte of the transport/payload breaks checksum
+    /// verification (ensuring the simulator can't accept corrupt packets).
+    #[test]
+    fn corruption_detected(spec in specs(), at in 0usize..20, val: u8) {
+        let pkt = spec.build();
+        let off = ip6::HEADER_LEN + at % (pkt.len() - ip6::HEADER_LEN);
+        let mut bad = pkt.clone();
+        if bad[off] == val { return Ok(()); }
+        bad[off] = val;
+        let hdr = Ipv6Header::decode(&bad).unwrap();
+        prop_assert!(!verify_transport(
+            hdr.src, hdr.dst, spec.protocol.next_header(), &bad[ip6::HEADER_LEN..]
+        ));
+    }
+}

@@ -1,0 +1,63 @@
+//! Subnet discovery (§6): infer subnet boundaries from path divergence
+//! and the IA hack, then check against the simulator's ground truth.
+//!
+//! ```sh
+//! cargo run --release --example subnet_discovery
+//! ```
+
+use beholder::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(beholder::net::generate::generate(TopologyConfig::tiny(
+        1234,
+    )));
+    let seeds = SeedCatalog::synthesize(&topo, 1234);
+    let catalog = TargetCatalog::build(&seeds, IidStrategy::FixedIid);
+    let set = catalog.get("combined-z64").expect("combined-z64");
+
+    // Probe from the second vantage (US-EDU-1).
+    let result = run_campaign(&topo, 1, set, &YarrpConfig::default());
+    let traces = TraceSet::from_log(&result.log);
+    println!(
+        "{} traces with responses from {} targets",
+        traces.len(),
+        set.len()
+    );
+
+    // The analysis uses only public knowledge: BGP + registry extras +
+    // declared ASN equivalences.
+    let resolver = AsnResolver::new(
+        topo.bgp.clone(),
+        topo.rir_extra.clone(),
+        &topo.asn_equivalences,
+    );
+    let vantage_asn = topo.ases[topo.vantages[1].as_idx as usize].asn;
+
+    let cands = discover_by_path_div(&traces, &resolver, vantage_asn, &PathDivParams::default());
+    let ia = ia_hack(&traces);
+    println!(
+        "path divergence: {} candidate subnets; IA hack: {} exact /64s",
+        cands.len(),
+        ia.len()
+    );
+
+    // Histogram by inferred minimum prefix length.
+    let hist = beholder::analyze::subnets::by_prefix_length(&cands);
+    println!("\ninferred min-length histogram:");
+    for (len, count) in &hist {
+        println!("  /{len:<3} {count:>6}  {}", "#".repeat((*count as usize).min(60)));
+    }
+
+    // Ground truth comparison (the simulator knows the real plan).
+    let truth: Vec<Ipv6Prefix> = topo
+        .ground_truth_distribution_subnets()
+        .into_iter()
+        .map(|(p, _, _)| p)
+        .collect();
+    let report = beholder::analyze::validate::validate(&cands, &truth, &set.addrs);
+    println!(
+        "\nvs ground truth: {} exact, {} truth subnets contain more-specific candidates",
+        report.exact, report.truth_with_more_specific
+    );
+}

@@ -1,0 +1,66 @@
+//! # beholder — *In the IP of the Beholder*, as a Rust workspace
+//!
+//! A full reproduction of Beverly, Durairajan, Plonka & Rohrer,
+//! ["In the IP of the Beholder: Strategies for Active IPv6 Topology
+//! Discovery"](https://doi.org/10.1145/3278532.3278559) (IMC 2018):
+//! the Yarrp6 stateless randomized prober, the seed/target generation
+//! pipeline, the comparison probers (scamper-style sequential,
+//! Doubletree), subnet inference, and — since this environment has no
+//! IPv6 connectivity — a deterministic packet-level simulator of an IPv6
+//! Internet with mandated ICMPv6 rate limiting standing in for the real
+//! one.
+//!
+//! This crate re-exports the workspace members under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`addr`] | `v6addr` | prefixes, tries, DPL, IID classification |
+//! | [`packet`] | `v6packet` | wire formats, Yarrp6 probe codec |
+//! | [`net`] | `simnet` | the synthetic IPv6 Internet |
+//! | [`seed`] | `seeds` | seed-list synthesis, kIP, 6Gen |
+//! | [`target`] | `targets` | zn transformation, IID synthesis, set characterization |
+//! | [`probe`] | `yarrp6` | Yarrp6 + sequential + Doubletree probers |
+//! | [`analyze`] | `analysis` | traces, metrics, subnet discovery |
+//! | [`alias`] | `aliasres` | speedtrap alias resolution, router-level graphs |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use beholder::prelude::*;
+//!
+//! // A tiny synthetic Internet, a seed catalog, and one campaign.
+//! let topo = std::sync::Arc::new(beholder::net::generate::generate(
+//!     TopologyConfig::tiny(7),
+//! ));
+//! let seeds = SeedCatalog::synthesize(&topo, 7);
+//! let catalog = TargetCatalog::build(&seeds, IidStrategy::FixedIid);
+//! let set = catalog.get("caida-z64").unwrap();
+//! let result = run_campaign(&topo, 0, set, &YarrpConfig::default());
+//! assert!(!result.log.interface_addrs().is_empty());
+//! ```
+
+pub use aliasres as alias;
+pub use analysis as analyze;
+pub use seeds as seed;
+pub use simnet as net;
+pub use targets as target;
+pub use v6addr as addr;
+pub use v6packet as packet;
+pub use yarrp6 as probe;
+
+/// The commonly-used types, one `use` away.
+pub mod prelude {
+    pub use analysis::{
+        discover_by_path_div, ia_hack, AsnResolver, CandidateSubnet, PathDivParams, Trace,
+        TraceSet,
+    };
+    pub use seeds::sources::SeedCatalog;
+    pub use seeds::{SeedEntry, SeedList};
+    pub use simnet::config::TopologyConfig;
+    pub use simnet::{Engine, Scale, Topology};
+    pub use targets::{IidStrategy, TargetCatalog, TargetSet};
+    pub use v6addr::{Asn, BgpTable, IidClass, Ipv6Prefix, PrefixTrie};
+    pub use v6packet::probe::Protocol;
+    pub use yarrp6::campaign::run_campaign;
+    pub use yarrp6::{ProbeLog, ResponseKind, ResponseRecord, YarrpConfig};
+}
