@@ -30,14 +30,14 @@ impl RouterGraph {
                 node_of.insert(a, id);
             }
         }
-        let intern = |a: Ipv6Addr, nodes: &mut Vec<Vec<Ipv6Addr>>,
-                          node_of: &mut HashMap<Ipv6Addr, u32>| {
-            *node_of.entry(a).or_insert_with(|| {
-                let id = nodes.len() as u32;
-                nodes.push(vec![a]);
-                id
-            })
-        };
+        let intern =
+            |a: Ipv6Addr, nodes: &mut Vec<Vec<Ipv6Addr>>, node_of: &mut HashMap<Ipv6Addr, u32>| {
+                *node_of.entry(a).or_insert_with(|| {
+                    let id = nodes.len() as u32;
+                    nodes.push(vec![a]);
+                    id
+                })
+            };
 
         let mut links = BTreeSet::new();
         for trace in traces.traces.values() {

@@ -211,8 +211,8 @@ pub fn resolve_aliases(
     let mut clusters: Vec<&[(Ipv6Addr, u32)]> = Vec::new();
     let mut start = 0usize;
     for i in 1..=samples.len() {
-        let boundary = i == samples.len()
-            || samples[i].1.wrapping_sub(samples[i - 1].1) > cfg.cluster_window;
+        let boundary =
+            i == samples.len() || samples[i].1.wrapping_sub(samples[i - 1].1) > cfg.cluster_window;
         if boundary {
             clusters.push(&samples[start..i]);
             start = i;

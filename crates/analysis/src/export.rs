@@ -72,13 +72,20 @@ fn kind_from_str(s: &str, code: u8) -> Option<ResponseKind> {
 /// Writes a probe log as CSV (header + one row per response).
 pub fn write_log_csv(path: &Path, log: &ProbeLog) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
-    writeln!(w, "# vantage={} set={} prober={}", log.vantage, log.target_set, log.prober)?;
+    writeln!(
+        w,
+        "# vantage={} set={} prober={}",
+        log.vantage, log.target_set, log.prober
+    )?;
     writeln!(
         w,
         "# probes={} fills={} traces={} duration_us={}",
         log.probes_sent, log.fills, log.traces, log.duration_us
     )?;
-    writeln!(w, "target,responder,kind,code,probe_ttl,rtt_us,recv_us,cksum_ok")?;
+    writeln!(
+        w,
+        "target,responder,kind,code,probe_ttl,rtt_us,recv_us,cksum_ok"
+    )?;
     for r in &log.records {
         let (k, c) = kind_to_str(r.kind);
         writeln!(
@@ -113,9 +120,8 @@ pub fn read_log_csv(path: &Path) -> io::Result<Vec<ResponseRecord>> {
         if f.len() != 8 {
             return Err(bad(format!("line {}: {} fields", lineno + 1, f.len())));
         }
-        let parse_addr = |s: &str| {
-            Ipv6Addr::from_str(s).map_err(|e| bad(format!("line {}: {e}", lineno + 1)))
-        };
+        let parse_addr =
+            |s: &str| Ipv6Addr::from_str(s).map_err(|e| bad(format!("line {}: {e}", lineno + 1)));
         let kind = kind_from_str(f[2], f[3].parse().unwrap_or(255))
             .ok_or_else(|| bad(format!("line {}: bad kind {}", lineno + 1, f[2])))?;
         out.push(ResponseRecord {
@@ -125,14 +131,22 @@ pub fn read_log_csv(path: &Path) -> io::Result<Vec<ResponseRecord>> {
             probe_ttl: if f[4].is_empty() {
                 None
             } else {
-                Some(f[4].parse().map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?)
+                Some(
+                    f[4].parse()
+                        .map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?,
+                )
             },
             rtt_us: if f[5].is_empty() {
                 None
             } else {
-                Some(f[5].parse().map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?)
+                Some(
+                    f[5].parse()
+                        .map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?,
+                )
             },
-            recv_us: f[6].parse().map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?,
+            recv_us: f[6]
+                .parse()
+                .map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?,
             target_cksum_ok: f[7] == "1",
         });
     }
@@ -142,7 +156,10 @@ pub fn read_log_csv(path: &Path) -> io::Result<Vec<ResponseRecord>> {
 /// Writes inferred subnets, one `prefix,exact` per line.
 pub fn write_subnets(path: &Path, cands: &[CandidateSubnet]) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
-    writeln!(w, "# beholder candidate subnets (prefix length = inferred minimum)")?;
+    writeln!(
+        w,
+        "# beholder candidate subnets (prefix length = inferred minimum)"
+    )?;
     writeln!(w, "prefix,exact")?;
     for c in cands {
         writeln!(w, "{},{}", c.prefix, u8::from(c.exact))?;
@@ -164,7 +181,10 @@ pub fn read_subnets(path: &Path) -> io::Result<Vec<CandidateSubnet>> {
             io::Error::new(io::ErrorKind::InvalidData, format!("line {}", lineno + 1))
         })?;
         let prefix = Ipv6Prefix::from_str(p).map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
         })?;
         out.push(CandidateSubnet {
             prefix,

@@ -65,11 +65,7 @@ impl CampaignMetrics {
             }
         }
 
-        let mut path_lens: Vec<u8> = ts
-            .traces
-            .values()
-            .filter_map(|t| t.path_len())
-            .collect();
+        let mut path_lens: Vec<u8> = ts.traces.values().filter_map(|t| t.path_len()).collect();
         path_lens.sort_unstable();
         let reached = ts
             .traces
@@ -144,7 +140,9 @@ pub fn hop_responsiveness(log: &ProbeLog, max_ttl: u8) -> Vec<f64> {
             }
         }
     }
-    (1..=max_ttl as usize).map(|t| counts[t] as f64 / total).collect()
+    (1..=max_ttl as usize)
+        .map(|t| counts[t] as f64 / total)
+        .collect()
 }
 
 /// Discovery curve (Figure 7): cumulative unique interface addresses as
@@ -193,14 +191,15 @@ pub struct ExclusiveFeatures {
 }
 
 /// Computes exclusives for each log against the others.
-pub fn exclusive_features(
-    logs: &[&ProbeLog],
-    bgp: &v6addr::BgpTable,
-) -> Vec<ExclusiveFeatures> {
+pub fn exclusive_features(logs: &[&ProbeLog], bgp: &v6addr::BgpTable) -> Vec<ExclusiveFeatures> {
     let mut iface_count: BTreeMap<Ipv6Addr, u32> = BTreeMap::new();
     let mut pfx_count: BTreeMap<v6addr::Ipv6Prefix, u32> = BTreeMap::new();
     let mut asn_count: BTreeMap<u32, u32> = BTreeMap::new();
-    let per_log: Vec<(BTreeSet<Ipv6Addr>, BTreeSet<v6addr::Ipv6Prefix>, BTreeSet<u32>)> = logs
+    let per_log: Vec<(
+        BTreeSet<Ipv6Addr>,
+        BTreeSet<v6addr::Ipv6Prefix>,
+        BTreeSet<u32>,
+    )> = logs
         .iter()
         .map(|log| {
             let ifaces = log.interface_addrs();
@@ -239,7 +238,13 @@ mod tests {
     use super::*;
     use yarrp6::ResponseRecord;
 
-    fn rec(target: &str, responder: &str, kind: ResponseKind, ttl: u8, recv: u64) -> ResponseRecord {
+    fn rec(
+        target: &str,
+        responder: &str,
+        kind: ResponseKind,
+        ttl: u8,
+        recv: u64,
+    ) -> ResponseRecord {
         ResponseRecord {
             target: target.parse().unwrap(),
             responder: responder.parse().unwrap(),
@@ -260,8 +265,20 @@ mod tests {
             duration_us: 100_000,
             ..Default::default()
         };
-        log.records.push(rec("2001:db8::1", "2001:db8:f::1", ResponseKind::TimeExceeded, 1, 20));
-        log.records.push(rec("2001:db8::1", "2001:db8:f::2", ResponseKind::TimeExceeded, 2, 30));
+        log.records.push(rec(
+            "2001:db8::1",
+            "2001:db8:f::1",
+            ResponseKind::TimeExceeded,
+            1,
+            20,
+        ));
+        log.records.push(rec(
+            "2001:db8::1",
+            "2001:db8:f::2",
+            ResponseKind::TimeExceeded,
+            2,
+            30,
+        ));
         log.records.push(rec(
             "2001:db8::1",
             "2001:db8:f:0:0211:22ff:fe33:4455",
@@ -269,8 +286,20 @@ mod tests {
             3,
             40,
         ));
-        log.records.push(rec("2001:db8::1", "2001:db8::1", ResponseKind::EchoReply, 4, 50));
-        log.records.push(rec("2001:db8::2", "2001:db8:f::1", ResponseKind::TimeExceeded, 1, 60));
+        log.records.push(rec(
+            "2001:db8::1",
+            "2001:db8::1",
+            ResponseKind::EchoReply,
+            4,
+            50,
+        ));
+        log.records.push(rec(
+            "2001:db8::2",
+            "2001:db8:f::1",
+            ResponseKind::TimeExceeded,
+            1,
+            60,
+        ));
         log
     }
 
@@ -321,8 +350,20 @@ mod tests {
             traces: 1,
             ..Default::default()
         };
-        log2.records.push(rec("2001:db8::9", "2001:db8:f::1", ResponseKind::TimeExceeded, 1, 5));
-        log2.records.push(rec("2001:db8::9", "2001:db8:f::9", ResponseKind::TimeExceeded, 2, 6));
+        log2.records.push(rec(
+            "2001:db8::9",
+            "2001:db8:f::1",
+            ResponseKind::TimeExceeded,
+            1,
+            5,
+        ));
+        log2.records.push(rec(
+            "2001:db8::9",
+            "2001:db8:f::9",
+            ResponseKind::TimeExceeded,
+            2,
+            6,
+        ));
         let b = bgp();
         let ex = exclusive_features(&[&log1, &log2], &b);
         // log1 exclusively has ::2 and the EUI hop; log2 exclusively ::9.

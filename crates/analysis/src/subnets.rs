@@ -277,7 +277,12 @@ mod tests {
             "2001:db8:0:2::bb",
             &["2620:1::1", "2001:db8:ff::1", "2001:db8:ff::20"],
         );
-        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        let cands = discover_by_path_div(
+            &ts(vec![a, b]),
+            &resolver(),
+            Asn(1),
+            &PathDivParams::default(),
+        );
         assert_eq!(cands.len(), 2);
         // Targets differ first within group 4 (0:1 vs 0:2): DPL = 62? The
         // words differ at ...0001 vs ...0010 in bits 48..64 → common
@@ -295,7 +300,12 @@ mod tests {
         // Identical paths except final hop missing: no divergent suffix.
         let a = trace("2001:db8:0:1::aa", &["2620:1::1", "2001:db8:ff::1"]);
         let b = trace("2001:db8:0:2::bb", &["2620:1::1", "2001:db8:ff::1"]);
-        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        let cands = discover_by_path_div(
+            &ts(vec![a, b]),
+            &resolver(),
+            Asn(1),
+            &PathDivParams::default(),
+        );
         assert!(cands.is_empty());
     }
 
@@ -309,7 +319,12 @@ mod tests {
             "2620:2:0:2::bb",
             &["2620:1::1", "2001:db8:ff::1", "2001:db8:ff::20"],
         );
-        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        let cands = discover_by_path_div(
+            &ts(vec![a, b]),
+            &resolver(),
+            Asn(1),
+            &PathDivParams::default(),
+        );
         assert!(cands.is_empty());
     }
 
@@ -318,7 +333,12 @@ mod tests {
         let a = trace("2001:db8:0:1::aa", &["2620:1::1", "2001:db8:ff::10"]);
         let b = trace("2001:db8:0:2::bb", &["2620:1::1", "2001:db8:ff::20"]);
         // LCS = 1 < c = 2.
-        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        let cands = discover_by_path_div(
+            &ts(vec![a, b]),
+            &resolver(),
+            Asn(1),
+            &PathDivParams::default(),
+        );
         assert!(cands.is_empty());
     }
 
@@ -331,7 +351,12 @@ mod tests {
             "2001:db8:0:2::bb",
             &["2620:1::1", "2001:db8:ff::1", "2001:db8:ff::20"],
         );
-        let cands = discover_by_path_div(&ts(vec![a, b]), &resolver(), Asn(1), &PathDivParams::default());
+        let cands = discover_by_path_div(
+            &ts(vec![a, b]),
+            &resolver(),
+            Asn(1),
+            &PathDivParams::default(),
+        );
         assert!(cands.is_empty());
     }
 
@@ -346,7 +371,12 @@ mod tests {
             "2001:db8:0:2::bb",
             &["2620:2::1", "2620:2::2", "2001:db8:ff::20"],
         );
-        let cands = discover_by_path_div(&ts(vec![a.clone(), b.clone()]), &resolver(), Asn(1), &PathDivParams::default());
+        let cands = discover_by_path_div(
+            &ts(vec![a.clone(), b.clone()]),
+            &resolver(),
+            Asn(1),
+            &PathDivParams::default(),
+        );
         assert!(cands.is_empty());
         // With the gate disabled (and C relaxed — the LCS is all vantage
         // hops), the same pair passes.

@@ -82,7 +82,9 @@ impl TraceSet {
                 rewritten_dropped += 1;
                 continue;
             }
-            let t = traces.entry(r.target).or_insert_with(|| Trace::new(r.target));
+            let t = traces
+                .entry(r.target)
+                .or_insert_with(|| Trace::new(r.target));
             match r.kind {
                 ResponseKind::TimeExceeded => {
                     if let Some(ttl) = r.probe_ttl {
@@ -144,11 +146,7 @@ pub struct AsnResolver {
 impl AsnResolver {
     /// Builds a resolver; `extra` are the registry-only prefixes and
     /// `equivalences` the sibling-ASN declarations.
-    pub fn new(
-        bgp: BgpTable,
-        extra: Vec<(Ipv6Prefix, Asn)>,
-        equivalences: &[(Asn, Asn)],
-    ) -> Self {
+    pub fn new(bgp: BgpTable, extra: Vec<(Ipv6Prefix, Asn)>, equivalences: &[(Asn, Asn)]) -> Self {
         let mut bgp = bgp;
         for &(a, b) in equivalences {
             bgp.declare_equivalent(a, b);
@@ -197,27 +195,55 @@ mod tests {
     #[test]
     fn reconstructs_hops_and_reach() {
         let mut log = ProbeLog::default();
-        log.records.push(rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(1)));
-        log.records.push(rec("2001:db8::1", "::b", ResponseKind::TimeExceeded, Some(3)));
-        log.records.push(rec("2001:db8::1", "2001:db8::1", ResponseKind::EchoReply, Some(4)));
-        log.records.push(rec("2001:db8::1", "2001:db8::1", ResponseKind::EchoReply, Some(7)));
+        log.records.push(rec(
+            "2001:db8::1",
+            "::a",
+            ResponseKind::TimeExceeded,
+            Some(1),
+        ));
+        log.records.push(rec(
+            "2001:db8::1",
+            "::b",
+            ResponseKind::TimeExceeded,
+            Some(3),
+        ));
+        log.records.push(rec(
+            "2001:db8::1",
+            "2001:db8::1",
+            ResponseKind::EchoReply,
+            Some(4),
+        ));
+        log.records.push(rec(
+            "2001:db8::1",
+            "2001:db8::1",
+            ResponseKind::EchoReply,
+            Some(7),
+        ));
         let ts = TraceSet::from_log(&log);
         let t = &ts.traces[&"2001:db8::1".parse::<Ipv6Addr>().unwrap()];
         assert_eq!(t.hops.len(), 2);
         assert_eq!(t.reached_at, Some(4));
         assert_eq!(t.path_len(), Some(4));
-        assert_eq!(t.hop_vec(), vec![
-            Some("::a".parse().unwrap()),
-            None,
-            Some("::b".parse().unwrap()),
-        ]);
+        assert_eq!(
+            t.hop_vec(),
+            vec![
+                Some("::a".parse().unwrap()),
+                None,
+                Some("::b".parse().unwrap()),
+            ]
+        );
         assert_eq!(t.last_hop().unwrap().0, 3);
     }
 
     #[test]
     fn unreached_path_len_is_deepest_hop() {
         let mut log = ProbeLog::default();
-        log.records.push(rec("2001:db8::2", "::a", ResponseKind::TimeExceeded, Some(5)));
+        log.records.push(rec(
+            "2001:db8::2",
+            "::a",
+            ResponseKind::TimeExceeded,
+            Some(5),
+        ));
         let ts = TraceSet::from_log(&log);
         let t = &ts.traces[&"2001:db8::2".parse::<Ipv6Addr>().unwrap()];
         assert_eq!(t.reached_at, None);

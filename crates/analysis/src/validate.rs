@@ -95,13 +95,10 @@ pub fn stratified_sample(
     let mut taken: BTreeSet<Ipv6Prefix> = BTreeSet::new();
     let mut out = Vec::new();
     for t in sorted {
-        match truth_trie.longest_match(t) {
-            Some((p, _)) => {
-                if taken.insert(p) {
-                    out.push(t);
-                }
+        if let Some((p, _)) = truth_trie.longest_match(t) {
+            if taken.insert(p) {
+                out.push(t);
             }
-            None => {}
         }
     }
     out
@@ -126,11 +123,13 @@ mod tests {
     #[test]
     fn exact_and_more_specific() {
         let truth = vec![p("2001:db8::/40"), p("2001:db8:100::/40")];
-        let targets: Vec<Ipv6Addr> =
-            vec!["2001:db8::1".parse().unwrap(), "2001:db8:100::1".parse().unwrap()];
+        let targets: Vec<Ipv6Addr> = vec![
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8:100::1".parse().unwrap(),
+        ];
         let cands = vec![
-            cand("2001:db8::/40"),      // exact
-            cand("2001:db8:100::/48"),  // more specific within truth[1]
+            cand("2001:db8::/40"),     // exact
+            cand("2001:db8:100::/48"), // more specific within truth[1]
         ];
         let r = validate(&cands, &truth, &targets);
         assert_eq!(r.truth_considered, 2);
@@ -142,7 +141,11 @@ mod tests {
     #[test]
     fn short_by_counts() {
         let truth = vec![p("2001:db8::/40")];
-        let cands = vec![cand("2001:db8::/39"), cand("2001:db8::/38"), cand("2001:db8::/30")];
+        let cands = vec![
+            cand("2001:db8::/39"),
+            cand("2001:db8::/38"),
+            cand("2001:db8::/30"),
+        ];
         let r = validate(&cands, &truth, &["2001:db8::1".parse().unwrap()]);
         assert_eq!(r.short_by_one, 1);
         assert_eq!(r.short_by_two, 1);

@@ -9,7 +9,7 @@ use simnet::config::TopologyConfig;
 use simnet::Engine;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
-use v6packet::probe::{decode_quotation, ProbeSpec, Protocol};
+use v6packet::probe::{decode_quotation, ProbeSpec, ProbeTemplate, Protocol};
 use yarrp6::perm::Permutation;
 
 fn bench_permutation(c: &mut Criterion) {
@@ -41,6 +41,20 @@ fn bench_probe_codec(c: &mut Criterion) {
     let mut g = c.benchmark_group("probe_codec");
     g.throughput(Throughput::Elements(1));
     g.bench_function("build", |b| b.iter(|| black_box(spec.build())));
+    g.bench_function("build_into", |b| {
+        let mut buf = [0u8; v6packet::probe::MAX_PROBE_LEN];
+        b.iter(|| black_box(spec.build_into(&mut buf)))
+    });
+    g.bench_function("template_render", |b| {
+        let mut tmpl = ProbeTemplate::new(spec.src, spec.target, spec.protocol, spec.instance);
+        let mut ttl = 1u8;
+        let mut elapsed = 0u32;
+        b.iter(|| {
+            ttl = ttl % 32 + 1;
+            elapsed = elapsed.wrapping_add(1000);
+            black_box(tmpl.render(ttl, elapsed).len())
+        })
+    });
     let wire = spec.build();
     g.bench_function("decode_quotation", |b| {
         b.iter(|| black_box(decode_quotation(&wire).unwrap()))
@@ -107,6 +121,19 @@ fn bench_engine_inject(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("engine");
     g.throughput(Throughput::Elements(1));
+    g.bench_function("inject_seed", |b| {
+        // The seed engine vendored from commit f54a62c: SipHash cache,
+        // Arc clones, allocating builders. The baseline the rework is
+        // measured against.
+        let mut e = beholder_bench::seed_baseline::SeedEngine::new(topo.clone());
+        let mut i = 0u64;
+        b.iter(|| {
+            let w = &wires[(i as usize) % wires.len()];
+            let d = e.inject(w, i * 100);
+            i += 1;
+            black_box(d)
+        })
+    });
     g.bench_function("inject", |b| {
         let mut e = Engine::new(topo.clone());
         let mut i = 0u64;
@@ -115,6 +142,21 @@ fn bench_engine_inject(c: &mut Criterion) {
             let d = e.inject(w, i * 100);
             i += 1;
             black_box(d)
+        })
+    });
+    g.bench_function("inject_cached", |b| {
+        // The zero-allocation hot path: warm path cache, reused Delivery.
+        let mut e = Engine::new(topo.clone());
+        let mut out = simnet::Delivery::default();
+        for (i, w) in wires.iter().enumerate() {
+            e.inject_into(w, i as u64 * 100, &mut out);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            let w = &wires[(i as usize) % wires.len()];
+            let hit = e.inject_into(w, i * 100, &mut out);
+            i += 1;
+            black_box(hit)
         })
     });
     g.finish();

@@ -35,7 +35,10 @@ fn conflicts(logs: &[&ProbeLog]) -> (u64, u64) {
 
 fn main() {
     let sc = Scenario::load();
-    println!("Ablation: per-target constant headers vs per-probe flow labels (scale {:?})\n", sc.scale);
+    println!(
+        "Ablation: per-target constant headers vs per-probe flow labels (scale {:?})\n",
+        sc.scale
+    );
     let set = sc.targets.get("combined-z64").expect("combined-z64");
     let resolver = sc.resolver();
     let vantage_asn = sc.topo.ases[sc.topo.vantages[1].as_idx as usize].asn;

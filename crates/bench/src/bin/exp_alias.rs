@@ -15,7 +15,10 @@ use yarrp6::YarrpConfig;
 
 fn main() {
     let sc = Scenario::load();
-    println!("Alias resolution + router-level graph (scale {:?})\n", sc.scale);
+    println!(
+        "Alias resolution + router-level graph (scale {:?})\n",
+        sc.scale
+    );
 
     // 1. Interface discovery: combined campaigns from all three
     // vantages — different approach directions reveal different
@@ -31,16 +34,31 @@ fn main() {
     }
     let res_log = &logs[1];
     let ifaces: Vec<Ipv6Addr> = iface_set.into_iter().collect();
-    println!("discovered interfaces (3 vps): {}", human(ifaces.len() as u64));
+    println!(
+        "discovered interfaces (3 vps): {}",
+        human(ifaces.len() as u64)
+    );
 
     // 2. Speedtrap over the discovered interfaces.
     let mut engine = Engine::new(sc.topo.clone());
     let sets = resolve_aliases(&mut engine, 1, &ifaces, &AliasConfig::default());
     println!("speedtrap probes:             {}", human(sets.probes));
-    println!("alias groups (>=2 ifaces):    {}", human(sets.groups.len() as u64));
-    println!("aliased interfaces:           {}", human(sets.groups.iter().map(|g| g.len() as u64).sum()));
-    println!("singletons:                   {}", human(sets.singletons.len() as u64));
-    println!("no fragmented reply:          {}", human(sets.unresponsive.len() as u64));
+    println!(
+        "alias groups (>=2 ifaces):    {}",
+        human(sets.groups.len() as u64)
+    );
+    println!(
+        "aliased interfaces:           {}",
+        human(sets.groups.iter().map(|g| g.len() as u64).sum())
+    );
+    println!(
+        "singletons:                   {}",
+        human(sets.singletons.len() as u64)
+    );
+    println!(
+        "no fragmented reply:          {}",
+        human(sets.unresponsive.len() as u64)
+    );
 
     // 3. Validation against ground truth.
     let truth = sc.topo.ground_truth_aliases();

@@ -32,7 +32,13 @@ fn main() {
         };
         let mut e = Engine::new(sc.topo.clone());
         let log = doubletree::run(&mut e, 1, &set.addrs, &dt_cfg);
-        print_result("doubletree", rate, log.probes_sent, log.interface_addrs().len(), e.stats.rate_limited);
+        print_result(
+            "doubletree",
+            rate,
+            log.probes_sent,
+            log.interface_addrs().len(),
+            e.stats.rate_limited,
+        );
 
         // Sequential.
         let seq_cfg = SequentialConfig {
@@ -41,7 +47,13 @@ fn main() {
         };
         let mut e = Engine::new(sc.topo.clone());
         let log = sequential::run(&mut e, 1, &set.addrs, &seq_cfg);
-        print_result("sequential", rate, log.probes_sent, log.interface_addrs().len(), e.stats.rate_limited);
+        print_result(
+            "sequential",
+            rate,
+            log.probes_sent,
+            log.interface_addrs().len(),
+            e.stats.rate_limited,
+        );
 
         // Yarrp6.
         let y_cfg = YarrpConfig {
@@ -51,7 +63,13 @@ fn main() {
         };
         let mut e = Engine::new(sc.topo.clone());
         let log = yarrp::run(&mut e, 1, &set.addrs, &y_cfg);
-        print_result("yarrp6", rate, log.probes_sent, log.interface_addrs().len(), e.stats.rate_limited);
+        print_result(
+            "yarrp6",
+            rate,
+            log.probes_sent,
+            log.interface_addrs().len(),
+            e.stats.rate_limited,
+        );
     }
     println!("\nExpect: doubletree uses the fewest probes at low rate, but its probe count");
     println!("*grows* with rate (silent rate-limited hops defeat the backward stop rule)");
@@ -64,7 +82,10 @@ fn print_result(name: &str, rate: u64, probes: u64, ints: usize, rate_limited: u
         (format!("{rate}"), 7),
         (human(probes), 9),
         (human(ints as u64), 9),
-        (format!("{:.1}", 100.0 * ints as f64 / probes.max(1) as f64), 8),
+        (
+            format!("{:.1}", 100.0 * ints as f64 / probes.max(1) as f64),
+            8,
+        ),
         (human(rate_limited), 12),
     ]);
 }

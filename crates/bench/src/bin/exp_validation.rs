@@ -16,7 +16,10 @@ use yarrp6::YarrpConfig;
 
 fn main() {
     let sc = Scenario::load();
-    println!("Validation vs production-style mapping (scale {:?})\n", sc.scale);
+    println!(
+        "Validation vs production-style mapping (scale {:?})\n",
+        sc.scale
+    );
     header(&[
         ("System", 22),
         ("Targets", 9),
@@ -46,7 +49,10 @@ fn main() {
         (human(3 * caida.len() as u64), 9),
         (human(ark_probes), 9),
         (human(ark_ifaces.len() as u64), 9),
-        (format!("{:.4}", ark_ifaces.len() as f64 / ark_probes.max(1) as f64), 11),
+        (
+            format!("{:.4}", ark_ifaces.len() as f64 / ark_probes.max(1) as f64),
+            11,
+        ),
     ]);
 
     // This work: Yarrp6 over the two most powerful sets from ONE vantage.
@@ -65,7 +71,10 @@ fn main() {
         (human(our_targets), 9),
         (human(our_probes), 9),
         (human(our_ifaces.len() as u64), 9),
-        (format!("{:.4}", our_ifaces.len() as f64 / our_probes.max(1) as f64), 11),
+        (
+            format!("{:.4}", our_ifaces.len() as f64 / our_probes.max(1) as f64),
+            11,
+        ),
     ]);
 
     let factor = our_ifaces.len() as f64 / ark_ifaces.len().max(1) as f64;

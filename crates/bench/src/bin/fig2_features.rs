@@ -8,7 +8,10 @@ use targets::{characterize, TargetSet};
 
 fn main() {
     let sc = Scenario::load();
-    println!("Figure 2: Features contributed by each target set (z64, scale {:?})\n", sc.scale);
+    println!(
+        "Figure 2: Features contributed by each target set (z64, scale {:?})\n",
+        sc.scale
+    );
     let sets: Vec<&TargetSet> = sc
         .targets
         .iter()
@@ -44,11 +47,17 @@ fn main() {
             (human(s.exclusive_prefixes), 8),
             (human(s.exclusive_asns), 8),
             (
-                format!("{:.1}%", 100.0 * s.exclusive_prefixes as f64 / s.bgp_prefixes.max(1) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * s.exclusive_prefixes as f64 / s.bgp_prefixes.max(1) as f64
+                ),
                 9,
             ),
             (
-                format!("{:.1}%", 100.0 * s.exclusive_asns as f64 / s.asns.max(1) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * s.exclusive_asns as f64 / s.asns.max(1) as f64
+                ),
                 9,
             ),
         ]);

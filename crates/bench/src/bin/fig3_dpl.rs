@@ -10,12 +10,17 @@ const POINTS: [u8; 11] = [24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64];
 
 fn main() {
     let sc = Scenario::load();
-    println!("Figure 3: DPL distributions, CDF at sampled lengths (scale {:?})\n", sc.scale);
+    println!(
+        "Figure 3: DPL distributions, CDF at sampled lengths (scale {:?})\n",
+        sc.scale
+    );
 
     let sets: Vec<&TargetSet> = sc
         .targets
         .iter()
-        .filter(|(n, _)| n.ends_with("-z64") && !n.starts_with("combined") && !n.starts_with("random"))
+        .filter(|(n, _)| {
+            n.ends_with("-z64") && !n.starts_with("combined") && !n.starts_with("random")
+        })
         .map(|(_, s)| s)
         .collect();
     let combined = TargetSet::union("combined", &sets);

@@ -39,7 +39,10 @@ fn main() {
             };
             let mut e = Engine::new(sc.topo.clone());
             let log = sequential::run(&mut e, vantage, &set.addrs, &seq_cfg);
-            print_row(&format!("sequential {rate}pps"), &hop_responsiveness(&log, MAX_TTL));
+            print_row(
+                &format!("sequential {rate}pps"),
+                &hop_responsiveness(&log, MAX_TTL),
+            );
 
             let yar_cfg = YarrpConfig {
                 rate_pps: rate,
@@ -49,7 +52,10 @@ fn main() {
             };
             let mut e = Engine::new(sc.topo.clone());
             let log = yarrp::run(&mut e, vantage, &set.addrs, &yar_cfg);
-            print_row(&format!("yarrp (rand) {rate}pps"), &hop_responsiveness(&log, MAX_TTL));
+            print_row(
+                &format!("yarrp (rand) {rate}pps"),
+                &hop_responsiveness(&log, MAX_TTL),
+            );
         }
         println!();
     }

@@ -11,7 +11,10 @@ use yarrp6::YarrpConfig;
 
 fn main() {
     let sc = Scenario::load();
-    println!("Figure 6: result features of z64 campaigns, all vantages (scale {:?})\n", sc.scale);
+    println!(
+        "Figure 6: result features of z64 campaigns, all vantages (scale {:?})\n",
+        sc.scale
+    );
     let cfg = YarrpConfig::default();
     let sets: Vec<_> = sc
         .targets

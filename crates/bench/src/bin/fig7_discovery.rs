@@ -11,7 +11,10 @@ use yarrp6::YarrpConfig;
 
 fn main() {
     let sc = Scenario::load();
-    println!("Figure 7: discovery vs probes, EU-NET vantage, z64 sets (scale {:?})\n", sc.scale);
+    println!(
+        "Figure 7: discovery vs probes, EU-NET vantage, z64 sets (scale {:?})\n",
+        sc.scale
+    );
     let cfg = YarrpConfig::default();
 
     // Log-spaced sample points in probe count.
@@ -56,7 +59,11 @@ fn main() {
                 print!(" {:>8}", human(v));
             }
         }
-        println!("   (total {} probes, {} ifaces)", human(res.log.probes_sent), human(res.log.interface_addrs().len() as u64));
+        println!(
+            "   (total {} probes, {} ifaces)",
+            human(res.log.probes_sent),
+            human(res.log.interface_addrs().len() as u64)
+        );
     }
     println!("\nExpect: caida strong early, flattens hard; random/6gen flatten after their");
     println!("cluster mass is spent; cdn-k32 and tum keep rising to the largest totals.");

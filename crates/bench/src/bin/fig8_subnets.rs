@@ -12,7 +12,10 @@ const POINTS: [u8; 11] = [24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64];
 
 fn main() {
     let sc = Scenario::load();
-    println!("Figure 8: subnets inferred by path divergence (scale {:?})\n", sc.scale);
+    println!(
+        "Figure 8: subnets inferred by path divergence (scale {:?})\n",
+        sc.scale
+    );
     let cfg = YarrpConfig::default();
     let resolver = sc.resolver();
     let params = PathDivParams::default();
@@ -49,8 +52,7 @@ fn main() {
         let mut ia: Vec<analysis::CandidateSubnet> = Vec::new();
         for (v, out) in outs.into_iter().enumerate() {
             let ts = TraceSet::from_log(&out.log);
-            let vantage_asn =
-                sc.topo.ases[sc.topo.vantages[v].as_idx as usize].asn;
+            let vantage_asn = sc.topo.ases[sc.topo.vantages[v].as_idx as usize].asn;
             cands.extend(discover_by_path_div(&ts, &resolver, vantage_asn, &params));
             ia.extend(ia_hack(&ts));
         }

@@ -36,5 +36,7 @@ fn main() {
             (frac(IidClass::Eui64), 8),
         ]);
     }
-    println!("\n(CDN rows are kIP prefix aggregates; per the paper their IIDs are 'All random' / N/A.)");
+    println!(
+        "\n(CDN rows are kIP prefix aggregates; per the paper their IIDs are 'All random' / N/A.)"
+    );
 }

@@ -14,7 +14,10 @@ use yarrp6::YarrpConfig;
 
 fn main() {
     let sc = Scenario::load();
-    println!("Table 3: ICMPv6 Trial Results by Transformation (fdns, scale {:?})\n", sc.scale);
+    println!(
+        "Table 3: ICMPv6 Trial Results by Transformation (fdns, scale {:?})\n",
+        sc.scale
+    );
 
     let levels = [40u8, 48, 56, 64];
     let mut per_level: BTreeMap<u8, (u64, u64, BTreeSet<Ipv6Addr>)> = BTreeMap::new();

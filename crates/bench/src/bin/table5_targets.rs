@@ -59,5 +59,7 @@ fn main() {
         (human(t.sixtofour), 7),
     ]);
     println!("\nExpect (paper shapes): fiebig has a large unrouted share; 6gen/cdn-k32 dominate");
-    println!("unique counts; caida covers the most BGP prefixes/ASNs per target; fdns/tum carry 6to4.");
+    println!(
+        "unique counts; caida covers the most BGP prefixes/ASNs per target; fdns/tum carry 6to4."
+    );
 }

@@ -134,7 +134,10 @@ fn main() {
         ("EUI%", 6),
         ("Offset", 9),
     ]);
-    let all_ifaces: BTreeSet<Ipv6Addr> = results.iter().flat_map(|r| r.ifaces.iter().copied()).collect();
+    let all_ifaces: BTreeSet<Ipv6Addr> = results
+        .iter()
+        .flat_map(|r| r.ifaces.iter().copied())
+        .collect();
     let all_probes: u64 = results.iter().map(|r| r.probes).sum();
     row(&[
         ("ALL".into(), 16),
@@ -174,7 +177,7 @@ fn main() {
     println!();
 
     // Per-set rows, reverse sorted by interface yield.
-    results.sort_by(|a, b| b.ifaces.len().cmp(&a.ifaces.len()));
+    results.sort_by_key(|r| std::cmp::Reverse(r.ifaces.len()));
     for r in &results {
         let excl_i = r.ifaces.iter().filter(|a| iface_count[a] == 1).count();
         let excl_p = r.pfxs.iter().filter(|p| pfx_count[p] == 1).count();

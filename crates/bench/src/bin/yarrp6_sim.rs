@@ -126,7 +126,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    eprintln!("# generating topology (scale {:?}, seed {:#x})…", args.scale, args.seed);
+    eprintln!(
+        "# generating topology (scale {:?}, seed {:#x})…",
+        args.scale, args.seed
+    );
     let topo = Arc::new(simnet::generate::generate(TopologyConfig::at_scale(
         args.scale, args.seed,
     )));
@@ -182,7 +185,11 @@ fn main() {
 
     if let Some(path) = &args.out_csv {
         analysis::export::write_log_csv(path, log).expect("write csv");
-        eprintln!("# wrote {} records to {}", log.records.len(), path.display());
+        eprintln!(
+            "# wrote {} records to {}",
+            log.records.len(),
+            path.display()
+        );
     }
     if let Some(path) = &args.out_ifaces {
         let v: Vec<std::net::Ipv6Addr> = ifaces.into_iter().collect();

@@ -6,6 +6,7 @@
 //! reproducible and mutually consistent.
 
 pub mod fmt;
+pub mod seed_baseline;
 
 use seeds::sources::SeedCatalog;
 use simnet::config::TopologyConfig;

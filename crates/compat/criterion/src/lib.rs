@@ -1,0 +1,142 @@
+//! Offline shim for `criterion`.
+//!
+//! A wall-clock harness with criterion's API shape: benchmark groups,
+//! `Bencher::iter`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark warms up briefly, then runs
+//! timed batches for ~`CRITERION_MEASURE_MS` (default 300 ms) and
+//! reports the median batch's ns/iter plus derived throughput.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collects per-iteration timings.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median batch's ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and calibration: find an iteration count that takes
+        // roughly one batch interval.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(30) {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let batch = calib_iters.max(1);
+
+        let measure_ms: u64 = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300);
+        let deadline = Instant::now() + Duration::from_millis(measure_ms);
+        let mut samples: Vec<f64> = Vec::new();
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            samples.push(dt.as_nanos() as f64 / batch as f64);
+        }
+        // Minimum batch: the noise-robust estimator — contention and
+        // frequency scaling only ever add time.
+        self.ns_per_iter = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<44} {:>12.1} ns/iter", ns_per_iter);
+    if let Some(t) = throughput {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = n as f64 * 1e9 / ns_per_iter;
+        line.push_str(&format!("   {:>14.0} {unit}/s", rate));
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(&mut self, id: N, mut f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.as_ref()),
+            b.ns_per_iter,
+            self.throughput,
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: AsRef<str>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(&mut self, id: N, mut f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(id.as_ref(), b.ns_per_iter, None);
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,508 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait over a deterministic RNG, `any`,
+//! integer-range and tuple strategies, `prop::collection::{vec,
+//! btree_set}`, and the `proptest!` / `prop_compose!` / `prop_oneof!` /
+//! `prop_assert*` macros. No shrinking: failures report the generated
+//! case's seed so they reproduce exactly (everything is deterministic
+//! per test name + case index).
+
+/// Number of cases each `proptest!` test runs (override with
+/// `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+pub mod test_runner {
+    //! The deterministic test RNG and failure type.
+
+    use std::fmt;
+
+    /// Error carried out of a failing property body.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Splitmix64-based deterministic RNG, seeded from the test name and
+    /// re-seeded per case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        base: u64,
+        state: u64,
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// RNG keyed by a stable name (the test function's name).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { base: h, state: h }
+        }
+
+        /// Re-keys for case `i` so each case is independent of how much
+        /// entropy earlier cases consumed.
+        pub fn reseed_case(&mut self, i: u32) {
+            let mut s = self.base ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+            self.state = splitmix64(&mut s);
+        }
+
+        /// The next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from a deterministic RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (`prop_oneof!`).
+    pub struct OneOf<V>(pub Vec<Box<dyn Strategy<Value = V>>>);
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    /// Closure-backed strategy (used by `prop_compose!`).
+    pub struct FnStrategy<F>(pub F);
+
+    impl<V, F: Fn(&mut TestRng) -> V> Strategy for FnStrategy<F> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                    let draw = ((rng.next_u64() as $wide)
+                        ^ ((rng.next_u64() as $wide) << 32)) % span;
+                    self.start.wrapping_add(draw as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                    let draw = (rng.next_u64() as $wide) ^ ((rng.next_u64() as $wide) << 32);
+                    if span == 0 {
+                        return draw as $t;
+                    }
+                    lo.wrapping_add((draw % span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+        u128 => u128
+    );
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy! {
+        (0 S0, 1 S1)
+        (0 S0, 1 S1, 2 S2)
+        (0 S0, 1 S1, 2 S2, 3 S3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` trait.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[inline]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        #[inline]
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        #[inline]
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        #[inline]
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with `size.start..size.end` elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with cardinality drawn from
+    /// `size` (best-effort under duplicate draws).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + (rng.next_u64() % span) as usize;
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 10 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `BTreeSet` strategy with `size.start..size.end` elements.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Binds `proptest!`/`prop_compose!` parameters: `pat in strategy` draws
+/// from the strategy; `ident: Type` draws an arbitrary value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $x:ident : $ty:ty, $($rest:tt)*) => {
+        let $x: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut *$rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $x:ident : $ty:ty) => {
+        let $x: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut *$rng);
+    };
+    ($rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut *$rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut *$rng);
+    };
+}
+
+/// The property-test macro: each `fn` becomes a `#[test]` running
+/// [`cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..$crate::cases() {
+                __rng.reseed_case(__case);
+                let rng = &mut __rng;
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__proptest_bind!(rng, $($params)*);
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let Err(e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}: {}",
+                        stringify!($name),
+                        __case,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Composes named strategies from sub-strategies, mirroring
+/// `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)($($params:tt)*) -> $ty:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ty> {
+            $crate::strategy::FnStrategy(move |rng: &mut $crate::test_runner::TestRng| -> $ty {
+                $crate::__proptest_bind!(rng, $($params)*);
+                $body
+            })
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// `assert!` that fails the property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for property cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__a, __b) => {
+                $crate::prop_assert!(
+                    __a == __b,
+                    "assertion failed: {:?} != {:?}",
+                    __a,
+                    __b
+                )
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (__a, __b) => {
+                if !(__a == __b) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                        format!(
+                            "{} (left: {:?}, right: {:?})",
+                            format!($($fmt)*),
+                            __a,
+                            __b
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` for property cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__a, __b) => {
+                $crate::prop_assert!(
+                    __a != __b,
+                    "assertion failed: {:?} == {:?}",
+                    __a,
+                    __b
+                )
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (__a, __b) => {
+                if !(__a != __b) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                        format!(
+                            "{} (both: {:?})",
+                            format!($($fmt)*),
+                            __a
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u8..=7, y in 10usize..20, w: u128) {
+            prop_assert!((3..=7).contains(&x));
+            prop_assert!((10..20).contains(&y));
+            let _ = w;
+        }
+
+        #[test]
+        fn collections_sized(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+    }
+
+    prop_compose! {
+        fn pairs()(a in 0u32..10, b: u8) -> (u32, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed(p in pairs()) {
+            prop_assert!(p.0 < 10);
+        }
+
+        #[test]
+        fn oneof_picks(v in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1u8..=3).contains(&v));
+        }
+    }
+}

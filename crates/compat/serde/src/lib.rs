@@ -1,0 +1,14 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and their derive
+//! macros so `use serde::{Deserialize, Serialize}` + `#[derive(...)]`
+//! compile unchanged. The derives are no-ops (see `serde_derive`); no
+//! code in this workspace serializes through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! Offline shim for the `serde_derive` proc-macro crate.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! documentation of intent — nothing serializes through serde (JSON
+//! emitters are hand-rolled), so the derives expand to nothing. If a
+//! future PR needs real serialization, replace this shim with the real
+//! crate (or emit impls here).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -3,15 +3,17 @@
 //! A campaign is `(vantage, target set, prober config)` run against a
 //! fresh [`Engine`] (fresh token buckets — campaigns are independent, as
 //! the paper launched its 54 campaigns separately). The parallel driver
-//! fans campaigns out across OS threads with crossbeam; the engine is
-//! per-campaign so no locking is needed beyond the shared, read-only
-//! topology.
+//! keeps a fixed pool of worker threads pulling campaign indices from a
+//! shared atomic queue, so a slow campaign never stalls unrelated ones;
+//! the engine is per-campaign so no locking is needed beyond the shared,
+//! read-only topology.
 
 use crate::record::ProbeLog;
 use crate::yarrp::{self, YarrpConfig};
 use simnet::{Engine, EngineStats, Topology};
 use std::net::Ipv6Addr;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use targets::TargetSet;
 
 /// A finished campaign: the prober's log plus the engine's ground-truth
@@ -67,37 +69,47 @@ pub struct CampaignSpec<'a> {
     pub cfg: YarrpConfig,
 }
 
-/// Runs many campaigns in parallel (one thread each, bounded by the
-/// machine), returning results in input order.
+/// Runs many campaigns in parallel, returning results in input order.
+///
+/// A fixed pool of worker threads (bounded by the machine) claims
+/// campaign indices from a shared atomic counter. Unlike a wave-join,
+/// no worker ever idles behind a slow campaign in its wave: the pool
+/// stays busy until the queue drains.
 pub fn run_campaigns_parallel(
     topo: &Arc<Topology>,
     specs: &[CampaignSpec<'_>],
 ) -> Vec<CampaignResult> {
-    let mut out: Vec<Option<CampaignResult>> = (0..specs.len()).map(|_| None).collect();
-    let chunk = std::thread::available_parallelism()
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(4);
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, spec) in specs.iter().enumerate() {
-            let topo = topo.clone();
-            handles.push((
-                i,
-                s.spawn(move |_| run_campaign(&topo, spec.vantage_idx, spec.set, &spec.cfg)),
-            ));
-            // Crude backpressure: join in waves to bound live threads.
-            if handles.len() >= chunk {
-                for (j, h) in handles.drain(..) {
-                    out[j] = Some(h.join().expect("campaign thread panicked"));
+        .unwrap_or(4)
+        .min(specs.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CampaignResult)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let res = run_campaign(topo, spec.vantage_idx, spec.set, &spec.cfg);
+                if tx.send((i, res)).is_err() {
+                    break;
                 }
-            }
+            });
         }
-        for (j, h) in handles.drain(..) {
-            out[j] = Some(h.join().expect("campaign thread panicked"));
-        }
-    })
-    .expect("campaign scope panicked");
-    out.into_iter().map(|r| r.unwrap()).collect()
+    });
+    drop(tx);
+    let mut out: Vec<Option<CampaignResult>> = (0..specs.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("worker completed every claimed campaign"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -151,9 +163,6 @@ mod tests {
         let a = run_campaign(&topo, 0, &set, &cfg);
         let c = run_campaign(&topo, 2, &set, &cfg);
         // US-EDU-2's longer on-prem path shows up in its discoveries.
-        assert_ne!(
-            a.log.interface_addrs(),
-            c.log.interface_addrs()
-        );
+        assert_ne!(a.log.interface_addrs(), c.log.interface_addrs());
     }
 }

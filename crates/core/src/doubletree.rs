@@ -59,7 +59,9 @@ pub fn run(
     cfg: &DoubletreeConfig,
 ) -> ProbeLog {
     let src = engine.topology().vantages[vantage_idx as usize].addr;
-    let vantage_name = engine.topology().vantages[vantage_idx as usize].name.clone();
+    let vantage_name = engine.topology().vantages[vantage_idx as usize]
+        .name
+        .clone();
     let mut log = ProbeLog {
         vantage: vantage_name,
         prober: "doubletree".into(),
@@ -72,10 +74,10 @@ pub fn run(
     let mut stop_set: HashSet<Ipv6Addr> = HashSet::new();
 
     let probe = |engine: &mut Engine,
-                     target: Ipv6Addr,
-                     ttl: u8,
-                     now_us: &mut u64,
-                     log: &mut ProbeLog|
+                 target: Ipv6Addr,
+                 ttl: u8,
+                 now_us: &mut u64,
+                 log: &mut ProbeLog|
      -> Option<crate::record::ResponseRecord> {
         let spec = ProbeSpec {
             src,
@@ -121,8 +123,8 @@ pub fn run(
         for ttl in (1..cfg.start_ttl).rev() {
             match probe(engine, target, ttl, &mut now_us, &mut log) {
                 Some(rec) => {
-                    let hit = rec.kind == ResponseKind::TimeExceeded
-                        && !stop_set.insert(rec.responder);
+                    let hit =
+                        rec.kind == ResponseKind::TimeExceeded && !stop_set.insert(rec.responder);
                     if hit {
                         break;
                     }
@@ -178,11 +180,7 @@ mod tests {
         let dt = run(&mut Engine::new(t), 0, &targets, &cfg);
         // After the first trace, near hops are in the stop set; TTL-1
         // probes should be rare (only the first trace reaches TTL 1).
-        let ttl1 = dt
-            .records
-            .iter()
-            .filter(|r| r.probe_ttl == Some(1))
-            .count();
+        let ttl1 = dt.records.iter().filter(|r| r.probe_ttl == Some(1)).count();
         assert!(ttl1 <= 5, "too many TTL-1 probes: {ttl1}");
     }
 

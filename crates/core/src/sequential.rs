@@ -65,7 +65,9 @@ pub fn run(
     cfg: &SequentialConfig,
 ) -> ProbeLog {
     let src = engine.topology().vantages[vantage_idx as usize].addr;
-    let vantage_name = engine.topology().vantages[vantage_idx as usize].name.clone();
+    let vantage_name = engine.topology().vantages[vantage_idx as usize]
+        .name
+        .clone();
     let mut log = ProbeLog {
         vantage: vantage_name,
         prober: "sequential".into(),
@@ -99,9 +101,7 @@ pub fn run(
                 log.probes_sent += 1;
                 let delivery = engine.inject(&spec.build(), now_us);
                 now_us += interval_us;
-                match delivery
-                    .and_then(|d| decode_response(&d.bytes, d.at_us, cfg.instance).ok())
-                {
+                match delivery.and_then(|d| decode_response(&d.bytes, d.at_us, cfg.instance).ok()) {
                     Some(rec) => {
                         log.records.push(rec);
                         state[i].gap = 0;

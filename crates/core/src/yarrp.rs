@@ -16,10 +16,10 @@
 use crate::perm::Permutation;
 use crate::record::{decode_response, ProbeLog, ResponseKind, ResponseRecord};
 use serde::{Deserialize, Serialize};
-use simnet::Engine;
+use simnet::{Delivery, Engine};
 use std::collections::HashSet;
 use std::net::Ipv6Addr;
-use v6packet::probe::{ProbeSpec, Protocol};
+use v6packet::probe::{ProbeSpec, ProbeTemplate, Protocol};
 
 /// Neighborhood-mode parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -73,6 +73,109 @@ impl Default for YarrpConfig {
     }
 }
 
+/// Records are reserved up front, capped so absurdly large target sets
+/// don't pre-commit gigabytes.
+const MAX_RESERVE: usize = 1 << 20;
+
+/// The prober's per-campaign hot-path state: per-target wire templates
+/// and one reused response buffer. Steady state allocates nothing per
+/// probe — templates render in place and the engine refills `delivery`.
+struct HotPath<'e> {
+    engine: &'e mut Engine,
+    src: Ipv6Addr,
+    /// Per-target templates, built lazily on first probe.
+    templates: Vec<Option<ProbeTemplate>>,
+    /// Reused response delivery.
+    delivery: Delivery,
+    /// Scratch wire for off-template probes (fill chains chasing a
+    /// middlebox-rewritten quoted target).
+    scratch: [u8; v6packet::probe::MAX_PROBE_LEN],
+}
+
+impl HotPath<'_> {
+    /// Emits one probe to `targets[tidx]`, decoding and logging any
+    /// response. Returns the decoded record for fill/neighborhood
+    /// bookkeeping.
+    fn send_probe(
+        &mut self,
+        targets: &[Ipv6Addr],
+        tidx: usize,
+        ttl: u8,
+        now_us: u64,
+        cfg: &YarrpConfig,
+        log: &mut ProbeLog,
+    ) -> Option<ResponseRecord> {
+        let tmpl = self.templates[tidx].get_or_insert_with(|| {
+            ProbeTemplate::new(self.src, targets[tidx], cfg.protocol, cfg.instance)
+        });
+        log.probes_sent += 1;
+        let wire = tmpl.render(ttl, now_us as u32);
+        if cfg.vary_flow_label {
+            // Patch the flow label (not covered by any checksum): a fresh
+            // pseudo-random label per probe. Render never touches these
+            // bits, so the mask clears the previous probe's label.
+            let label = (now_us as u32).wrapping_mul(0x9e37_79b9) >> 12 & 0xf_ffff;
+            let vtf = u32::from_be_bytes([wire[0], wire[1], wire[2], wire[3]]) & !0xf_ffff | label;
+            wire[0..4].copy_from_slice(&vtf.to_be_bytes());
+        }
+        if !self.engine.inject_into(wire, now_us, &mut self.delivery) {
+            return None;
+        }
+        match decode_response(&self.delivery.bytes, self.delivery.at_us, cfg.instance) {
+            Ok(rec) => {
+                log.records.push(rec);
+                Some(rec)
+            }
+            Err(_) => {
+                log.discarded += 1;
+                None
+            }
+        }
+    }
+
+    /// Emits one probe to an arbitrary address via the scratch buffer —
+    /// the rare fill-chain case where the quoted target was rewritten
+    /// and matches no template. Still allocation-free.
+    fn send_probe_to(
+        &mut self,
+        target: Ipv6Addr,
+        ttl: u8,
+        now_us: u64,
+        cfg: &YarrpConfig,
+        log: &mut ProbeLog,
+    ) -> Option<ResponseRecord> {
+        let spec = ProbeSpec {
+            src: self.src,
+            target,
+            protocol: cfg.protocol,
+            ttl,
+            instance: cfg.instance,
+            elapsed_us: now_us as u32,
+        };
+        log.probes_sent += 1;
+        let n = spec.build_into(&mut self.scratch);
+        let wire = &mut self.scratch[..n];
+        if cfg.vary_flow_label {
+            let label = (now_us as u32).wrapping_mul(0x9e37_79b9) >> 12 & 0xf_ffff;
+            let vtf = u32::from_be_bytes([wire[0], wire[1], wire[2], wire[3]]) & !0xf_ffff | label;
+            wire[0..4].copy_from_slice(&vtf.to_be_bytes());
+        }
+        if !self.engine.inject_into(wire, now_us, &mut self.delivery) {
+            return None;
+        }
+        match decode_response(&self.delivery.bytes, self.delivery.at_us, cfg.instance) {
+            Ok(rec) => {
+                log.records.push(rec);
+                Some(rec)
+            }
+            Err(_) => {
+                log.discarded += 1;
+                None
+            }
+        }
+    }
+}
+
 /// Runs a Yarrp6 campaign from `vantage_idx` against `targets`.
 pub fn run(
     engine: &mut Engine,
@@ -82,7 +185,9 @@ pub fn run(
 ) -> ProbeLog {
     assert!(cfg.max_ttl >= 1 && cfg.fill_max_ttl >= cfg.max_ttl);
     let src = engine.topology().vantages[vantage_idx as usize].addr;
-    let vantage_name = engine.topology().vantages[vantage_idx as usize].name.clone();
+    let vantage_name = engine.topology().vantages[vantage_idx as usize]
+        .name
+        .clone();
     let ttl_span = cfg.max_ttl as u64;
     let n = targets.len() as u64 * ttl_span;
     let perm = Permutation::new(n, cfg.perm_seed);
@@ -93,15 +198,24 @@ pub fn run(
         traces: targets.len() as u64,
         ..Default::default()
     };
+    log.records.reserve((n as usize).min(MAX_RESERVE));
     let interval_us = 1_000_000 / cfg.rate_pps.max(1);
     let mut now_us: u64 = 0;
+
+    let mut hot = HotPath {
+        engine,
+        src,
+        templates: vec![None; targets.len()],
+        delivery: Delivery::default(),
+        scratch: [0u8; v6packet::probe::MAX_PROBE_LEN],
+    };
 
     // Neighborhood state.
     let mut last_new = vec![0u64; 256];
     let mut seen_ifaces: HashSet<Ipv6Addr> = HashSet::new();
 
     for v in perm.iter() {
-        let target = targets[(v / ttl_span) as usize];
+        let tidx = (v / ttl_span) as usize;
         let ttl = (v % ttl_span) as u8 + 1;
 
         if let Some(nb) = cfg.neighborhood {
@@ -114,10 +228,19 @@ pub fn run(
             }
         }
 
-        let resp = send_probe(engine, src, target, ttl, now_us, cfg, &mut log);
+        let resp = hot.send_probe(targets, tidx, ttl, now_us, cfg, &mut log);
         if let Some(rec) = resp {
             note_response(&rec, &mut last_new, &mut seen_ifaces);
-            maybe_fill(engine, src, rec, cfg, &mut log, &mut last_new, &mut seen_ifaces);
+            maybe_fill(
+                &mut hot,
+                targets,
+                tidx,
+                rec,
+                cfg,
+                &mut log,
+                &mut last_new,
+                &mut seen_ifaces,
+            );
         }
         now_us += interval_us;
     }
@@ -126,9 +249,86 @@ pub fn run(
     log
 }
 
-/// Emits one probe, decoding and logging any response. Returns the
-/// decoded record for fill/neighborhood bookkeeping.
-fn send_probe(
+/// The naive reference pipeline: full [`ProbeSpec::build`] per probe and
+/// the allocating [`Engine::inject`]. Kept (and exercised by the golden
+/// determinism test) to pin the hot path's bit-identical contract; not
+/// for production use.
+#[doc(hidden)]
+pub fn run_reference(
+    engine: &mut Engine,
+    vantage_idx: u8,
+    targets: &[Ipv6Addr],
+    cfg: &YarrpConfig,
+) -> ProbeLog {
+    assert!(cfg.max_ttl >= 1 && cfg.fill_max_ttl >= cfg.max_ttl);
+    let src = engine.topology().vantages[vantage_idx as usize].addr;
+    let vantage_name = engine.topology().vantages[vantage_idx as usize]
+        .name
+        .clone();
+    let ttl_span = cfg.max_ttl as u64;
+    let n = targets.len() as u64 * ttl_span;
+    let perm = Permutation::new(n, cfg.perm_seed);
+
+    let mut log = ProbeLog {
+        vantage: vantage_name,
+        prober: "yarrp6".into(),
+        traces: targets.len() as u64,
+        ..Default::default()
+    };
+    let interval_us = 1_000_000 / cfg.rate_pps.max(1);
+    let mut now_us: u64 = 0;
+    let mut last_new = vec![0u64; 256];
+    let mut seen_ifaces: HashSet<Ipv6Addr> = HashSet::new();
+
+    for v in perm.iter() {
+        let target = targets[(v / ttl_span) as usize];
+        let ttl = (v % ttl_span) as u8 + 1;
+        if let Some(nb) = cfg.neighborhood {
+            if ttl <= nb.max_ttl
+                && now_us > nb.window_us
+                && now_us - last_new[ttl as usize] > nb.window_us
+            {
+                now_us += interval_us;
+                continue;
+            }
+        }
+        let resp = send_probe_reference(engine, src, target, ttl, now_us, cfg, &mut log);
+        if let Some(rec) = resp {
+            note_response(&rec, &mut last_new, &mut seen_ifaces);
+            // Fill chains, naive pipeline.
+            if cfg.fill_mode {
+                let mut cur = rec;
+                while let Some(h) = cur.probe_ttl.filter(|&h| {
+                    h >= cfg.max_ttl
+                        && h < cfg.fill_max_ttl
+                        && cur.kind == ResponseKind::TimeExceeded
+                }) {
+                    log.fills += 1;
+                    let Some(next) = send_probe_reference(
+                        engine,
+                        src,
+                        cur.target,
+                        h + 1,
+                        cur.recv_us,
+                        cfg,
+                        &mut log,
+                    ) else {
+                        break;
+                    };
+                    note_response(&next, &mut last_new, &mut seen_ifaces);
+                    cur = next;
+                }
+            }
+        }
+        now_us += interval_us;
+    }
+    log.duration_us = now_us;
+    log.sort_by_recv();
+    log
+}
+
+/// One naive-pipeline probe (see [`run_reference`]).
+fn send_probe_reference(
     engine: &mut Engine,
     src: Ipv6Addr,
     target: Ipv6Addr,
@@ -148,8 +348,6 @@ fn send_probe(
     log.probes_sent += 1;
     let mut wire = spec.build();
     if cfg.vary_flow_label {
-        // Patch the flow label (not covered by any checksum): a fresh
-        // pseudo-random label per probe.
         let label = (now_us as u32).wrapping_mul(0x9e37_79b9) >> 12 & 0xf_ffff;
         let vtf = u32::from_be_bytes([wire[0], wire[1], wire[2], wire[3]]) & !0xf_ffff | label;
         wire[0..4].copy_from_slice(&vtf.to_be_bytes());
@@ -167,11 +365,7 @@ fn send_probe(
     }
 }
 
-fn note_response(
-    rec: &ResponseRecord,
-    last_new: &mut [u64],
-    seen: &mut HashSet<Ipv6Addr>,
-) {
+fn note_response(rec: &ResponseRecord, last_new: &mut [u64], seen: &mut HashSet<Ipv6Addr>) {
     if rec.kind == ResponseKind::TimeExceeded && seen.insert(rec.responder) {
         if let Some(ttl) = rec.probe_ttl {
             last_new[ttl as usize] = rec.recv_us;
@@ -182,9 +376,11 @@ fn note_response(
 /// Fill mode: chase the path tail past `max_ttl` while hops keep
 /// answering. Fill probes are sent when the triggering response arrives
 /// (the prober reacts on receipt), so they ride the same virtual clock.
+#[allow(clippy::too_many_arguments)]
 fn maybe_fill(
-    engine: &mut Engine,
-    src: Ipv6Addr,
+    hot: &mut HotPath<'_>,
+    targets: &[Ipv6Addr],
+    tidx: usize,
     trigger: ResponseRecord,
     cfg: &YarrpConfig,
     log: &mut ProbeLog,
@@ -195,16 +391,20 @@ fn maybe_fill(
         return;
     }
     let mut cur = trigger;
-    loop {
-        let Some(h) = cur.probe_ttl else { break };
-        if h < cfg.max_ttl || h >= cfg.fill_max_ttl || cur.kind != ResponseKind::TimeExceeded {
-            break;
-        }
+    while let Some(h) = cur.probe_ttl.filter(|&h| {
+        h >= cfg.max_ttl && h < cfg.fill_max_ttl && cur.kind == ResponseKind::TimeExceeded
+    }) {
         let send_at = cur.recv_us;
         log.fills += 1;
-        let Some(rec) = send_probe(engine, src, cur.target, h + 1, send_at, cfg, log) else {
-            break;
+        // Fill chases the *quoted* target (as the stateless prober on the
+        // wire would): usually the probed target's template, but a
+        // middlebox-rewritten quotation diverges onto the scratch path.
+        let rec = if cur.target == targets[tidx] {
+            hot.send_probe(targets, tidx, h + 1, send_at, cfg, log)
+        } else {
+            hot.send_probe_to(cur.target, h + 1, send_at, cfg, log)
         };
+        let Some(rec) = rec else { break };
         note_response(&rec, last_new, seen);
         cur = rec;
     }

@@ -1,0 +1,95 @@
+//! Golden determinism: the template/buffer-reuse hot path must produce
+//! records **bit-identical** to the naive `ProbeSpec::build` + allocating
+//! `Engine::inject` pipeline — for every protocol, with the
+//! `vary_flow_label` ablation on and off, through fill chains, and on
+//! middlebox-heavy topologies where fill chases rewritten quoted targets.
+
+use simnet::config::TopologyConfig;
+use simnet::generate::generate;
+use simnet::{Engine, Topology};
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+use v6packet::probe::Protocol;
+use yarrp6::yarrp::{self, YarrpConfig};
+
+fn assert_pipelines_match(
+    topo: &Arc<Topology>,
+    vantage: u8,
+    targets: &[Ipv6Addr],
+    cfg: &YarrpConfig,
+) {
+    let hot = yarrp::run(&mut Engine::new(topo.clone()), vantage, targets, cfg);
+    let naive = yarrp::run_reference(&mut Engine::new(topo.clone()), vantage, targets, cfg);
+    let label = format!(
+        "proto={} vary_flow_label={} max_ttl={}",
+        cfg.protocol, cfg.vary_flow_label, cfg.max_ttl
+    );
+    assert_eq!(hot.probes_sent, naive.probes_sent, "probes_sent: {label}");
+    assert_eq!(hot.fills, naive.fills, "fills: {label}");
+    assert_eq!(hot.discarded, naive.discarded, "discarded: {label}");
+    assert_eq!(hot.duration_us, naive.duration_us, "duration: {label}");
+    assert_eq!(hot.records, naive.records, "records: {label}");
+}
+
+#[test]
+fn template_pipeline_matches_naive_for_all_protocols() {
+    let topo = Arc::new(generate(TopologyConfig::tiny(42)));
+    let targets: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(60).collect();
+    for protocol in [Protocol::Icmp6, Protocol::Udp, Protocol::Tcp] {
+        for vary_flow_label in [false, true] {
+            let cfg = YarrpConfig {
+                protocol,
+                vary_flow_label,
+                ..Default::default()
+            };
+            assert_pipelines_match(&topo, 0, &targets, &cfg);
+        }
+    }
+}
+
+#[test]
+fn template_pipeline_matches_naive_through_fill_chains() {
+    // Small max_ttl forces fill mode to chase path tails; vantage 1
+    // avoids vantage 0's silent-hop quirk that truncates chains.
+    let topo = Arc::new(generate(TopologyConfig::tiny(42)));
+    let targets: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(40).collect();
+    let cfg = YarrpConfig {
+        max_ttl: 4,
+        ..Default::default()
+    };
+    let probe = yarrp::run(&mut Engine::new(topo.clone()), 1, &targets, &cfg);
+    assert!(probe.fills > 0, "fixture must exercise fill chains");
+    assert_pipelines_match(&topo, 1, &targets, &cfg);
+}
+
+#[test]
+fn template_pipeline_matches_naive_on_middlebox_topology() {
+    // Middlebox-fronted ASes rewrite quoted destinations, sending fill
+    // chains down the off-template scratch path.
+    let mut tcfg = TopologyConfig::tiny(42);
+    tcfg.middlebox_milli = 400;
+    let topo = Arc::new(generate(tcfg));
+    let targets: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(60).collect();
+    for vary_flow_label in [false, true] {
+        let cfg = YarrpConfig {
+            max_ttl: 5,
+            vary_flow_label,
+            ..Default::default()
+        };
+        assert_pipelines_match(&topo, 1, &targets, &cfg);
+    }
+}
+
+#[test]
+fn neighborhood_mode_pipelines_match() {
+    let topo = Arc::new(generate(TopologyConfig::tiny(42)));
+    let targets: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(80).collect();
+    let cfg = YarrpConfig {
+        neighborhood: Some(yarrp::Neighborhood {
+            max_ttl: 4,
+            window_us: 2_000_000,
+        }),
+        ..Default::default()
+    };
+    assert_pipelines_match(&topo, 0, &targets, &cfg);
+}

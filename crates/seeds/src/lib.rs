@@ -98,10 +98,7 @@ impl SeedList {
 
     /// Union of several lists (the paper's "Combined" row).
     pub fn union(name: impl Into<String>, lists: &[&SeedList]) -> SeedList {
-        SeedList::new(
-            name,
-            lists.iter().flat_map(|l| l.entries.iter().copied()),
-        )
+        SeedList::new(name, lists.iter().flat_map(|l| l.entries.iter().copied()))
     }
 }
 
@@ -115,7 +112,10 @@ mod tests {
 
     #[test]
     fn dedup_and_sort() {
-        let l = SeedList::new("t", vec![a("2001:db8::2"), a("2001:db8::1"), a("2001:db8::2")]);
+        let l = SeedList::new(
+            "t",
+            vec![a("2001:db8::2"), a("2001:db8::1"), a("2001:db8::2")],
+        );
         assert_eq!(l.len(), 2);
         let v: Vec<_> = l.addrs().collect();
         assert!(v[0] < v[1]);

@@ -51,11 +51,7 @@ impl Cluster {
     fn draw(&self, rng: &mut SmallRng) -> u128 {
         let mut w = 0u128;
         for (i, &(lo, hi)) in self.ranges.iter().enumerate() {
-            let nyb = if lo >= hi {
-                lo
-            } else {
-                rng.gen_range(lo..=hi)
-            } as u128;
+            let nyb = if lo >= hi { lo } else { rng.gen_range(lo..=hi) } as u128;
             w |= nyb << (124 - 4 * i);
         }
         w

@@ -220,10 +220,7 @@ pub fn sixgen_list(topo: &Topology, caida: &SeedList, rng: &mut SmallRng) -> See
     }
     let budget = input.len() * 20;
     let generated = sixgen::generate_loose(&input, budget, rng.gen());
-    SeedList::new(
-        "6gen",
-        generated.into_iter().map(SeedEntry::Addr),
-    )
+    SeedList::new("6gen", generated.into_iter().map(SeedEntry::Addr))
 }
 
 /// The TUM collection's subsets (Table 2 analogue): each packaged
@@ -389,7 +386,11 @@ mod tests {
     #[test]
     fn sixtofour_present_in_fdns() {
         let (_, cat) = catalog();
-        let n = cat.fdns.addrs().filter(|a| v6addr::is_sixtofour(*a)).count();
+        let n = cat
+            .fdns
+            .addrs()
+            .filter(|a| v6addr::is_sixtofour(*a))
+            .count();
         assert!(n > 0, "fdns must include 6to4 hosts");
     }
 }

@@ -12,17 +12,20 @@
 //! same way they would be on the real Internet.
 
 use crate::flow::{self, FlowKey};
+use crate::pathcache::PathCache;
 use crate::ratelimit::TokenBucket;
 use crate::route::{self, DestEntry, ResolvedPath};
 use crate::topology::{HostKind, RouterId, Topology, UnknownAddrPolicy};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::Arc;
 use v6packet::icmp6::{self, DestUnreachCode, Icmp6Type};
 use v6packet::{ip6, proto_num, tcp, Ipv6Header};
 
 /// A response scheduled for delivery back at the vantage.
-#[derive(Clone, Debug)]
+///
+/// Reusable: [`Engine::inject_into`] clears and refills `bytes`, so one
+/// `Delivery` can serve an entire campaign without reallocating.
+#[derive(Clone, Debug, Default)]
 pub struct Delivery {
     /// Virtual arrival time at the prober (µs).
     pub at_us: u64,
@@ -51,15 +54,24 @@ pub struct EngineStats {
     pub echo_replies: u64,
     /// TCP responses emitted.
     pub tcp_responses: u64,
-    /// Destination Unreachable responses by code.
+    /// Destination Unreachable code 0 (no route to destination): probes
+    /// into space absent from the BGP table, rejected at the vantage AS
+    /// border.
     pub du_no_route: u64,
-    /// See above.
+    /// Destination Unreachable code 1 (administratively prohibited):
+    /// firewalls and `AdminProhibited`-policy ASes refusing unassigned-
+    /// space probes.
     pub du_admin: u64,
-    /// See above.
+    /// Destination Unreachable code 3 (address unreachable): routed
+    /// space whose covering subnet has no live host, under the
+    /// `AddrUnreachable` policy (the default ND-failure signal).
     pub du_addr: u64,
-    /// See above.
+    /// Destination Unreachable code 4 (port unreachable): UDP probes
+    /// that reached a live host with no listener on the probe port —
+    /// the destination itself answering.
     pub du_port: u64,
-    /// See above.
+    /// Destination Unreachable code 6 (reject route): ASes whose
+    /// unassigned space is covered by a discard/reject route.
     pub du_reject: u64,
     /// Dest-zone probes silently dropped by policy/ND throttling.
     pub dest_silent: u64,
@@ -72,10 +84,7 @@ pub struct EngineStats {
 impl EngineStats {
     /// Total responses of any kind.
     pub fn responses(&self) -> u64 {
-        self.time_exceeded
-            + self.echo_replies
-            + self.tcp_responses
-            + self.dest_unreach_total()
+        self.time_exceeded + self.echo_replies + self.tcp_responses + self.dest_unreach_total()
     }
 
     /// All Destination Unreachable responses.
@@ -94,7 +103,13 @@ impl EngineStats {
 pub struct Engine {
     topo: Arc<Topology>,
     buckets: Vec<TokenBucket>,
-    path_cache: HashMap<(u8, u128, u64), Arc<ResolvedPath>>,
+    /// `(vantage, dst, flow)` → index into `paths`: an open-addressed
+    /// table bucketed directly by the premixed flow hash. A hit costs a
+    /// masked index and one key compare — no SipHash, no `Arc`
+    /// refcount traffic.
+    path_cache: PathCache,
+    /// Resolved paths, indexed by `path_cache` values.
+    paths: Vec<ResolvedPath>,
     /// Per-router fragment-identification counters: one monotonic
     /// counter shared by all of a router's interfaces (the speedtrap
     /// alias signal). Seeded per router so counters are unsynchronized.
@@ -123,7 +138,8 @@ impl Engine {
         Engine {
             topo,
             buckets,
-            path_cache: HashMap::new(),
+            path_cache: PathCache::new(),
+            paths: Vec::new(),
             frag_counters,
             stats: EngineStats::default(),
         }
@@ -151,30 +167,55 @@ impl Engine {
     }
 
     /// Resolves (with caching) the forward path a probe with this header
-    /// and flow takes.
-    pub fn resolve_path(
+    /// and flow takes, returning its index into the engine's path table
+    /// (see [`Self::path`]).
+    pub fn resolve_path_idx(
         &mut self,
         vantage_idx: u8,
         dst: std::net::Ipv6Addr,
         flow_hash: u64,
-    ) -> Arc<ResolvedPath> {
-        let key = (vantage_idx, u128::from(dst), flow_hash);
-        if let Some(p) = self.path_cache.get(&key) {
-            return p.clone();
+    ) -> u32 {
+        let dst_word = u128::from(dst);
+        if let Some(i) = self.path_cache.get(vantage_idx, dst_word, flow_hash) {
+            return i;
         }
         let v = &self.topo.vantages[vantage_idx as usize];
-        let p = Arc::new(route::resolve(&self.topo, v, dst, flow_hash));
-        self.path_cache.insert(key, p.clone());
-        p
+        let p = route::resolve(&self.topo, v, dst, flow_hash);
+        let idx = self.paths.len() as u32;
+        self.paths.push(p);
+        self.path_cache
+            .insert(vantage_idx, dst_word, flow_hash, idx);
+        idx
+    }
+
+    /// The resolved path behind an index from [`Self::resolve_path_idx`].
+    pub fn path(&self, idx: u32) -> &ResolvedPath {
+        &self.paths[idx as usize]
     }
 
     /// Injects a probe at virtual time `now_us`; returns the response
-    /// delivery, if any.
+    /// delivery, if any. Allocating convenience wrapper over
+    /// [`Self::inject_into`].
     pub fn inject(&mut self, wire: &[u8], now_us: u64) -> Option<Delivery> {
+        let mut out = Delivery::default();
+        if self.inject_into(wire, now_us, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Injects a probe at virtual time `now_us`, writing any response
+    /// into `out` (cleared and refilled) and returning whether one was
+    /// produced.
+    ///
+    /// This is the zero-allocation hot path: with a warm path cache and
+    /// a reused `out`, no heap allocation occurs per probe.
+    pub fn inject_into(&mut self, wire: &[u8], now_us: u64, out: &mut Delivery) -> bool {
         self.stats.probes += 1;
         let Some(hdr) = Ipv6Header::decode(wire) else {
             self.stats.malformed += 1;
-            return None;
+            return false;
         };
         let Some(vidx) = self
             .topo
@@ -184,7 +225,7 @@ impl Engine {
             .map(|i| i as u8)
         else {
             self.stats.malformed += 1;
-            return None;
+            return false;
         };
 
         // Flow key from the transport header.
@@ -200,7 +241,7 @@ impl Engine {
             ),
             _ => {
                 self.stats.malformed += 1;
-                return None;
+                return false;
             }
         };
         let fk = FlowKey {
@@ -212,30 +253,39 @@ impl Engine {
             dport,
         };
         let flow_hash = fk.hash();
-        let path = self.resolve_path(vidx, hdr.dst, flow_hash);
+        let pidx = self.resolve_path_idx(vidx, hdr.dst, flow_hash) as usize;
         let vaddr = self.topo.vantages[vidx as usize].addr;
         let is_icmp = hdr.next_header == proto_num::ICMP6;
         let dst_word = u128::from(hdr.dst);
         let ttl = hdr.hop_limit as usize;
+        // Scalars copied out of the path so `self` stays free for the
+        // mutable responder calls below; hop ids are re-read per branch.
+        let (hops_len, firewall_hop, dest) = {
+            let p = &self.paths[pidx];
+            (p.len(), p.firewall_hop, p.dest)
+        };
 
         // Transit loss applies to every probe (hash-keyed, deterministic).
-        let loss_key = flow::mix2(flow::mix2(dst_word as u64, (dst_word >> 64) as u64), (hdr.hop_limit as u64) << 32 | 0x1055);
+        let dst_fold = (dst_word as u64) ^ ((dst_word >> 64) as u64).rotate_left(32);
+        let loss_key = flow::mix2(dst_fold, (hdr.hop_limit as u64) << 32 | 0x1055);
         if flow::draw_milli(loss_key, self.topo.config.loss_milli) {
             self.stats.lost += 1;
-            return None;
+            return false;
         }
 
         // Destination-AS firewall eats UDP/TCP probes traveling past it.
-        if let (Some(f), false) = (path.firewall_hop, is_icmp) {
+        if let (Some(f), false) = (firewall_hop, is_icmp) {
             if ttl > f as usize + 1 {
                 self.stats.fw_dropped += 1;
                 // Firewalls mostly drop silently; a minority emit
                 // admin-prohibited, rate limited like any other error.
                 if !flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0xf1a3), 250) {
-                    return None;
+                    return false;
                 }
-                let router = path.hops[f as usize];
-                let prev = prev_hop_key(&path.hops, f as usize, vidx);
+                let (router, prev) = {
+                    let hops = &self.paths[pidx].hops;
+                    (hops[f as usize], prev_hop_key(hops, f as usize, vidx))
+                };
                 return self.router_error(
                     router,
                     prev,
@@ -244,35 +294,62 @@ impl Engine {
                     wire,
                     now_us,
                     f as usize + 1,
+                    dst_word,
+                    out,
                 );
             }
         }
 
-        if ttl <= path.len() {
+        if ttl <= hops_len {
             // Expires in transit at hops[ttl-1].
             if self.topo.config.vantage_silent_hop == Some((vidx, hdr.hop_limit)) {
                 self.stats.silent_router += 1;
-                return None;
+                return false;
             }
-            let router = path.hops[ttl - 1];
+            let (router, prev) = {
+                let hops = &self.paths[pidx].hops;
+                (hops[ttl - 1], prev_hop_key(hops, ttl - 1, vidx))
+            };
             let info = &self.topo.routers[router.0 as usize];
             if !info.responsive || (info.icmp_only && !is_icmp) {
                 self.stats.silent_router += 1;
-                return None;
+                return false;
             }
-            let prev = prev_hop_key(&path.hops, ttl - 1, vidx);
-            return self
-                .router_error(router, prev, vaddr, Icmp6Type::TimeExceeded, wire, now_us, ttl)
-                .inspect(|_| self.stats.time_exceeded += 1)
-                .or_else(|| {
-                    self.stats.rate_limited += 1;
-                    None
-                });
+            return if self.router_error(
+                router,
+                prev,
+                vaddr,
+                Icmp6Type::TimeExceeded,
+                wire,
+                now_us,
+                ttl,
+                dst_word,
+                out,
+            ) {
+                self.stats.time_exceeded += 1;
+                true
+            } else {
+                self.stats.rate_limited += 1;
+                false
+            };
         }
 
         // Reached the destination zone.
         let cfg = &self.topo.config;
-        let hops = path.len();
+        let (
+            client_silent_milli,
+            host_fw_milli,
+            nohost_du_milli,
+            nosubnet_du_milli,
+            noroute_du_milli,
+        ) = (
+            cfg.client_silent_milli,
+            cfg.host_fw_milli,
+            cfg.nohost_du_milli,
+            cfg.nosubnet_du_milli,
+            cfg.noroute_du_milli,
+        );
+        let hops = hops_len;
 
         // Direct probes to a *router interface* (alias-resolution
         // probing): the router answers echoes itself; oversized echoes
@@ -282,12 +359,12 @@ impl Engine {
             let info = &self.topo.routers[rid.0 as usize];
             if !info.responsive {
                 self.stats.silent_router += 1;
-                return None;
+                return false;
             }
             if !is_icmp {
                 // Routers drop unsolicited TCP/UDP to their interfaces.
                 self.stats.dest_silent += 1;
-                return None;
+                return false;
             }
             let data = &body[8..];
             // The reply's source is the probed interface itself.
@@ -295,50 +372,71 @@ impl Engine {
                 let id = self.frag_counters[rid.0 as usize];
                 self.frag_counters[rid.0 as usize] = id.wrapping_add(1);
                 self.stats.frag_echo_replies += 1;
-                let bytes = v6packet::frag::build_fragmented_echo_reply(
-                    hdr.dst, vaddr, sport, dport, data, 64, id,
+                v6packet::frag::build_fragmented_echo_reply_into(
+                    &mut out.bytes,
+                    hdr.dst,
+                    vaddr,
+                    sport,
+                    dport,
+                    data,
+                    64,
+                    id,
                 );
-                return Some(self.deliver(bytes, now_us, hops + 1, dst_word));
+                self.finish(out, now_us, hops + 1, dst_word);
+                return true;
             }
             self.stats.echo_replies += 1;
-            let bytes = icmp6::build_echo_reply(hdr.dst, vaddr, sport, dport, data, 64);
-            return Some(self.deliver(bytes, now_us, hops + 1, dst_word));
+            icmp6::build_echo_reply_into(&mut out.bytes, hdr.dst, vaddr, sport, dport, data, 64);
+            self.finish(out, now_us, hops + 1, dst_word);
+            return true;
         }
 
-        match path.dest {
+        match dest {
             DestEntry::Host(kind) => {
                 let silent_milli = if kind == HostKind::Client {
-                    cfg.client_silent_milli
+                    client_silent_milli
                 } else {
-                    cfg.host_fw_milli
+                    host_fw_milli
                 };
                 if flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0xf00d), silent_milli) {
                     self.stats.dest_silent += 1;
-                    return None;
+                    return false;
                 }
                 match hdr.next_header {
                     proto_num::ICMP6 => {
                         self.stats.echo_replies += 1;
                         let data = &body[8..];
-                        let bytes = icmp6::build_echo_reply(hdr.dst, vaddr, sport, dport, data, 64);
-                        Some(self.deliver(bytes, now_us, hops + 1, dst_word))
+                        icmp6::build_echo_reply_into(
+                            &mut out.bytes,
+                            hdr.dst,
+                            vaddr,
+                            sport,
+                            dport,
+                            data,
+                            64,
+                        );
+                        self.finish(out, now_us, hops + 1, dst_word);
+                        true
                     }
                     proto_num::UDP => {
                         // No listener on the probe port: port unreachable
                         // from the host itself.
                         self.stats.du_port += 1;
-                        let bytes = icmp6::build_error(
+                        icmp6::build_error_into(
+                            &mut out.bytes,
                             hdr.dst,
                             vaddr,
                             Icmp6Type::DestUnreachable(DestUnreachCode::PortUnreachable),
                             wire,
                             64,
                         );
-                        Some(self.deliver(bytes, now_us, hops + 1, dst_word))
+                        self.finish(out, now_us, hops + 1, dst_word);
+                        true
                     }
                     _ => {
                         self.stats.tcp_responses += 1;
-                        let bytes = tcp::build_response(
+                        tcp::build_response_into(
+                            &mut out.bytes,
                             hdr.dst,
                             vaddr,
                             dport,
@@ -346,24 +444,54 @@ impl Engine {
                             tcp::flags::RST | tcp::flags::ACK,
                             64,
                         );
-                        Some(self.deliver(bytes, now_us, hops + 1, dst_word))
+                        self.finish(out, now_us, hops + 1, dst_word);
+                        true
                     }
                 }
             }
             DestEntry::NoHost { responder } => {
-                let prev = prev_hop_key(&path.hops, path.hops.len(), vidx);
-                self.dest_policy_response(responder, prev, vaddr, wire, now_us, hops, cfg.nohost_du_milli, dst_word)
+                let prev = {
+                    let hops = &self.paths[pidx].hops;
+                    prev_hop_key(hops, hops.len(), vidx)
+                };
+                self.dest_policy_response(
+                    responder,
+                    prev,
+                    vaddr,
+                    wire,
+                    now_us,
+                    hops,
+                    nohost_du_milli,
+                    dst_word,
+                    out,
+                )
             }
             DestEntry::NoSubnet { responder } => {
-                let prev = prev_hop_key(&path.hops, path.hops.len(), vidx);
-                self.dest_policy_response(responder, prev, vaddr, wire, now_us, hops, cfg.nosubnet_du_milli, dst_word)
+                let prev = {
+                    let hops = &self.paths[pidx].hops;
+                    prev_hop_key(hops, hops.len(), vidx)
+                };
+                self.dest_policy_response(
+                    responder,
+                    prev,
+                    vaddr,
+                    wire,
+                    now_us,
+                    hops,
+                    nosubnet_du_milli,
+                    dst_word,
+                    out,
+                )
             }
             DestEntry::Unrouted { responder } => {
-                if !flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0x2042), cfg.noroute_du_milli) {
+                if !flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0x2042), noroute_du_milli) {
                     self.stats.dest_silent += 1;
-                    return None;
+                    return false;
                 }
-                let prev = prev_hop_key(&path.hops, path.hops.len(), vidx);
+                let prev = {
+                    let hops = &self.paths[pidx].hops;
+                    prev_hop_key(hops, hops.len(), vidx)
+                };
                 let r = self.router_error(
                     responder,
                     prev,
@@ -372,8 +500,10 @@ impl Engine {
                     wire,
                     now_us,
                     hops,
+                    dst_word,
+                    out,
                 );
-                if r.is_some() {
+                if r {
                     self.stats.du_no_route += 1;
                 } else {
                     self.stats.rate_limited += 1;
@@ -395,10 +525,11 @@ impl Engine {
         hops: usize,
         du_milli: u32,
         dst_word: u128,
-    ) -> Option<Delivery> {
+        out: &mut Delivery,
+    ) -> bool {
         if !flow::draw_milli(flow::mix2(flow::mix128(dst_word), 0xdead), du_milli) {
             self.stats.dest_silent += 1;
-            return None;
+            return false;
         }
         let as_idx = self.topo.routers[responder.0 as usize].as_idx;
         let code = match self.topo.ases[as_idx as usize].unknown_policy {
@@ -407,7 +538,7 @@ impl Engine {
             UnknownAddrPolicy::RejectRoute => DestUnreachCode::RejectRoute,
             UnknownAddrPolicy::Silent => {
                 self.stats.dest_silent += 1;
-                return None;
+                return false;
             }
         };
         let r = self.router_error(
@@ -418,8 +549,10 @@ impl Engine {
             wire,
             now_us,
             hops,
+            dst_word,
+            out,
         );
-        if r.is_some() {
+        if r {
             match code {
                 DestUnreachCode::AddrUnreachable => self.stats.du_addr += 1,
                 DestUnreachCode::AdminProhibited => self.stats.du_admin += 1,
@@ -432,8 +565,8 @@ impl Engine {
         r
     }
 
-    /// Emits an ICMPv6 error from `router` if its token bucket allows;
-    /// `hop_count` scales the RTT.
+    /// Emits an ICMPv6 error from `router` into `out` if its token
+    /// bucket allows; `hop_count` scales the RTT.
     #[allow(clippy::too_many_arguments)]
     fn router_error(
         &mut self,
@@ -444,45 +577,49 @@ impl Engine {
         wire: &[u8],
         now_us: u64,
         hop_count: usize,
-    ) -> Option<Delivery> {
+        dst_word: u128,
+        out: &mut Delivery,
+    ) -> bool {
         let info = &self.topo.routers[router.0 as usize];
         if !info.responsive {
             self.stats.silent_router += 1;
-            return None;
+            return false;
         }
         if !self.buckets[router.0 as usize].try_consume(now_us) {
-            return None;
-        }
-        // Quote the packet as the router saw it: hop limit exhausted.
-        let mut quoted = wire.to_vec();
-        if ty == Icmp6Type::TimeExceeded {
-            quoted[7] = 0;
+            return false;
         }
         // Interior routers of a middlebox-fronted AS saw a *rewritten*
         // destination; their quotations carry it. The prober's target
         // checksum (in the source port / ICMPv6 id) is how this
         // tampering is detected (paper §4.1).
-        if self.topo.ases[info.as_idx as usize].middlebox
-            && info.role != crate::topology::RouterRole::Border
-        {
-            quoted[39] ^= 0x40;
+        let middlebox = self.topo.ases[info.as_idx as usize].middlebox
+            && info.role != crate::topology::RouterRole::Border;
+        if middlebox {
             self.stats.rewritten_quotes += 1;
         }
         // The source address depends on the arrival direction: multi-
         // interface routers answer from the interface facing the probe.
         let addr = info.response_addr(router, prev_key);
-        let bytes = icmp6::build_error(addr, vaddr, ty, &quoted, 64);
-        let dst_word = u128::from(Ipv6Header::decode(wire).map(|h| h.dst).unwrap_or(addr));
-        Some(self.deliver(bytes, now_us, hop_count, dst_word))
+        // Quote the packet as the router saw it — hop limit exhausted,
+        // destination possibly rewritten — patching the single copy
+        // inside the response buffer.
+        icmp6::build_error_quoted_into(&mut out.bytes, addr, vaddr, ty, wire, 64, |quote| {
+            if ty == Icmp6Type::TimeExceeded {
+                quote[7] = 0;
+            }
+            if middlebox {
+                quote[39] ^= 0x40;
+            }
+        });
+        self.finish(out, now_us, hop_count, dst_word);
+        true
     }
 
-    fn deliver(&self, bytes: Vec<u8>, now_us: u64, hop_count: usize, key: u128) -> Delivery {
+    /// Stamps the delivery time: `out.bytes` is already filled.
+    fn finish(&self, out: &mut Delivery, now_us: u64, hop_count: usize, key: u128) {
         let lat = self.topo.config.hop_latency_us;
         let oneway = hop_count as u64 * lat + flow::jitter_us(flow::mix128(key), lat);
-        Delivery {
-            at_us: now_us + 2 * oneway,
-            bytes,
-        }
+        out.at_us = now_us + 2 * oneway;
     }
 }
 
@@ -627,7 +764,10 @@ mod tests {
                 answered_slow += 1;
             }
         }
-        assert!(answered_slow >= 190, "slow probing mostly answered: {answered_slow}");
+        assert!(
+            answered_slow >= 190,
+            "slow probing mostly answered: {answered_slow}"
+        );
     }
 
     #[test]
@@ -658,12 +798,8 @@ mod tests {
         }
         let s = e.stats;
         assert_eq!(s.probes, n);
-        let accounted = s.responses()
-            + s.lost
-            + s.rate_limited
-            + s.silent_router
-            + s.dest_silent
-            + s.malformed;
+        let accounted =
+            s.responses() + s.lost + s.rate_limited + s.silent_router + s.dest_silent + s.malformed;
         // fw_dropped probes may still produce an admin-prohibited reply
         // (counted in responses) or be rate-limited; they are not a
         // disjoint outcome, so accounted >= probes - fw_dropped overlap.
@@ -687,12 +823,7 @@ mod tests {
         // A host inside the firewalled AS.
         let target = topo
             .hosts()
-            .find(|(a, _)| {
-                topo.bgp
-                    .origin(*a)
-                    .and_then(|x| topo.as_by_asn(x))
-                    == Some(fw_as)
-            })
+            .find(|(a, _)| topo.bgp.origin(*a).and_then(|x| topo.as_by_asn(x)) == Some(fw_as))
             .map(|(a, _)| a)
             .expect("host in firewalled AS");
         let mut icmp_hops = std::collections::HashSet::new();
@@ -745,12 +876,7 @@ mod middlebox_tests {
             .expect("a middlebox stub must exist at 40%") as u32;
         let target = topo
             .hosts()
-            .find(|(a, _)| {
-                topo.bgp
-                    .origin(*a)
-                    .and_then(|x| topo.as_by_asn(x))
-                    == Some(mb_as)
-            })
+            .find(|(a, _)| topo.bgp.origin(*a).and_then(|x| topo.as_by_asn(x)) == Some(mb_as))
             .map(|(a, _)| a)
             .expect("host in middlebox AS");
         let mut e = Engine::new(topo.clone());

@@ -49,12 +49,19 @@ pub struct FlowKey {
 
 impl FlowKey {
     /// The 64-bit flow hash used by ECMP decisions.
+    ///
+    /// Two splitmix finalizer rounds over xor-folded addresses: the
+    /// fields land in distinct bit positions before the first avalanche,
+    /// which is plenty for ECMP bit draws and cache bucketing — and this
+    /// sits on the per-probe hot path, so rounds are budgeted.
+    #[inline]
     pub fn hash(&self) -> u64 {
-        let s = mix128(u128::from(self.src));
-        let d = mix128(u128::from(self.dst));
-        let ports =
-            ((self.proto as u64) << 32) | ((self.sport as u64) << 16) | self.dport as u64;
-        mix2(mix2(s, d), ports ^ ((self.flow_label as u64) << 40))
+        let src = u128::from(self.src);
+        let dst = u128::from(self.dst);
+        let s = (src as u64) ^ ((src >> 64) as u64).rotate_left(32);
+        let d = (dst as u64) ^ ((dst >> 64) as u64).rotate_left(32);
+        let ports = ((self.proto as u64) << 32) | ((self.sport as u64) << 16) | self.dport as u64;
+        mix2(s, d ^ ports ^ ((self.flow_label as u64) << 40))
     }
 }
 

@@ -167,7 +167,7 @@ impl Gen {
             self.new_as(Asn(7000 + i as u32), AsTier::CpeIsp(i as u8));
         }
         let relay = self.new_as(Asn(9000), AsTier::Stub); // 6to4 relay
-        // Vantage ASes are the first three "stubs".
+                                                          // Vantage ASes are the first three "stubs".
         let v_as: Vec<AsIdx> = (0..3)
             .map(|i| self.new_as(Asn(64496 + i as u32), AsTier::Stub))
             .collect();
@@ -329,8 +329,8 @@ impl Gen {
         // Infrastructure prefix: usually the top /48-equivalent inside the
         // announced prefix; ~10% of transit ASes keep infra in
         // registry-only space (§6 complication).
-        let infra_unannounced = matches!(tier, AsTier::Tier1 | AsTier::Tier2 | AsTier::Hub)
-            && self.rng.gen_bool(0.10);
+        let infra_unannounced =
+            matches!(tier, AsTier::Tier1 | AsTier::Tier2 | AsTier::Hub) && self.rng.gen_bool(0.10);
         let infra = if infra_unannounced {
             let s = self.alloc_unrouted_slab();
             self.rir_extra.push((s.subnet(48, 0), asn));
@@ -405,8 +405,8 @@ impl Gen {
         }
 
         // Policies.
-        self.ases[idx as usize].fw_blocks_udp_tcp = matches!(tier, AsTier::Stub)
-            && self.rng.gen_bool(self.cfg.fw_blocks_udp_tcp_frac);
+        self.ases[idx as usize].fw_blocks_udp_tcp =
+            matches!(tier, AsTier::Stub) && self.rng.gen_bool(self.cfg.fw_blocks_udp_tcp_frac);
         self.ases[idx as usize].middlebox = matches!(tier, AsTier::Stub)
             && self.rng.gen_bool(self.cfg.middlebox_milli as f64 / 1000.0);
         self.ases[idx as usize].unknown_policy = {
@@ -477,9 +477,13 @@ impl Gen {
         );
         self.add_alias_interfaces(root_router, style, 100);
         let root_city = self.fresh_city();
-        let root = self.add_subnet(announced, root_router, None, idx, SubnetKind::Distribution {
-            city: root_city,
-        });
+        let root = self.add_subnet(
+            announced,
+            root_router,
+            None,
+            idx,
+            SubnetKind::Distribution { city: root_city },
+        );
         self.ases[idx as usize].subnet_root = Some(root);
 
         let mut l2_nodes = Vec::new();
@@ -493,8 +497,13 @@ impl Gen {
                 RouterRole::Distribution,
             );
             self.add_alias_interfaces(crouter, style, 200 + c as u64);
-            let cnode =
-                self.add_subnet(cpfx, crouter, Some(root), idx, SubnetKind::Distribution { city });
+            let cnode = self.add_subnet(
+                cpfx,
+                crouter,
+                Some(root),
+                idx,
+                SubnetKind::Distribution { city },
+            );
             let n_l2 = self.rng.gen_range(1..=3usize);
             for j in 0..n_l2 {
                 let jpfx = cpfx.subnet(l2, j as u128 + 1);
@@ -505,9 +514,13 @@ impl Gen {
                     RouterRole::Distribution,
                 );
                 self.add_alias_interfaces(jrouter, style, 300 + (c * 8 + j) as u64);
-                let jn = self.add_subnet(jpfx, jrouter, Some(cnode), idx, SubnetKind::Distribution {
-                    city,
-                });
+                let jn = self.add_subnet(
+                    jpfx,
+                    jrouter,
+                    Some(cnode),
+                    idx,
+                    SubnetKind::Distribution { city },
+                );
                 l2_nodes.push(jn);
             }
         }
@@ -542,7 +555,10 @@ impl Gen {
         for h in 0..self.cfg.hosts_per_lan {
             let roll: f64 = self.rng.gen();
             let (iid, kind) = if roll < 0.40 {
-                (2 + h as u64 + self.rng.gen_range(0..32u64), HostKind::Server)
+                (
+                    2 + h as u64 + self.rng.gen_range(0..32u64),
+                    HostKind::Server,
+                )
             } else if roll < 0.60 {
                 let oui = ENTERPRISE_OUIS[self.rng.gen_range(0..ENTERPRISE_OUIS.len())];
                 let mac = [
@@ -578,9 +594,13 @@ impl Gen {
             RouterRole::Distribution,
         );
         let root_city = self.fresh_city();
-        let root = self.add_subnet(announced, root_router, None, idx, SubnetKind::Distribution {
-            city: root_city,
-        });
+        let root = self.add_subnet(
+            announced,
+            root_router,
+            None,
+            idx,
+            SubnetKind::Distribution { city: root_city },
+        );
         self.ases[idx as usize].subnet_root = Some(root);
 
         let mut serial: u64 = 1;
@@ -593,8 +613,13 @@ impl Gen {
                 idx,
                 RouterRole::Distribution,
             );
-            let rnode =
-                self.add_subnet(rpfx, rrouter, Some(root), idx, SubnetKind::Distribution { city });
+            let rnode = self.add_subnet(
+                rpfx,
+                rrouter,
+                Some(root),
+                idx,
+                SubnetKind::Distribution { city },
+            );
             for a in 0..n_aggs {
                 let apfx = rpfx.subnet(44, a as u128 + 1);
                 let arouter = self.add_router(
@@ -604,9 +629,13 @@ impl Gen {
                     idx,
                     RouterRole::Distribution,
                 );
-                let anode = self.add_subnet(apfx, arouter, Some(rnode), idx, SubnetKind::Distribution {
-                    city,
-                });
+                let anode = self.add_subnet(
+                    apfx,
+                    arouter,
+                    Some(rnode),
+                    idx,
+                    SubnetKind::Distribution { city },
+                );
                 let in_this_agg = subs_per_agg.min(remaining);
                 remaining -= in_this_agg;
                 for s in 0..in_this_agg {
@@ -624,15 +653,19 @@ impl Gen {
                     serial += 1;
                     let cpe_iid = iid::eui64_from_mac(mac);
                     let first64 = Ipv6Prefix::truncating(del.base(), 64);
-                    let cpe_addr = bits::from_u128(bits::join(
-                        bits::net_bits(first64.base_word()),
-                        cpe_iid,
-                    ));
+                    let cpe_addr =
+                        bits::from_u128(bits::join(bits::net_bits(first64.base_word()), cpe_iid));
                     let cpe = self.add_router(cpe_addr, idx, RouterRole::Cpe);
                     let active = self.rng.gen_bool(isp.active_client_frac);
-                    self.add_subnet(del, cpe, Some(anode), idx, SubnetKind::CpeDelegation {
-                        active_client: active,
-                    });
+                    self.add_subnet(
+                        del,
+                        cpe,
+                        Some(anode),
+                        idx,
+                        SubnetKind::CpeDelegation {
+                            active_client: active,
+                        },
+                    );
                     if active {
                         // One active WWW client with a privacy address in
                         // the delegation's first /64.
@@ -657,9 +690,13 @@ impl Gen {
             RouterRole::Distribution,
         );
         let root_city = self.fresh_city();
-        let root = self.add_subnet(p6to4, root_router, None, idx, SubnetKind::Distribution {
-            city: root_city,
-        });
+        let root = self.add_subnet(
+            p6to4,
+            root_router,
+            None,
+            idx,
+            SubnetKind::Distribution { city: root_city },
+        );
         self.ases[idx as usize].subnet_root = Some(root);
         let n_sites = 24usize.min(4 + self.cfg.n_stub / 10);
         for _ in 0..n_sites {
@@ -673,10 +710,13 @@ impl Gen {
             let lan = site.subnet(64, 1);
             let gw = self.add_router(lan.addr(1), idx, RouterRole::LanGateway);
             let site_city = self.fresh_city();
-            let site_node =
-                self.add_subnet(site, gw, Some(root), idx, SubnetKind::Distribution {
-                    city: site_city,
-                });
+            let site_node = self.add_subnet(
+                site,
+                gw,
+                Some(root),
+                idx,
+                SubnetKind::Distribution { city: site_city },
+            );
             let gw2 = self.add_router(lan.addr(2), idx, RouterRole::LanGateway);
             self.add_subnet(lan, gw2, Some(site_node), idx, SubnetKind::Lan);
             self.populate_lan_hosts(lan);
@@ -717,8 +757,7 @@ impl Gen {
         // Deduplicate + sort hosts.
         self.hosts.sort_unstable_by_key(|&(w, _)| w);
         self.hosts.dedup_by_key(|&mut (w, _)| w);
-        let (host_words, host_kinds): (Vec<u128>, Vec<HostKind>) =
-            self.hosts.into_iter().unzip();
+        let (host_words, host_kinds): (Vec<u128>, Vec<HostKind>) = self.hosts.into_iter().unzip();
 
         // BFS per vantage over the AS graph.
         let mut as_parents = Vec::with_capacity(self.vantages.len());
@@ -853,7 +892,7 @@ mod tests {
     }
 
     #[test]
-    fn subnet_chains_descend(){
+    fn subnet_chains_descend() {
         let t = topo();
         let (addr, _) = t.hosts().next().unwrap();
         let chain = t.subnet_chain(addr);
@@ -883,10 +922,7 @@ mod tests {
     #[test]
     fn sixtofour_sites_exist() {
         let t = topo();
-        let in_6to4 = t
-            .hosts()
-            .filter(|(a, _)| v6addr::is_sixtofour(*a))
-            .count();
+        let in_6to4 = t.hosts().filter(|(a, _)| v6addr::is_sixtofour(*a)).count();
         assert!(in_6to4 > 0, "6to4 hosts must exist for Table 5");
     }
 

@@ -30,6 +30,7 @@ pub mod config;
 pub mod engine;
 pub mod flow;
 pub mod generate;
+pub mod pathcache;
 pub mod ratelimit;
 pub mod route;
 pub mod topology;

@@ -130,7 +130,7 @@ mod tests {
         }
         assert_eq!(accepted + b.suppressed, offered);
         // 10 burst + ~100 refilled over 0.995s.
-        assert!(accepted >= 105 && accepted <= 115, "accepted={accepted}");
+        assert!((105..=115).contains(&accepted), "accepted={accepted}");
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub fn resolve(topo: &Topology, vantage: &Vantage, dst: Ipv6Addr, flow_hash: u64
         hops.push(v_border);
         return ResolvedPath {
             hops,
-            dest: DestEntry::Unrouted { responder: v_border },
+            dest: DestEntry::Unrouted {
+                responder: v_border,
+            },
             firewall_hop: None,
         };
     };
@@ -86,7 +88,9 @@ pub fn resolve(topo: &Topology, vantage: &Vantage, dst: Ipv6Addr, flow_hash: u64
         hops.push(v_border);
         return ResolvedPath {
             hops,
-            dest: DestEntry::Unrouted { responder: v_border },
+            dest: DestEntry::Unrouted {
+                responder: v_border,
+            },
             firewall_hop: None,
         };
     };

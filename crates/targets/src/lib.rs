@@ -160,8 +160,7 @@ pub fn characterize(sets: &[&TargetSet], independent: &[usize], bgp: &BgpTable) 
                 stats.unique += 1;
                 let w = u128::from(a);
                 // Exclusive: in no *other* independent set.
-                let others = addr_count.get(&w).copied().unwrap_or(0)
-                    - u32::from(in_basis);
+                let others = addr_count.get(&w).copied().unwrap_or(0) - u32::from(in_basis);
                 let excl = others == 0;
                 if excl {
                     stats.exclusive += 1;

@@ -43,11 +43,7 @@ impl TargetCatalog {
         self.sets
             .iter()
             .enumerate()
-            .filter(|(_, s)| {
-                !NON_INDEPENDENT
-                    .iter()
-                    .any(|ni| s.name.starts_with(ni))
-            })
+            .filter(|(_, s)| !NON_INDEPENDENT.iter().any(|ni| s.name.starts_with(ni)))
             .map(|(i, _)| i)
             .collect()
     }
@@ -105,7 +101,9 @@ mod tests {
         assert_eq!(ind.len(), 14); // 7 independent sources × 2
         for &i in &ind {
             let n = &c.sets[i].name;
-            assert!(!n.starts_with("tum") && !n.starts_with("combined") && !n.starts_with("random"));
+            assert!(
+                !n.starts_with("tum") && !n.starts_with("combined") && !n.starts_with("random")
+            );
         }
     }
 
@@ -114,10 +112,7 @@ mod tests {
         let c = catalog();
         for (_, set) in c.iter() {
             for &a in set.addrs.iter().take(20) {
-                assert_eq!(
-                    u128::from(a) as u64,
-                    crate::synthesize::FIXED_IID
-                );
+                assert_eq!(u128::from(a) as u64, crate::synthesize::FIXED_IID);
             }
         }
     }

@@ -81,7 +81,11 @@ mod tests {
 
     #[test]
     fn mixed_lengths_normalize() {
-        let l = list(vec![pfx("2001:db8::/32"), pfx("2001:db8::/56"), addr("2001:db8::1")]);
+        let l = list(vec![
+            pfx("2001:db8::/32"),
+            pfx("2001:db8::/56"),
+            addr("2001:db8::1"),
+        ]);
         let z48 = zn(&l, 48);
         // All three collapse onto the same /48.
         assert_eq!(z48.len(), 1);

@@ -153,7 +153,10 @@ mod tests {
             t.lookup("2001:db8:aa::1".parse().unwrap()),
             Some((p("2001:db8:aa::/48"), Asn(64497)))
         );
-        assert_eq!(t.origin("2001:db8:bb::1".parse().unwrap()), Some(Asn(64496)));
+        assert_eq!(
+            t.origin("2001:db8:bb::1".parse().unwrap()),
+            Some(Asn(64496))
+        );
         assert!(!t.is_routed("3fff::1".parse().unwrap()));
     }
 

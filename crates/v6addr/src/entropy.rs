@@ -162,7 +162,9 @@ mod tests {
         let mut addrs = Vec::new();
         let mut x = 0x12345u64;
         for _ in 0..512 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (0x2001_0db8u128) << 96 | (x as u128);
             addrs.push(Ipv6Addr::from(a));
         }

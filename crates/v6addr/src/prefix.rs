@@ -85,7 +85,10 @@ impl Ipv6Prefix {
         self.base
     }
 
-    /// The prefix length in bits.
+    /// The prefix length in bits. (`is_empty` would be meaningless — a
+    /// /0 is the default route, not an empty prefix — see
+    /// [`Self::is_default`].)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -148,10 +151,7 @@ impl Ipv6Prefix {
             self.len
         );
         let base = self.base | (idx << (128 - sub_len as u32));
-        Ipv6Prefix {
-            base,
-            len: sub_len,
-        }
+        Ipv6Prefix { base, len: sub_len }
     }
 
     /// The `idx`-th address within the prefix (offset from the base).

@@ -295,7 +295,10 @@ mod tests {
                 p("3fff::/20"),
             ]
         );
-        let within: Vec<_> = t.iter_within(&p("2001:db8::/32")).map(|(pf, _)| pf).collect();
+        let within: Vec<_> = t
+            .iter_within(&p("2001:db8::/32"))
+            .map(|(pf, _)| pf)
+            .collect();
         assert_eq!(
             within,
             vec![p("2001:db8::/32"), p("2001:db8::/48"), p("2001:db8:1::/48")]

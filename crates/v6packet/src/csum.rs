@@ -17,7 +17,7 @@ use std::net::Ipv6Addr;
 /// zero, per RFC 1071.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Summer {
-    acc: u32,
+    acc: u64,
 }
 
 impl Summer {
@@ -30,17 +30,17 @@ impl Summer {
     pub fn add_bytes(&mut self, bytes: &[u8]) -> &mut Self {
         let mut chunks = bytes.chunks_exact(2);
         for c in &mut chunks {
-            self.acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+            self.acc += u16::from_be_bytes([c[0], c[1]]) as u64;
         }
         if let [last] = chunks.remainder() {
-            self.acc += u16::from_be_bytes([*last, 0]) as u32;
+            self.acc += u16::from_be_bytes([*last, 0]) as u64;
         }
         self
     }
 
     /// Adds a single 16-bit word.
     pub fn add_u16(&mut self, w: u16) -> &mut Self {
-        self.acc += w as u32;
+        self.acc += w as u64;
         self
     }
 

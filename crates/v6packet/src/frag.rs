@@ -36,34 +36,47 @@ pub fn build_fragmented_echo_reply(
     hop_limit: u8,
     frag_id: u32,
 ) -> Vec<u8> {
-    let mut icmp = Vec::with_capacity(8 + data.len());
-    icmp.extend_from_slice(&[129, 0, 0, 0]);
-    icmp.extend_from_slice(&ident.to_be_bytes());
-    icmp.extend_from_slice(&seq.to_be_bytes());
-    icmp.extend_from_slice(data);
-    let ck = csum::transport_checksum(src, dst, proto_num::ICMP6, &icmp);
-    icmp[2..4].copy_from_slice(&ck.to_be_bytes());
+    let mut out = Vec::new();
+    build_fragmented_echo_reply_into(&mut out, src, dst, ident, seq, data, hop_limit, frag_id);
+    out
+}
 
-    let mut frag = Vec::with_capacity(FRAG_HEADER_LEN + icmp.len());
-    frag.push(proto_num::ICMP6); // inner next header
-    frag.push(0); // reserved
-    frag.extend_from_slice(&0u16.to_be_bytes()); // offset 0, M=0
-    frag.extend_from_slice(&frag_id.to_be_bytes());
-    frag.extend_from_slice(&icmp);
-
+/// [`build_fragmented_echo_reply`] into a reusable buffer (cleared
+/// first).
+#[allow(clippy::too_many_arguments)]
+pub fn build_fragmented_echo_reply_into(
+    out: &mut Vec<u8>,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    ident: u16,
+    seq: u16,
+    data: &[u8],
+    hop_limit: u8,
+    frag_id: u32,
+) {
+    let icmp_len = 8 + data.len();
     let hdr = Ipv6Header {
         traffic_class: 0,
         flow_label: 0,
-        payload_len: frag.len() as u16,
+        payload_len: (FRAG_HEADER_LEN + icmp_len) as u16,
         next_header: FRAGMENT_NH,
         hop_limit,
         src,
         dst,
     };
-    let mut out = Vec::with_capacity(ip6::HEADER_LEN + frag.len());
+    out.clear();
     out.extend_from_slice(&hdr.encode());
-    out.extend_from_slice(&frag);
-    out
+    out.push(proto_num::ICMP6); // inner next header
+    out.push(0); // reserved
+    out.extend_from_slice(&0u16.to_be_bytes()); // offset 0, M=0
+    out.extend_from_slice(&frag_id.to_be_bytes());
+    out.extend_from_slice(&[129, 0, 0, 0]);
+    out.extend_from_slice(&ident.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(data);
+    let icmp_off = ip6::HEADER_LEN + FRAG_HEADER_LEN;
+    let ck = csum::transport_checksum(src, dst, proto_num::ICMP6, &out[icmp_off..]);
+    out[icmp_off + 2..icmp_off + 4].copy_from_slice(&ck.to_be_bytes());
 }
 
 /// A parsed fragmented echo reply.

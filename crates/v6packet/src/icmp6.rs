@@ -101,7 +101,10 @@ impl Icmp6Type {
 
     /// Error messages carry a quotation; informational ones do not.
     pub fn is_error(self) -> bool {
-        matches!(self, Icmp6Type::DestUnreachable(_) | Icmp6Type::TimeExceeded)
+        matches!(
+            self,
+            Icmp6Type::DestUnreachable(_) | Icmp6Type::TimeExceeded
+        )
     }
 }
 
@@ -130,28 +133,59 @@ pub fn build_error(
     invoking_packet: &[u8],
     hop_limit: u8,
 ) -> Vec<u8> {
+    let mut out = Vec::new();
+    build_error_into(&mut out, src, dst, ty, invoking_packet, hop_limit);
+    out
+}
+
+/// [`build_error`] into a reusable buffer (cleared first): the hot-path
+/// variant — no allocation once `out` has grown to [`MIN_MTU`].
+pub fn build_error_into(
+    out: &mut Vec<u8>,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    ty: Icmp6Type,
+    invoking_packet: &[u8],
+    hop_limit: u8,
+) {
+    build_error_quoted_into(out, src, dst, ty, invoking_packet, hop_limit, |_| {});
+}
+
+/// [`build_error_into`] with a `patch_quote` hook applied to the copied
+/// quotation *before* the checksum is computed. Routers quote the packet
+/// as they saw it (hop limit exhausted, middlebox-rewritten destination),
+/// and patching the single copy in place avoids an intermediate
+/// mutate-then-copy buffer on the engine's hot path.
+pub fn build_error_quoted_into(
+    out: &mut Vec<u8>,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    ty: Icmp6Type,
+    invoking_packet: &[u8],
+    hop_limit: u8,
+    patch_quote: impl FnOnce(&mut [u8]),
+) {
     debug_assert!(ty.is_error());
     let max_quote = MIN_MTU - ip6::HEADER_LEN - 8;
     let quote = &invoking_packet[..invoking_packet.len().min(max_quote)];
     let (t, c) = ty.type_code();
-    let mut icmp = Vec::with_capacity(8 + quote.len());
-    icmp.extend_from_slice(&[t, c, 0, 0, 0, 0, 0, 0]); // cksum + unused filled below
-    icmp.extend_from_slice(quote);
-    let ck = csum::transport_checksum(src, dst, proto_num::ICMP6, &icmp);
-    icmp[2..4].copy_from_slice(&ck.to_be_bytes());
     let hdr = Ipv6Header {
         traffic_class: 0,
         flow_label: 0,
-        payload_len: icmp.len() as u16,
+        payload_len: (8 + quote.len()) as u16,
         next_header: proto_num::ICMP6,
         hop_limit,
         src,
         dst,
     };
-    let mut out = Vec::with_capacity(ip6::HEADER_LEN + icmp.len());
+    out.clear();
     out.extend_from_slice(&hdr.encode());
-    out.extend_from_slice(&icmp);
-    out
+    out.extend_from_slice(&[t, c, 0, 0, 0, 0, 0, 0]); // cksum filled below
+    out.extend_from_slice(quote);
+    let quote_off = ip6::HEADER_LEN + 8;
+    patch_quote(&mut out[quote_off..]);
+    let ck = csum::transport_checksum(src, dst, proto_num::ICMP6, &out[ip6::HEADER_LEN..]);
+    out[ip6::HEADER_LEN + 2..ip6::HEADER_LEN + 4].copy_from_slice(&ck.to_be_bytes());
 }
 
 /// Builds a complete Echo Reply packet answering an echo request with
@@ -165,26 +199,39 @@ pub fn build_echo_reply(
     data: &[u8],
     hop_limit: u8,
 ) -> Vec<u8> {
-    let mut icmp = Vec::with_capacity(8 + data.len());
-    icmp.extend_from_slice(&[129, 0, 0, 0]);
-    icmp.extend_from_slice(&ident.to_be_bytes());
-    icmp.extend_from_slice(&seq.to_be_bytes());
-    icmp.extend_from_slice(data);
-    let ck = csum::transport_checksum(src, dst, proto_num::ICMP6, &icmp);
-    icmp[2..4].copy_from_slice(&ck.to_be_bytes());
+    let mut out = Vec::new();
+    build_echo_reply_into(&mut out, src, dst, ident, seq, data, hop_limit);
+    out
+}
+
+/// [`build_echo_reply`] into a reusable buffer (cleared first).
+#[allow(clippy::too_many_arguments)]
+pub fn build_echo_reply_into(
+    out: &mut Vec<u8>,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    ident: u16,
+    seq: u16,
+    data: &[u8],
+    hop_limit: u8,
+) {
     let hdr = Ipv6Header {
         traffic_class: 0,
         flow_label: 0,
-        payload_len: icmp.len() as u16,
+        payload_len: (8 + data.len()) as u16,
         next_header: proto_num::ICMP6,
         hop_limit,
         src,
         dst,
     };
-    let mut out = Vec::with_capacity(ip6::HEADER_LEN + icmp.len());
+    out.clear();
     out.extend_from_slice(&hdr.encode());
-    out.extend_from_slice(&icmp);
-    out
+    out.extend_from_slice(&[129, 0, 0, 0]);
+    out.extend_from_slice(&ident.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(data);
+    let ck = csum::transport_checksum(src, dst, proto_num::ICMP6, &out[ip6::HEADER_LEN..]);
+    out[ip6::HEADER_LEN + 2..ip6::HEADER_LEN + 4].copy_from_slice(&ck.to_be_bytes());
 }
 
 /// Parses a full IPv6+ICMPv6 packet. Returns the outer header and the

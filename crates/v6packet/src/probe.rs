@@ -163,10 +163,42 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Longest probe on the wire (TCP transport).
+pub const MAX_PROBE_LEN: usize = ip6::HEADER_LEN + 20 + PAYLOAD_LEN;
+
+/// Offset of the transport checksum field within the transport header.
+fn checksum_offset(protocol: Protocol) -> usize {
+    match protocol {
+        Protocol::Icmp6 => 2,
+        Protocol::Udp => 6,
+        Protocol::Tcp => 16,
+    }
+}
+
+/// The fudge restoring the canonical per-target sum for given variable
+/// fields.
+///
+/// The canonical pass sums the instance as a *low*-byte word (see
+/// [`ProbeSpec::canonical_sum`]) while the wire carries `(instance,
+/// ttl)` with the instance in the high byte, so the fudge cancels both
+/// the variable fields and that representation difference:
+/// `fudge = instance ⊖ ((instance << 8 | ttl) ⊕ elapsed)`.
+#[inline]
+fn fudge_for(instance: u8, ttl: u8, elapsed_us: u32) -> u16 {
+    let mut d = Summer::new();
+    d.add_u16(((instance as u16) << 8) | ttl as u16)
+        .add_u32(elapsed_us);
+    csum::ones_complement_sub(instance as u16, d.fold())
+}
+
 impl ProbeSpec {
     /// Serializes the probe to wire bytes, computing the fudge so the
     /// transport checksum is the per-target constant described in the
     /// module docs.
+    ///
+    /// This is the *naive* allocating path, kept as the reference the
+    /// hot paths ([`build_into`](Self::build_into), [`ProbeTemplate`])
+    /// are tested bit-identical against.
     pub fn build(&self) -> Vec<u8> {
         let tlen = self.protocol.transport_len();
         let payload_len = tlen + PAYLOAD_LEN;
@@ -244,18 +276,175 @@ impl ProbeSpec {
         out
     }
 
+    /// The canonical (ttl = 0, elapsed = 0, fudge = 0, checksum = 0)
+    /// ones'-complement sum over pseudo-header and body — the per-target
+    /// constant every probe's transport sum is fudged back to. Computed
+    /// directly from the handful of nonzero words; no packet is built.
+    pub fn canonical_sum(&self) -> u16 {
+        let tlen = self.protocol.transport_len();
+        let payload_len = tlen + PAYLOAD_LEN;
+        let target_ck = csum::addr_checksum(self.target);
+        let mut s = Summer::new();
+        csum::pseudo_header(
+            &mut s,
+            self.src,
+            self.target,
+            payload_len as u32,
+            self.protocol.next_header(),
+        );
+        // Nonzero constant body words (checksum field zeroed).
+        match self.protocol {
+            Protocol::Icmp6 => {
+                s.add_u16(128 << 8); // type = Echo Request, code 0
+                s.add_u16(target_ck); // identifier
+                s.add_u16(DST_PORT); // sequence
+            }
+            Protocol::Udp => {
+                s.add_u16(target_ck); // source port
+                s.add_u16(DST_PORT);
+                s.add_u16(payload_len as u16);
+            }
+            Protocol::Tcp => {
+                s.add_u16(target_ck); // source port
+                s.add_u16(DST_PORT);
+                s.add_u16(((5u16 << 4) << 8) | 0x02); // data offset + SYN
+                s.add_u16(0xffff); // window
+            }
+        }
+        s.add_u32(YARRP6_MAGIC);
+        // Historical quirk kept for wire compatibility: the canonical
+        // pass sums the instance as a low-byte word even though the
+        // packet carries it in the high byte of the (instance, ttl)
+        // word; `fudge_for` compensates, so probes stay checksum-valid
+        // and per-target constant either way.
+        s.add_u16(self.instance as u16);
+        s.fold()
+    }
+
+    /// Serializes the probe into `out`, returning the wire length. One
+    /// checksum pass over the constants (via [`Self::canonical_sum`]);
+    /// the variable fields are cancelled incrementally by the fudge.
+    /// Byte-identical to [`Self::build`].
+    pub fn build_into(&self, out: &mut [u8]) -> usize {
+        let tlen = self.protocol.transport_len();
+        let payload_len = tlen + PAYLOAD_LEN;
+        let total = ip6::HEADER_LEN + payload_len;
+        assert!(out.len() >= total, "build_into: buffer too small");
+        let target_ck = csum::addr_checksum(self.target);
+
+        let hdr = Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: payload_len as u16,
+            next_header: self.protocol.next_header(),
+            hop_limit: self.ttl,
+            src: self.src,
+            dst: self.target,
+        };
+        out[..ip6::HEADER_LEN].copy_from_slice(&hdr.encode());
+
+        let body = &mut out[ip6::HEADER_LEN..total];
+        body.fill(0);
+        match self.protocol {
+            Protocol::Icmp6 => {
+                body[0] = 128; // Echo Request
+                body[4..6].copy_from_slice(&target_ck.to_be_bytes());
+                body[6..8].copy_from_slice(&DST_PORT.to_be_bytes());
+            }
+            Protocol::Udp => {
+                body[0..2].copy_from_slice(&target_ck.to_be_bytes());
+                body[2..4].copy_from_slice(&DST_PORT.to_be_bytes());
+                body[4..6].copy_from_slice(&(payload_len as u16).to_be_bytes());
+            }
+            Protocol::Tcp => {
+                body[0..2].copy_from_slice(&target_ck.to_be_bytes());
+                body[2..4].copy_from_slice(&DST_PORT.to_be_bytes());
+                body[12] = 5 << 4; // data offset: 5 words
+                body[13] = 0x02; // SYN
+                body[14..16].copy_from_slice(&0xffffu16.to_be_bytes());
+            }
+        }
+        let p = tlen;
+        body[p..p + 4].copy_from_slice(&YARRP6_MAGIC.to_be_bytes());
+        body[p + 4] = self.instance;
+        body[p + 5] = self.ttl;
+        body[p + 6..p + 10].copy_from_slice(&self.elapsed_us.to_be_bytes());
+        body[p + 10..p + 12]
+            .copy_from_slice(&fudge_for(self.instance, self.ttl, self.elapsed_us).to_be_bytes());
+
+        let canon_sum = self.canonical_sum();
+        let ck_off = checksum_offset(self.protocol);
+        body[ck_off..ck_off + 2].copy_from_slice(&(!canon_sum).to_be_bytes());
+        total
+    }
+
     /// The constant transport checksum all probes to `target` carry — what
     /// a per-flow load balancer hashes. Exposed for tests and for the
-    /// simulator's ECMP flow keys.
+    /// simulator's ECMP flow keys. Derived from the canonical sum; no
+    /// packet is built.
     pub fn flow_checksum(&self) -> u16 {
-        let bytes = self.build();
-        let ck_off = ip6::HEADER_LEN
-            + match self.protocol {
-                Protocol::Icmp6 => 2,
-                Protocol::Udp => 6,
-                Protocol::Tcp => 16,
-            };
-        u16::from_be_bytes([bytes[ck_off], bytes[ck_off + 1]])
+        !self.canonical_sum()
+    }
+}
+
+/// A cached per-target wire image for the zero-allocation hot path.
+///
+/// By the Paris-checksum design (paper §4.1) everything except the hop
+/// limit, the payload's `ttl`/`elapsed` fields, and the cancelling
+/// `fudge` is constant per `(src, target, protocol, instance)`. The
+/// template holds the fully built packet and [`render`](Self::render)
+/// patches those fields in place — an incremental ones'-complement
+/// update instead of a fresh checksum pass, and zero heap traffic.
+#[derive(Clone, Debug)]
+pub struct ProbeTemplate {
+    wire: [u8; MAX_PROBE_LEN],
+    len: u16,
+    payload_off: u16,
+}
+
+impl ProbeTemplate {
+    /// Builds the per-target template.
+    pub fn new(src: Ipv6Addr, target: Ipv6Addr, protocol: Protocol, instance: u8) -> Self {
+        let spec = ProbeSpec {
+            src,
+            target,
+            protocol,
+            ttl: 0,
+            instance,
+            elapsed_us: 0,
+        };
+        let mut wire = [0u8; MAX_PROBE_LEN];
+        let len = spec.build_into(&mut wire);
+        ProbeTemplate {
+            wire,
+            len: len as u16,
+            payload_off: (ip6::HEADER_LEN + protocol.transport_len()) as u16,
+        }
+    }
+
+    /// Wire length of the rendered probe.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Patches the hop limit, payload ttl/elapsed, and fudge, returning
+    /// the ready-to-send wire bytes. Byte-identical to
+    /// [`ProbeSpec::build`] with the same fields.
+    ///
+    /// The returned slice is mutable so callers can apply checksum-
+    /// neutral edits (e.g. the `vary_flow_label` ablation); any such
+    /// edit is overwritten or preserved verbatim by the next `render`.
+    #[inline]
+    pub fn render(&mut self, ttl: u8, elapsed_us: u32) -> &mut [u8] {
+        let p = self.payload_off as usize;
+        let wire = &mut self.wire[..self.len as usize];
+        let instance = wire[p + 4];
+        wire[7] = ttl; // IPv6 hop limit
+        wire[p + 5] = ttl;
+        wire[p + 6..p + 10].copy_from_slice(&elapsed_us.to_be_bytes());
+        wire[p + 10..p + 12].copy_from_slice(&fudge_for(instance, ttl, elapsed_us).to_be_bytes());
+        wire
     }
 }
 
@@ -264,8 +453,8 @@ impl ProbeSpec {
 /// were truncated — the fixed layout fits well within any quotation.
 pub fn decode_quotation(quote: &[u8]) -> Result<DecodedProbe, DecodeError> {
     let hdr = Ipv6Header::decode(quote).ok_or(DecodeError::NotIpv6)?;
-    let protocol =
-        Protocol::from_next_header(hdr.next_header).ok_or(DecodeError::UnknownProtocol(hdr.next_header))?;
+    let protocol = Protocol::from_next_header(hdr.next_header)
+        .ok_or(DecodeError::UnknownProtocol(hdr.next_header))?;
     let tlen = protocol.transport_len();
     let need = ip6::HEADER_LEN + tlen + PAYLOAD_LEN;
     if quote.len() < need {
@@ -336,7 +525,12 @@ mod tests {
             let hdr = Ipv6Header::decode(&pkt).unwrap();
             assert_eq!(hdr.hop_limit, 9);
             assert!(
-                verify_transport(hdr.src, hdr.dst, proto.next_header(), &pkt[ip6::HEADER_LEN..]),
+                verify_transport(
+                    hdr.src,
+                    hdr.dst,
+                    proto.next_header(),
+                    &pkt[ip6::HEADER_LEN..]
+                ),
                 "{proto} checksum invalid"
             );
         }
@@ -355,6 +549,46 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn build_into_and_template_match_naive_build() {
+        for proto in [Protocol::Icmp6, Protocol::Udp, Protocol::Tcp] {
+            let mut tmpl = ProbeTemplate::new(
+                "2001:db8:f00::1".parse().unwrap(),
+                "2001:db8:1:2::abcd".parse().unwrap(),
+                proto,
+                7,
+            );
+            for ttl in [1u8, 2, 9, 16, 64, 255] {
+                for elapsed in [0u32, 1, 123_456, 0xffff, 0x1_0000, u32::MAX] {
+                    let s = spec(proto, ttl, elapsed);
+                    let naive = s.build();
+                    let mut buf = [0u8; MAX_PROBE_LEN];
+                    let n = s.build_into(&mut buf);
+                    assert_eq!(&buf[..n], &naive[..], "{proto} build_into ttl={ttl}");
+                    assert_eq!(
+                        tmpl.render(ttl, elapsed),
+                        &naive[..],
+                        "{proto} template ttl={ttl} elapsed={elapsed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_checksum_matches_wire_checksum_field() {
+        for proto in [Protocol::Icmp6, Protocol::Udp, Protocol::Tcp] {
+            let s = spec(proto, 9, 123_456);
+            let pkt = s.build();
+            let off = ip6::HEADER_LEN + super::checksum_offset(proto);
+            assert_eq!(
+                s.flow_checksum(),
+                u16::from_be_bytes([pkt[off], pkt[off + 1]]),
+                "{proto}"
+            );
         }
     }
 
@@ -387,10 +621,7 @@ mod tests {
         assert_eq!(decode_quotation(&[0u8; 10]), Err(DecodeError::NotIpv6));
         let s = spec(Protocol::Icmp6, 5, 1);
         let pkt = s.build();
-        assert_eq!(
-            decode_quotation(&pkt[..50]),
-            Err(DecodeError::Truncated)
-        );
+        assert_eq!(decode_quotation(&pkt[..50]), Err(DecodeError::Truncated));
         let mut bad_magic = pkt.clone();
         bad_magic[ip6::HEADER_LEN + 8] = 0; // clobber magic
         assert!(matches!(

@@ -43,6 +43,22 @@ pub fn build_response(
     flags: u8,
     hop_limit: u8,
 ) -> Vec<u8> {
+    let mut out = Vec::new();
+    build_response_into(&mut out, src, dst, sport, dport, flags, hop_limit);
+    out
+}
+
+/// [`build_response`] into a reusable buffer (cleared first).
+#[allow(clippy::too_many_arguments)]
+pub fn build_response_into(
+    out: &mut Vec<u8>,
+    src: Ipv6Addr,
+    dst: Ipv6Addr,
+    sport: u16,
+    dport: u16,
+    flags: u8,
+    hop_limit: u8,
+) {
     let mut seg = [0u8; 20];
     seg[0..2].copy_from_slice(&sport.to_be_bytes());
     seg[2..4].copy_from_slice(&dport.to_be_bytes());
@@ -60,10 +76,9 @@ pub fn build_response(
         src,
         dst,
     };
-    let mut out = Vec::with_capacity(ip6::HEADER_LEN + 20);
+    out.clear();
     out.extend_from_slice(&hdr.encode());
     out.extend_from_slice(&seg);
-    out
 }
 
 /// Parses an IPv6+TCP packet (header only); checksum-verified.

@@ -11,9 +11,7 @@ use std::sync::Arc;
 use yarrp6::campaign::{run_campaigns_parallel, CampaignSpec};
 
 fn main() {
-    let topo = Arc::new(beholder::net::generate::generate(TopologyConfig::tiny(
-        99,
-    )));
+    let topo = Arc::new(beholder::net::generate::generate(TopologyConfig::tiny(99)));
     let seeds = SeedCatalog::synthesize(&topo, 99);
     let catalog = TargetCatalog::build(&seeds, IidStrategy::FixedIid);
 

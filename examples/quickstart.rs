@@ -55,7 +55,9 @@ fn main() {
     );
     println!(
         "Engine truth: {} rate-limited, {} lost, {} silent hops",
-        result.engine_stats.rate_limited, result.engine_stats.lost, result.engine_stats.silent_router
+        result.engine_stats.rate_limited,
+        result.engine_stats.lost,
+        result.engine_stats.silent_router
     );
 
     // 4. A few example traces, reconstructed from the stateless records.
@@ -67,7 +69,10 @@ fn main() {
         }
         match trace.reached_at {
             Some(t) => println!("  destination answered at hop {t}"),
-            None => println!("  destination did not answer (path len >= {:?})", trace.path_len()),
+            None => println!(
+                "  destination did not answer (path len >= {:?})",
+                trace.path_len()
+            ),
         }
     }
 }

@@ -13,15 +13,16 @@ use yarrp6::sequential::{self, SequentialConfig};
 use yarrp6::yarrp;
 
 fn main() {
-    let topo = Arc::new(beholder::net::generate::generate(TopologyConfig::tiny(
-        555,
-    )));
+    let topo = Arc::new(beholder::net::generate::generate(TopologyConfig::tiny(555)));
     let seeds = SeedCatalog::synthesize(&topo, 555);
     let catalog = TargetCatalog::build(&seeds, IidStrategy::FixedIid);
     let set = catalog.get("caida-z64").expect("caida-z64");
     let max_ttl = 12u8;
 
-    println!("per-hop responsiveness, vantage US-EDU-1, {} targets\n", set.len());
+    println!(
+        "per-hop responsiveness, vantage US-EDU-1, {} targets\n",
+        set.len()
+    );
     print!("{:>24}", "");
     for h in 1..=max_ttl {
         print!(" hop{h:<2}");
@@ -37,7 +38,10 @@ fn main() {
             ..Default::default()
         };
         let log = sequential::run(&mut engine, 1, &set.addrs, &cfg);
-        print_row(&format!("sequential @ {rate}pps"), &hop_responsiveness(&log, max_ttl));
+        print_row(
+            &format!("sequential @ {rate}pps"),
+            &hop_responsiveness(&log, max_ttl),
+        );
 
         let mut engine = Engine::new(topo.clone());
         let cfg = YarrpConfig {
@@ -47,7 +51,10 @@ fn main() {
             ..Default::default()
         };
         let log = yarrp::run(&mut engine, 1, &set.addrs, &cfg);
-        print_row(&format!("yarrp6     @ {rate}pps"), &hop_responsiveness(&log, max_ttl));
+        print_row(
+            &format!("yarrp6     @ {rate}pps"),
+            &hop_responsiveness(&log, max_ttl),
+        );
         println!();
     }
     println!("Sequential probing sends synchronized per-TTL bursts that drain each");

@@ -46,7 +46,10 @@ fn main() {
     let hist = beholder::analyze::subnets::by_prefix_length(&cands);
     println!("\ninferred min-length histogram:");
     for (len, count) in &hist {
-        println!("  /{len:<3} {count:>6}  {}", "#".repeat((*count as usize).min(60)));
+        println!(
+            "  /{len:<3} {count:>6}  {}",
+            "#".repeat((*count as usize).min(60))
+        );
     }
 
     // Ground truth comparison (the simulator knows the real plan).

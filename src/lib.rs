@@ -51,8 +51,7 @@ pub use yarrp6 as probe;
 /// The commonly-used types, one `use` away.
 pub mod prelude {
     pub use analysis::{
-        discover_by_path_div, ia_hack, AsnResolver, CandidateSubnet, PathDivParams, Trace,
-        TraceSet,
+        discover_by_path_div, ia_hack, AsnResolver, CandidateSubnet, PathDivParams, Trace, TraceSet,
     };
     pub use seeds::sources::SeedCatalog;
     pub use seeds::{SeedEntry, SeedList};

@@ -122,10 +122,7 @@ fn fill_mode_efficiency() {
     );
     let f = filled.log.interface_addrs().len() as f64;
     let full_n = full.log.interface_addrs().len() as f64;
-    assert!(
-        f >= 0.9 * full_n,
-        "fill mode found {f} vs full {full_n}"
-    );
+    assert!(f >= 0.9 * full_n, "fill mode found {f} vs full {full_n}");
     assert!(
         filled.log.probes_sent < full.log.probes_sent * 3 / 4,
         "fill mode probes {} not cheaper than {}",
@@ -188,7 +185,12 @@ fn beats_production_style_mapping() {
     // sets, one vantage (as in §5.3's comparison).
     let mut ours = std::collections::BTreeSet::new();
     for name in ["cdn-k32-z64", "tum-z64"] {
-        let res = run_campaign(&topo, 0, catalog.get(name).unwrap(), &YarrpConfig::default());
+        let res = run_campaign(
+            &topo,
+            0,
+            catalog.get(name).unwrap(),
+            &YarrpConfig::default(),
+        );
         ours.extend(res.log.interface_addrs());
     }
     assert!(
