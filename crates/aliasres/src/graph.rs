@@ -2,11 +2,20 @@
 //! interface-level trace set with resolved alias sets into routers and
 //! links — the paper's §7.2 goal ("produce router-level topologies and
 //! facilitate comparative graph analyses").
+//!
+//! The builder rides the columnar [`TraceSet`]: interfaces are already
+//! interned to dense `u32` ids, so node membership is a flat
+//! `Vec<u32>` indexed by interface id instead of a `HashMap<Ipv6Addr,
+//! u32>` probed per hop, and link extraction is one walk over each
+//! trace's contiguous hop slice. Node ids are deterministic (alias
+//! groups first, then first-touch order over target-sorted traces).
 
 use analysis::TraceSet;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv6Addr;
+
+const UNASSIGNED: u32 = u32::MAX;
 
 /// A router-level topology graph.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -21,6 +30,55 @@ impl RouterGraph {
     /// Builds the graph from traces, merging interfaces per `aliases`.
     /// Interfaces outside any alias group become single-interface nodes.
     pub fn build(traces: &TraceSet, aliases: &[Vec<Ipv6Addr>]) -> RouterGraph {
+        let interner = traces.interner();
+        let mut nodes: Vec<Vec<Ipv6Addr>> = Vec::with_capacity(aliases.len());
+        // node_of[iface_id] — dense, no address re-hashing on the walk.
+        let mut node_of: Vec<u32> = vec![UNASSIGNED; interner.len()];
+        for group in aliases {
+            let id = nodes.len() as u32;
+            nodes.push(group.clone());
+            for &a in group {
+                // Alias-group members never seen in any trace keep their
+                // node but need no id mapping (no hop will touch them).
+                if let Some(iid) = interner.lookup(a) {
+                    node_of[iid as usize] = id;
+                }
+            }
+        }
+
+        let mut links = BTreeSet::new();
+        for trace in traces.iter() {
+            // Consecutive responding hops are adjacent routers. A gap of
+            // exactly one silent TTL is bridged (the standard inference);
+            // wider gaps are not.
+            for w in trace.hop_cells().windows(2) {
+                let (t1, a1) = w[0];
+                let (t2, a2) = w[1];
+                if t2 - t1 <= 2 && a1 != a2 {
+                    for iid in [a1, a2] {
+                        if node_of[iid as usize] == UNASSIGNED {
+                            node_of[iid as usize] = nodes.len() as u32;
+                            nodes.push(vec![interner.resolve(iid)]);
+                        }
+                    }
+                    let (n1, n2) = (node_of[a1 as usize], node_of[a2 as usize]);
+                    if n1 != n2 {
+                        links.insert((n1.min(n2), n1.max(n2)));
+                    }
+                }
+            }
+        }
+        RouterGraph { nodes, links }
+    }
+
+    /// Original map-based builder over the reference trace set — kept
+    /// for the golden equivalence tests and the analysis benchmark
+    /// baseline.
+    #[doc(hidden)]
+    pub fn build_reference(
+        traces: &analysis::reference::TraceSet,
+        aliases: &[Vec<Ipv6Addr>],
+    ) -> RouterGraph {
         let mut node_of: HashMap<Ipv6Addr, u32> = HashMap::new();
         let mut nodes: Vec<Vec<Ipv6Addr>> = Vec::new();
         for group in aliases {
@@ -41,9 +99,6 @@ impl RouterGraph {
 
         let mut links = BTreeSet::new();
         for trace in traces.traces.values() {
-            // Consecutive responding hops are adjacent routers. A gap of
-            // exactly one silent TTL is bridged (the standard inference);
-            // wider gaps are not.
             let hops: Vec<(u8, Ipv6Addr)> = trace.hops.iter().map(|(&t, &a)| (t, a)).collect();
             for w in hops.windows(2) {
                 let (t1, a1) = w[0];
@@ -83,12 +138,25 @@ impl RouterGraph {
         }
         hist
     }
+
+    /// Links as address pairs — node-id-independent canonical form, for
+    /// comparing graphs built by different interning orders.
+    pub fn link_addr_pairs(&self) -> BTreeSet<(Ipv6Addr, Ipv6Addr)> {
+        self.links
+            .iter()
+            .map(|&(a, b)| {
+                let x = self.nodes[a as usize][0];
+                let y = self.nodes[b as usize][0];
+                (x.min(y), x.max(y))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use analysis::Trace;
+    use analysis::reference::Trace;
 
     fn trace(target: &str, hops: &[(u8, &str)]) -> Trace {
         let mut t = Trace::new(target.parse().unwrap());
@@ -99,11 +167,7 @@ mod tests {
     }
 
     fn ts(traces: Vec<Trace>) -> TraceSet {
-        let mut set = TraceSet::default();
-        for t in traces {
-            set.traces.insert(t.target, t);
-        }
-        set
+        TraceSet::from_traces(traces)
     }
 
     #[test]
@@ -138,11 +202,40 @@ mod tests {
     }
 
     #[test]
+    fn alias_group_absent_from_traces_is_harmless() {
+        let t = trace("2001:db8::1", &[(1, "::a"), (2, "::b")]);
+        let g = RouterGraph::build(
+            &ts(vec![t]),
+            &[vec!["::dead".parse().unwrap(), "::beef".parse().unwrap()]],
+        );
+        assert_eq!(g.links.len(), 1);
+        // The unused alias node exists but joins no link.
+        assert_eq!(g.connected_node_count(), 2);
+        assert_eq!(g.nodes.len(), 3);
+    }
+
+    #[test]
     fn degree_histogram_counts() {
         let t = trace("2001:db8::1", &[(1, "::a"), (2, "::b"), (3, "::c")]);
         let g = RouterGraph::build(&ts(vec![t]), &[]);
         let h = g.degree_histogram();
         assert_eq!(h[&1], 2); // ::a and ::c
         assert_eq!(h[&2], 1); // ::b
+    }
+
+    #[test]
+    fn matches_reference_builder() {
+        let t1 = trace("2001:db8::1", &[(1, "::a"), (2, "::b"), (4, "::c")]);
+        let t2 = trace("2001:db8::2", &[(1, "::a"), (2, "::d")]);
+        let aliases = vec![vec!["::b".parse().unwrap(), "::d".parse().unwrap()]];
+        let col = RouterGraph::build(&ts(vec![t1.clone(), t2.clone()]), &aliases);
+        let mut rset = analysis::reference::TraceSet::default();
+        for t in [t1, t2] {
+            rset.traces.insert(t.target, t);
+        }
+        let refg = RouterGraph::build_reference(&rset, &aliases);
+        assert_eq!(col.link_addr_pairs(), refg.link_addr_pairs());
+        assert_eq!(col.connected_node_count(), refg.connected_node_count());
+        assert_eq!(col.degree_histogram(), refg.degree_histogram());
     }
 }

@@ -1,0 +1,40 @@
+//! Golden equivalence for the router-level graph builder: the columnar
+//! id-indexed build must produce the same graph (canonicalized to
+//! address pairs — node numbering is interning-order-dependent) as the
+//! original map-based builder, on real campaign traces with and without
+//! alias merging.
+
+use aliasres::speedtrap::{resolve_aliases, AliasConfig};
+use aliasres::RouterGraph;
+use analysis::{reference, TraceSet};
+use simnet::config::TopologyConfig;
+use simnet::Engine;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+use yarrp6::campaign::run_campaign;
+use yarrp6::YarrpConfig;
+
+#[test]
+fn campaign_graph_matches_reference() {
+    let topo = Arc::new(simnet::generate::generate(TopologyConfig::tiny(31)));
+    let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(300).collect();
+    let set = targets::TargetSet::new("graph-golden", addrs);
+    let res = run_campaign(&topo, 1, &set, &YarrpConfig::default());
+
+    let col = TraceSet::from_log(&res.log);
+    let refset = reference::TraceSet::from_log(&res.log);
+
+    // Real alias groups from speedtrap over the discovered interfaces.
+    let ifaces: Vec<Ipv6Addr> = res.log.interface_addrs().into_iter().collect();
+    let mut engine = Engine::new(topo.clone());
+    let aliases = resolve_aliases(&mut engine, 1, &ifaces, &AliasConfig::default());
+
+    for groups in [&[][..], &aliases.groups[..]] {
+        let colg = RouterGraph::build(&col, groups);
+        let refg = RouterGraph::build_reference(&refset, groups);
+        assert_eq!(colg.link_addr_pairs(), refg.link_addr_pairs());
+        assert_eq!(colg.connected_node_count(), refg.connected_node_count());
+        assert_eq!(colg.degree_histogram(), refg.degree_histogram());
+        assert_eq!(colg.nodes.len(), refg.nodes.len());
+    }
+}

@@ -9,6 +9,7 @@
 //! quoting.
 
 use crate::subnets::CandidateSubnet;
+use crate::traces::TraceSet;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::Ipv6Addr;
 use std::path::Path;
@@ -153,6 +154,38 @@ pub fn read_log_csv(path: &Path) -> io::Result<Vec<ResponseRecord>> {
     Ok(out)
 }
 
+/// Writes reconstructed traces as CSV: one `target,ttl,hop` row per
+/// responding hop, traces in target order. A single walk over the
+/// columnar store — rows come out grouped and sorted without building
+/// any intermediate map.
+pub fn write_traces_csv(path: &Path, ts: &TraceSet) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# vantage={} set={}", ts.vantage, ts.target_set)?;
+    writeln!(
+        w,
+        "# traces={} rewritten_dropped={}",
+        ts.len(),
+        ts.rewritten_dropped
+    )?;
+    writeln!(w, "target,ttl,hop,reached_at")?;
+    for t in ts.iter() {
+        let reached = t.reached_at().map(|r| r.to_string()).unwrap_or_default();
+        for (ttl, hop) in t.hops() {
+            writeln!(w, "{},{},{},{}", t.target(), ttl, hop, reached)?;
+        }
+    }
+    w.flush()
+}
+
+/// Writes the distinct responder addresses of a trace set (router
+/// interfaces plus Destination Unreachable sources), straight out of
+/// the shared interner — no fresh per-export `HashSet` — sorted.
+pub fn write_responders(path: &Path, ts: &TraceSet) -> io::Result<()> {
+    let mut addrs: Vec<Ipv6Addr> = ts.interner().addrs();
+    addrs.sort_unstable();
+    write_addrs(path, "responders", &addrs)
+}
+
 /// Writes inferred subnets, one `prefix,exact` per line.
 pub fn write_subnets(path: &Path, cands: &[CandidateSubnet]) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
@@ -271,6 +304,51 @@ mod tests {
         write_subnets(&path, &cands).unwrap();
         assert_eq!(read_subnets(&path).unwrap(), cands);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn traces_and_responders_export() {
+        let mut log = ProbeLog {
+            vantage: "V".into(),
+            target_set: "S".into(),
+            ..Default::default()
+        };
+        log.records.push(ResponseRecord {
+            target: "2001:db8::1".parse().unwrap(),
+            responder: "2001:db8:f::2".parse().unwrap(),
+            kind: ResponseKind::TimeExceeded,
+            probe_ttl: Some(2),
+            rtt_us: Some(5),
+            recv_us: 10,
+            target_cksum_ok: true,
+        });
+        log.records.push(ResponseRecord {
+            target: "2001:db8::1".parse().unwrap(),
+            responder: "2001:db8:f::1".parse().unwrap(),
+            kind: ResponseKind::TimeExceeded,
+            probe_ttl: Some(1),
+            rtt_us: Some(5),
+            recv_us: 11,
+            target_cksum_ok: true,
+        });
+        let ts = TraceSet::from_log(&log);
+        let tpath = tmp("traces");
+        write_traces_csv(&tpath, &ts).unwrap();
+        let text = std::fs::read_to_string(&tpath).unwrap();
+        assert!(text.contains("2001:db8::1,1,2001:db8:f::1,"));
+        assert!(text.contains("2001:db8::1,2,2001:db8:f::2,"));
+        std::fs::remove_file(&tpath).unwrap();
+        let rpath = tmp("responders");
+        write_responders(&rpath, &ts).unwrap();
+        let back = read_addrs(&rpath).unwrap();
+        assert_eq!(
+            back,
+            vec![
+                "2001:db8:f::1".parse::<Ipv6Addr>().unwrap(),
+                "2001:db8:f::2".parse::<Ipv6Addr>().unwrap(),
+            ]
+        );
+        std::fs::remove_file(&rpath).unwrap();
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Interface-address interning: a `u32`-keyed table shared by every
+//! analysis stage.
+//!
+//! A campaign's records repeat the same few thousand responder addresses
+//! millions of times. The map-based pipeline paid for that repetition on
+//! every pass — each stage re-hashed full 128-bit addresses into its own
+//! `HashSet`/`HashMap` node soup. The columnar pipeline instead interns
+//! every responder address **once** into an [`AddrInterner`] and carries
+//! dense `u32` ids everywhere else: trace hops store ids, equality checks
+//! are integer compares, and any per-address derived quantity (origin
+//! ASN, IID class) is computed once per *unique* address via
+//! [`AddrInterner::map_ids`] and then looked up by index.
+//!
+//! The table is purpose-built open addressing in the style of
+//! `simnet::pathcache`: one `Vec<u32>` of slots over a `Vec<Ipv6Addr>`
+//! arena, a splitmix-mixed fold of the 128-bit address as the bucket
+//! hash, linear probing, no per-entry allocation. Ids are assigned in
+//! first-insertion order and are **stable**: re-interning an address
+//! always returns the id of its first insertion, and ids of earlier
+//! inserts never move when the table grows.
+
+use std::net::Ipv6Addr;
+
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Bucket hash for an address word: fold the halves, one splitmix round.
+#[inline]
+fn hash_word(w: u128) -> u64 {
+    splitmix((w >> 64) as u64 ^ w as u64)
+}
+
+/// One slot: the address word inline with its id, so a probe touches a
+/// single cache line instead of chasing `slot → arena` per comparison.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    word: u128,
+    id: u32,
+}
+
+const FREE: Slot = Slot { word: 0, id: EMPTY };
+
+/// Open-addressed `Ipv6Addr → u32` interner over a dense address arena.
+#[derive(Clone, Debug)]
+pub struct AddrInterner {
+    /// Arena: `words[id]` is the interned address word (insertion order).
+    words: Vec<u128>,
+    /// Slot table; `id == EMPTY` marks a free slot.
+    slots: Vec<Slot>,
+    mask: usize,
+}
+
+impl Default for AddrInterner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddrInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty interner pre-sized for about `n` distinct addresses.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n * 2).next_power_of_two().max(64);
+        AddrInterner {
+            words: Vec::with_capacity(n),
+            slots: vec![FREE; cap],
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct addresses interned.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Interns `addr`, returning its stable dense id.
+    #[inline]
+    pub fn intern(&mut self, addr: Ipv6Addr) -> u32 {
+        let w = u128::from(addr);
+        let mut i = hash_word(w) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s.id == EMPTY {
+                let new_id = self.words.len() as u32;
+                self.slots[i] = Slot {
+                    word: w,
+                    id: new_id,
+                };
+                self.words.push(w);
+                if self.words.len() * 4 >= self.slots.len() * 3 {
+                    self.grow();
+                }
+                return new_id;
+            }
+            if s.word == w {
+                return s.id;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Hints the CPU to pull `addr`'s home slot into cache. The classify
+    /// pass batches a window of prefetches ahead of its probes, so slot
+    /// misses overlap instead of serializing — the main reason the
+    /// columnar ingest outruns a per-record `HashMap` probe, whose
+    /// bucket address is unknowable outside the map.
+    #[inline]
+    pub fn prefetch(&self, addr: Ipv6Addr) {
+        let i = hash_word(u128::from(addr)) as usize & self.mask;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                self.slots.as_ptr().add(i) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = i;
+        }
+    }
+
+    /// The id of `addr` if already interned.
+    #[inline]
+    pub fn lookup(&self, addr: Ipv6Addr) -> Option<u32> {
+        let w = u128::from(addr);
+        let mut i = hash_word(w) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s.id == EMPTY {
+                return None;
+            }
+            if s.word == w {
+                return Some(s.id);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The address behind `id` (panics on an id never returned by
+    /// [`intern`](Self::intern)).
+    #[inline]
+    pub fn resolve(&self, id: u32) -> Ipv6Addr {
+        Ipv6Addr::from(self.words[id as usize])
+    }
+
+    /// The `u128` word behind `id`.
+    #[inline]
+    pub fn resolve_word(&self, id: u32) -> u128 {
+        self.words[id as usize]
+    }
+
+    /// All interned address words, indexed by id (insertion order).
+    pub fn words(&self) -> &[u128] {
+        &self.words
+    }
+
+    /// All interned addresses in id order (insertion order).
+    pub fn addrs(&self) -> Vec<Ipv6Addr> {
+        self.words.iter().map(|&w| Ipv6Addr::from(w)).collect()
+    }
+
+    /// Computes `f` once per unique address; `out[id]` is `f(addr(id))`.
+    /// The per-id cache every analysis stage uses instead of re-deriving
+    /// per occurrence (origin ASN, IID class, ...).
+    pub fn map_ids<T>(&self, mut f: impl FnMut(Ipv6Addr) -> T) -> Vec<T> {
+        self.words.iter().map(|&w| f(Ipv6Addr::from(w))).collect()
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, FREE);
+        for (id, &w) in self.words.iter().enumerate() {
+            let mut i = hash_word(w) as usize & self.mask;
+            while self.slots[i].id != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = Slot {
+                word: w,
+                id: id as u32,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut it = AddrInterner::new();
+        let x = it.intern(a("2001:db8::1"));
+        let y = it.intern(a("2001:db8::2"));
+        assert_eq!((x, y), (0, 1));
+        assert_eq!(it.intern(a("2001:db8::1")), x);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(y), a("2001:db8::2"));
+        assert_eq!(it.lookup(a("2001:db8::2")), Some(y));
+        assert_eq!(it.lookup(a("2001:db8::3")), None);
+    }
+
+    #[test]
+    fn survives_growth() {
+        let mut it = AddrInterner::with_capacity(0);
+        let n = 10_000u32;
+        for i in 0..n {
+            let id = it.intern(Ipv6Addr::from(0x2001_0db8_u128 << 96 | i as u128));
+            assert_eq!(id, i);
+        }
+        assert_eq!(it.len(), n as usize);
+        for i in 0..n {
+            let addr = Ipv6Addr::from(0x2001_0db8_u128 << 96 | i as u128);
+            assert_eq!(it.lookup(addr), Some(i));
+            assert_eq!(it.resolve(i), addr);
+        }
+    }
+
+    #[test]
+    fn map_ids_is_per_unique_address() {
+        let mut it = AddrInterner::new();
+        for _ in 0..100 {
+            it.intern(a("::1"));
+            it.intern(a("::2"));
+        }
+        let mut calls = 0;
+        let lens = it.map_ids(|addr| {
+            calls += 1;
+            u128::from(addr)
+        });
+        assert_eq!(calls, 2);
+        assert_eq!(lens, vec![1, 2]);
+    }
+}

@@ -7,13 +7,24 @@
 //! equivalences) — never the simulator's ground truth, which appears
 //! only in [`validate`] where the paper, too, compares against operator
 //! truth data.
+//!
+//! The pipeline is **columnar**: [`traces::TraceSet`] stores all hops
+//! of a campaign in one flat, target-sorted arena with responder
+//! addresses interned to `u32` ids ([`intern`]), and the analysis
+//! passes ([`subnets`], [`metrics`], [`validate`]) are sorted-merge
+//! walks over those columns. The original map-based implementation is
+//! preserved in [`reference`] and pinned bit-identical by golden tests;
+//! `trace_analysis_pps` tracks the speedup between the two.
 
 pub mod export;
+pub mod intern;
 pub mod metrics;
+pub mod reference;
 pub mod subnets;
 pub mod traces;
 pub mod validate;
 
+pub use intern::AddrInterner;
 pub use metrics::{discovery_curve, hop_responsiveness, CampaignMetrics};
 pub use subnets::{discover_by_path_div, ia_hack, CandidateSubnet, PathDivParams};
-pub use traces::{AsnResolver, Trace, TraceSet};
+pub use traces::{AsnResolver, TraceSet, TraceView};

@@ -1,11 +1,17 @@
 //! Campaign metrics: the quantities behind Tables 3, 4, 6 and 7 and
 //! Figures 5, 6 and 7.
+//!
+//! All passes are columnar: the log's records are reduced with sorts
+//! and merges over flat rows, per-address facts (origin ASN, IID class)
+//! are derived once per unique interned address via the trace set's
+//! [`crate::intern::AddrInterner`], and no per-record map nodes are
+//! allocated.
 
 use crate::traces::TraceSet;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv6Addr;
 use v6addr::iid::{classify, IidClass};
+use v6addr::Asn;
 use yarrp6::{ProbeLog, ResponseKind};
 
 /// One campaign's Table 7 row (without the cross-campaign exclusives,
@@ -50,49 +56,77 @@ fn percentile<T: Copy + Ord>(sorted: &[T], p: f64) -> Option<T> {
     Some(sorted[idx])
 }
 
+/// Unique Time-Exceeded sources of a log, sorted — the flat-pass
+/// equivalent of [`ProbeLog::interface_addrs`] (one sort instead of a
+/// `BTreeSet` node per record).
+fn sorted_interface_addrs(log: &ProbeLog) -> Vec<Ipv6Addr> {
+    let mut ifaces: Vec<Ipv6Addr> = log
+        .records
+        .iter()
+        .filter(|r| r.kind == ResponseKind::TimeExceeded)
+        .map(|r| r.responder)
+        .collect();
+    ifaces.sort_unstable();
+    ifaces.dedup();
+    ifaces
+}
+
 impl CampaignMetrics {
     /// Computes the row for one campaign.
     pub fn compute(log: &ProbeLog, bgp: &v6addr::BgpTable) -> CampaignMetrics {
         let ts = TraceSet::from_log(log);
-        let ifaces = log.interface_addrs();
+        let ifaces = sorted_interface_addrs(log);
 
-        let mut pfxs = BTreeSet::new();
-        let mut asns = BTreeSet::new();
+        let mut pfxs: Vec<v6addr::Ipv6Prefix> = Vec::new();
+        let mut asns: Vec<u32> = Vec::new();
         for &a in &ifaces {
             if let Some((p, asn)) = bgp.lookup(a) {
-                pfxs.insert(p);
-                asns.insert(asn.0);
+                pfxs.push(p);
+                asns.push(asn.0);
             }
         }
+        pfxs.sort_unstable_by_key(|p| (p.base_word(), p.len()));
+        pfxs.dedup();
+        asns.sort_unstable();
+        asns.dedup();
 
-        let mut path_lens: Vec<u8> = ts.traces.values().filter_map(|t| t.path_len()).collect();
+        // Per-unique-address facts, once per interned id.
+        let id_origin: Vec<Option<Asn>> = ts.interner().map_ids(|a| bgp.origin(a));
+        let id_eui64: Vec<bool> = ts.interner().map_ids(|a| classify(a) == IidClass::Eui64);
+
+        let mut path_lens: Vec<u8> = ts.iter().filter_map(|t| t.path_len()).collect();
         path_lens.sort_unstable();
+
         let reached = ts
-            .traces
-            .values()
+            .iter()
             .filter(|t| {
-                if t.reached_at.is_some() {
+                if t.reached_at().is_some() {
                     return true;
                 }
-                let Some(tasn) = bgp.origin(t.target) else {
+                let Some(tasn) = bgp.origin(t.target()) else {
                     return false;
                 };
-                t.hops
-                    .values()
-                    .chain(t.unreachable.iter().map(|(_, r)| r))
-                    .any(|&h| bgp.origin(h) == Some(tasn))
+                t.hop_cells()
+                    .iter()
+                    .chain(t.unreachable_cells())
+                    .any(|&(_, id)| id_origin[id as usize] == Some(tasn))
             })
             .count();
 
         // EUI-64 interfaces and their path offsets. Offset is relative to
-        // the trace's path length: 0 means last hop on path.
-        let mut eui_addrs: BTreeSet<Ipv6Addr> = BTreeSet::new();
+        // the trace's path length: 0 means last hop on path. Uniqueness
+        // is tracked per interned id, not by re-hashing addresses.
+        let mut eui_seen = vec![false; ts.interner().len()];
+        let mut eui_count = 0u64;
         let mut offsets: Vec<i16> = Vec::new();
-        for t in ts.traces.values() {
+        for t in ts.iter() {
             let Some(plen) = t.path_len() else { continue };
-            for (&ttl, &hop) in &t.hops {
-                if classify(hop) == IidClass::Eui64 {
-                    eui_addrs.insert(hop);
+            for &(ttl, id) in t.hop_cells() {
+                if id_eui64[id as usize] {
+                    if !eui_seen[id as usize] {
+                        eui_seen[id as usize] = true;
+                        eui_count += 1;
+                    }
                     offsets.push(ttl as i16 - plen as i16);
                 }
             }
@@ -113,11 +147,11 @@ impl CampaignMetrics {
             },
             path_len_p95: percentile(&path_lens, 0.95).unwrap_or(0),
             path_len_median: percentile(&path_lens, 0.5).unwrap_or(0),
-            eui64_addrs: eui_addrs.len() as u64,
+            eui64_addrs: eui_count,
             eui64_frac: if ifaces.is_empty() {
                 0.0
             } else {
-                eui_addrs.len() as f64 / ifaces.len() as f64
+                eui_count as f64 / ifaces.len() as f64
             },
             eui64_offset_p5: percentile(&offsets, 0.05).unwrap_or(0),
             eui64_offset_median: percentile(&offsets, 0.5).unwrap_or(0),
@@ -126,19 +160,25 @@ impl CampaignMetrics {
 }
 
 /// Per-hop responsiveness (Figure 5): for each TTL, the fraction of
-/// traces that received a Time-Exceeded from that hop.
+/// traces that received a Time-Exceeded from that hop. One flat
+/// `(target, ttl)` sort replaces the per-record set probe.
 pub fn hop_responsiveness(log: &ProbeLog, max_ttl: u8) -> Vec<f64> {
     let total = log.traces.max(1) as f64;
+    let mut rows: Vec<(u128, u8)> = log
+        .records
+        .iter()
+        .filter(|r| r.kind == ResponseKind::TimeExceeded)
+        .filter_map(|r| {
+            r.probe_ttl
+                .filter(|&t| t <= max_ttl)
+                .map(|t| (u128::from(r.target), t))
+        })
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
     let mut counts = vec![0u64; max_ttl as usize + 1];
-    let mut seen: BTreeSet<(Ipv6Addr, u8)> = BTreeSet::new();
-    for r in &log.records {
-        if r.kind == ResponseKind::TimeExceeded {
-            if let Some(ttl) = r.probe_ttl {
-                if ttl <= max_ttl && seen.insert((r.target, ttl)) {
-                    counts[ttl as usize] += 1;
-                }
-            }
-        }
+    for &(_, ttl) in &rows {
+        counts[ttl as usize] += 1;
     }
     (1..=max_ttl as usize)
         .map(|t| counts[t] as f64 / total)
@@ -148,38 +188,45 @@ pub fn hop_responsiveness(log: &ProbeLog, max_ttl: u8) -> Vec<f64> {
 /// Discovery curve (Figure 7): cumulative unique interface addresses as
 /// a function of probes emitted. Probe position is recovered from the
 /// response's send timestamp and the campaign rate (stateless probers
-/// do not number their probes).
+/// do not number their probes). Two sorts — first-sighting per address,
+/// then time order — replace the incremental set.
 pub fn discovery_curve(log: &ProbeLog) -> Vec<(u64, u64)> {
     let rate_interval = if log.probes_sent > 0 && log.duration_us > 0 {
         (log.duration_us as f64 / log.probes_sent as f64).max(1.0)
     } else {
         1.0
     };
-    // Order TE records by send time (recv - rtt).
-    let mut sends: Vec<(u64, Ipv6Addr)> = log
+    // (addr, send time): sorted, the first row per address is its
+    // earliest sighting.
+    let mut rows: Vec<(u128, u64)> = log
         .records
         .iter()
         .filter(|r| r.kind == ResponseKind::TimeExceeded)
         .map(|r| {
             let sent = r.recv_us - r.rtt_us.unwrap_or(0).min(r.recv_us);
-            (sent, r.responder)
+            (u128::from(r.responder), sent)
         })
         .collect();
-    sends.sort_unstable();
-    let mut seen = BTreeSet::new();
-    let mut curve = Vec::new();
-    for (sent_us, addr) in sends {
-        if seen.insert(addr) {
+    rows.sort_unstable();
+    rows.dedup_by(|b, a| b.0 == a.0);
+    // Re-order first sightings by send time (ties by address, matching
+    // the reference's (sent, addr) iteration order).
+    let mut firsts: Vec<(u64, u128)> = rows.into_iter().map(|(a, s)| (s, a)).collect();
+    firsts.sort_unstable();
+    firsts
+        .into_iter()
+        .enumerate()
+        .map(|(i, (sent_us, _))| {
             let probe_no = (sent_us as f64 / rate_interval) as u64 + 1;
-            curve.push((probe_no, seen.len() as u64));
-        }
-    }
-    curve
+            (probe_no, i as u64 + 1)
+        })
+        .collect()
 }
 
 /// Cross-campaign exclusive features (Figure 6 insets / Table 7
 /// "Excl" columns): for each campaign, how many interfaces / prefixes /
-/// ASNs no *other* campaign in the grid discovered.
+/// ASNs no *other* campaign in the grid discovered. Computed by sorted
+/// merge over per-campaign sorted feature lists.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ExclusiveFeatures {
     /// Interfaces unique to this campaign.
@@ -190,45 +237,62 @@ pub struct ExclusiveFeatures {
     pub asns: u64,
 }
 
-/// Computes exclusives for each log against the others.
-pub fn exclusive_features(logs: &[&ProbeLog], bgp: &v6addr::BgpTable) -> Vec<ExclusiveFeatures> {
-    let mut iface_count: BTreeMap<Ipv6Addr, u32> = BTreeMap::new();
-    let mut pfx_count: BTreeMap<v6addr::Ipv6Prefix, u32> = BTreeMap::new();
-    let mut asn_count: BTreeMap<u32, u32> = BTreeMap::new();
-    let per_log: Vec<(
-        BTreeSet<Ipv6Addr>,
-        BTreeSet<v6addr::Ipv6Prefix>,
-        BTreeSet<u32>,
-    )> = logs
-        .iter()
-        .map(|log| {
-            let ifaces = log.interface_addrs();
-            let mut pfxs = BTreeSet::new();
-            let mut asns = BTreeSet::new();
-            for &a in &ifaces {
-                if let Some((p, asn)) = bgp.lookup(a) {
-                    pfxs.insert(p);
-                    asns.insert(asn.0);
-                }
-            }
-            for &a in &ifaces {
-                *iface_count.entry(a).or_default() += 1;
-            }
-            for &p in &pfxs {
-                *pfx_count.entry(p).or_default() += 1;
-            }
-            for &a in &asns {
-                *asn_count.entry(a).or_default() += 1;
-            }
-            (ifaces, pfxs, asns)
-        })
-        .collect();
+/// Counts, for each sorted per-campaign list, how many of its elements
+/// appear in no other campaign's list.
+fn exclusive_counts<T: Copy + Ord>(per_log: &[Vec<T>]) -> Vec<u64> {
+    let mut all: Vec<T> = per_log.iter().flatten().copied().collect();
+    all.sort_unstable();
+    // An element kept by exactly one campaign appears exactly once in
+    // the concatenation (per-campaign lists are deduplicated).
+    let mut unique: Vec<T> = Vec::new();
+    let mut i = 0;
+    while i < all.len() {
+        let mut j = i + 1;
+        while j < all.len() && all[j] == all[i] {
+            j += 1;
+        }
+        if j - i == 1 {
+            unique.push(all[i]);
+        }
+        i = j;
+    }
     per_log
         .iter()
-        .map(|(ifaces, pfxs, asns)| ExclusiveFeatures {
-            interfaces: ifaces.iter().filter(|a| iface_count[a] == 1).count() as u64,
-            prefixes: pfxs.iter().filter(|p| pfx_count[p] == 1).count() as u64,
-            asns: asns.iter().filter(|a| asn_count[a] == 1).count() as u64,
+        .map(|v| v.iter().filter(|x| unique.binary_search(x).is_ok()).count() as u64)
+        .collect()
+}
+
+/// Computes exclusives for each log against the others.
+pub fn exclusive_features(logs: &[&ProbeLog], bgp: &v6addr::BgpTable) -> Vec<ExclusiveFeatures> {
+    let mut ifaces_per: Vec<Vec<Ipv6Addr>> = Vec::with_capacity(logs.len());
+    let mut pfxs_per: Vec<Vec<(u128, u8)>> = Vec::with_capacity(logs.len());
+    let mut asns_per: Vec<Vec<u32>> = Vec::with_capacity(logs.len());
+    for log in logs {
+        let ifaces = sorted_interface_addrs(log);
+        let mut pfxs: Vec<(u128, u8)> = Vec::new();
+        let mut asns: Vec<u32> = Vec::new();
+        for &a in &ifaces {
+            if let Some((p, asn)) = bgp.lookup(a) {
+                pfxs.push((p.base_word(), p.len()));
+                asns.push(asn.0);
+            }
+        }
+        pfxs.sort_unstable();
+        pfxs.dedup();
+        asns.sort_unstable();
+        asns.dedup();
+        ifaces_per.push(ifaces);
+        pfxs_per.push(pfxs);
+        asns_per.push(asns);
+    }
+    let i_excl = exclusive_counts(&ifaces_per);
+    let p_excl = exclusive_counts(&pfxs_per);
+    let a_excl = exclusive_counts(&asns_per);
+    (0..logs.len())
+        .map(|k| ExclusiveFeatures {
+            interfaces: i_excl[k],
+            prefixes: p_excl[k],
+            asns: a_excl[k],
         })
         .collect()
 }

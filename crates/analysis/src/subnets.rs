@@ -17,11 +17,18 @@
 //!
 //! Candidate subnets report *minimum* prefix lengths: "we've discovered
 //! a subnet having a prefix length of at least that reported".
+//!
+//! Both discoveries are **single sorted-merge passes** over the columnar
+//! [`TraceSet`]: traces arrive already in target order (adjacent pairs
+//! are just consecutive indices), hop comparison walks two `(ttl, id)`
+//! slices with two cursors, and all per-address ASN lookups are resolved
+//! once per unique interned address up front. The only allocation per
+//! call is the output vector plus one reused LCS scratch buffer — the
+//! original per-pair `hop_vec()` materializations live on in
+//! [`crate::reference`] and are pinned equivalent by golden tests.
 
-use crate::traces::{AsnResolver, Trace, TraceSet};
+use crate::traces::{AsnResolver, TraceSet, TraceView};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::net::Ipv6Addr;
 use v6addr::{bits, dpl, Asn, Ipv6Prefix};
 
 /// The discoverByPathDiv gate parameters (§6 defaults).
@@ -71,34 +78,79 @@ pub struct CandidateSubnet {
     pub exact: bool,
 }
 
+/// Per-unique-address ASN facts, resolved once and indexed by interned
+/// id — the shared-interner payoff: a campaign touches each router
+/// interface thousands of times but resolves it exactly once.
+struct IdAsns {
+    /// Origin ASN per interned id.
+    origin: Vec<Option<Asn>>,
+    /// Whether the id's origin is the vantage organization.
+    vantage_org: Vec<bool>,
+}
+
+impl IdAsns {
+    fn resolve(ts: &TraceSet, resolver: &AsnResolver, vantage_asn: Asn) -> Self {
+        let origin = ts.interner().map_ids(|a| resolver.origin(a));
+        let vantage_org = origin
+            .iter()
+            .map(|o| {
+                o.map(|x| resolver.same_org(x, vantage_asn))
+                    .unwrap_or(false)
+            })
+            .collect();
+        IdAsns {
+            origin,
+            vantage_org,
+        }
+    }
+}
+
 /// Runs path-divergence discovery over a set of traces.
 ///
 /// Pairs are formed between *address-adjacent* targets (sorted order):
 /// nearest neighbors have the highest DPL and thus give the tightest
 /// subnet bounds; comparing all O(n²) pairs adds nothing since any
-/// farther pair has lower DPL than some adjacent chain.
+/// farther pair has lower DPL than some adjacent chain. The columnar
+/// store keeps targets sorted, so the pass is one linear walk.
 pub fn discover_by_path_div(
     ts: &TraceSet,
     resolver: &AsnResolver,
     vantage_asn: Asn,
     params: &PathDivParams,
 ) -> Vec<CandidateSubnet> {
-    let traces = ts.iter_sorted();
-    // Per-target best (max) DPL bound.
-    let mut best: HashMap<Ipv6Addr, u8> = HashMap::new();
-    for pair in traces.windows(2) {
-        let (a, b) = (pair[0], pair[1]);
-        if let Some(n) = divergence_bound(a, b, resolver, vantage_asn, params) {
-            for t in [a.target, b.target] {
-                let e = best.entry(t).or_insert(0);
-                *e = (*e).max(n);
-            }
+    let n = ts.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let ids = IdAsns::resolve(ts, resolver, vantage_asn);
+    // Target origins, one lookup per trace.
+    let tgt_origin: Vec<Option<Asn>> = ts.targets().iter().map(|&t| resolver.origin(t)).collect();
+
+    // Per-target best (max) DPL bound; 0 = no divergence found (a real
+    // bound is always >= 1).
+    let mut best = vec![0u8; n];
+    let mut lcs_buf: Vec<u32> = Vec::new();
+    for i in 0..n - 1 {
+        if let Some(b) = divergence_bound(
+            ts.view_at(i),
+            ts.view_at(i + 1),
+            &ids,
+            &tgt_origin,
+            resolver,
+            params,
+            &mut lcs_buf,
+        ) {
+            best[i] = best[i].max(b);
+            best[i + 1] = best[i + 1].max(b);
         }
     }
-    let mut out: Vec<CandidateSubnet> = best
-        .into_iter()
-        .map(|(t, n)| CandidateSubnet {
-            prefix: Ipv6Prefix::truncating(t, n),
+    let mut out: Vec<CandidateSubnet> = ts
+        .targets()
+        .iter()
+        .zip(&best)
+        .filter(|&(_, &b)| b > 0)
+        .map(|(&t, &b)| CandidateSubnet {
+            prefix: Ipv6Prefix::truncating(t, b),
             exact: false,
         })
         .collect();
@@ -107,111 +159,132 @@ pub fn discover_by_path_div(
     out
 }
 
-/// Tests one target pair for significant divergence; returns the DPL
-/// bound when the gates pass.
+/// Tests one adjacent target pair for significant divergence; returns
+/// the DPL bound when the gates pass. Walks the two hop slices with two
+/// cursors — no `hop_vec` materialization, no per-pair allocation
+/// (`lcs_buf` is reused across pairs).
 fn divergence_bound(
-    a: &Trace,
-    b: &Trace,
+    a: TraceView<'_>,
+    b: TraceView<'_>,
+    ids: &IdAsns,
+    tgt_origin: &[Option<Asn>],
     resolver: &AsnResolver,
-    vantage_asn: Asn,
     params: &PathDivParams,
+    lcs_buf: &mut Vec<u32>,
 ) -> Option<u8> {
     // T: both targets in the same organization.
-    let asn_a = resolver.origin(a.target)?;
-    let asn_b = resolver.origin(b.target)?;
+    let asn_a = tgt_origin[a.index()]?;
+    let asn_b = tgt_origin[b.index()]?;
     if params.targets_same_asn && !resolver.same_org(asn_a, asn_b) {
         return None;
     }
 
-    let ha = a.hop_vec();
-    let hb = b.hop_vec();
+    let ca = a.hop_cells();
+    let cb = b.hop_cells();
+    // Conceptual hop arrays run over ttl 1..=deepest; the walk visits
+    // each position once, advancing both cursors monotonically.
+    let deepest_a = ca.last().map_or(0, |&(t, _)| t as usize);
+    let deepest_b = cb.last().map_or(0, |&(t, _)| t as usize);
+    let limit = deepest_a.min(deepest_b);
 
     // LCS: common prefix of the hop sequences. A position where both
-    // responded with the same address extends it; differing responses
-    // mark the divergence point; a missing response either terminates
-    // the LCS (strict mode) or is skipped without being counted.
-    let mut lcs_hops: Vec<Ipv6Addr> = Vec::new();
-    let mut i = 0usize;
+    // responded with the same interface extends it (id equality is
+    // address equality — shared interner); differing responses mark the
+    // divergence point; a missing response either terminates the LCS
+    // (strict mode) or is skipped without being counted.
+    lcs_buf.clear();
+    let (mut pa, mut pb) = (0usize, 0usize);
     let mut diverged_at = None;
-    while i < ha.len().min(hb.len()) {
-        match (ha[i], hb[i]) {
+    let mut pos = 0usize;
+    while pos < limit {
+        let ttl = pos as u8 + 1;
+        while pa < ca.len() && ca[pa].0 < ttl {
+            pa += 1;
+        }
+        while pb < cb.len() && cb[pb].0 < ttl {
+            pb += 1;
+        }
+        let xa = (pa < ca.len() && ca[pa].0 == ttl).then(|| ca[pa].1);
+        let xb = (pb < cb.len() && cb[pb].0 == ttl).then(|| cb[pb].1);
+        match (xa, xb) {
             (Some(x), Some(y)) if x == y => {
-                lcs_hops.push(x);
-                i += 1;
+                lcs_buf.push(x);
+                pos += 1;
             }
             (Some(_), Some(_)) => {
-                diverged_at = Some(i);
+                diverged_at = Some(pos);
                 break;
             }
             _ => {
                 if !params.allow_gaps {
                     break;
                 }
-                i += 1;
+                pos += 1;
             }
         }
     }
     let div = diverged_at?;
-    if lcs_hops.len() < params.min_lcs {
+    if lcs_buf.len() < params.min_lcs {
         return None;
     }
     // A: divergence must happen outside the vantage AS.
     if params.last_lcs_outside_vantage_as {
-        let last_asn = resolver.origin(*lcs_hops.last()?)?;
-        if resolver.same_org(last_asn, vantage_asn) {
+        let last = *lcs_buf.last()? as usize;
+        ids.origin[last]?;
+        if ids.vantage_org[last] {
             return None;
         }
     }
     // C: enough LCS hops inside the target's organization.
-    let lcs_matches = lcs_hops
+    let lcs_matches = lcs_buf
         .iter()
-        .filter(|&&h| {
-            resolver
-                .origin(h)
-                .map(|x| resolver.same_org(x, asn_a))
-                .unwrap_or(false)
-        })
+        .filter(|&&h| in_org(ids, resolver, h, asn_a))
         .count();
     if lcs_matches < params.lcs_asn_matches {
         return None;
     }
     // DS: both suffixes non-empty (z = 0) and long enough, counting only
-    // responding hops from the divergence point on.
-    let ds_a: Vec<Ipv6Addr> = ha[div..].iter().flatten().copied().collect();
-    let ds_b: Vec<Ipv6Addr> = hb[div..].iter().flatten().copied().collect();
+    // responding hops from the divergence point on. In the flat layout
+    // the divergent suffix is simply the tail of each hop slice.
+    let ds_a = &ca[ca.partition_point(|&(t, _)| (t as usize) <= div)..];
+    let ds_b = &cb[cb.partition_point(|&(t, _)| (t as usize) <= div)..];
     if ds_a.len() < params.min_ds || ds_b.len() < params.min_ds {
         return None;
     }
     // S: enough DS hops inside the target's organization, on each side.
-    let count_in_org = |ds: &[Ipv6Addr], asn: Asn| {
+    let count_in_org = |ds: &[(u8, u32)], asn: Asn| {
         ds.iter()
-            .filter(|&&h| {
-                resolver
-                    .origin(h)
-                    .map(|x| resolver.same_org(x, asn))
-                    .unwrap_or(false)
-            })
+            .filter(|&&(_, h)| in_org(ids, resolver, h, asn))
             .count()
     };
-    if count_in_org(&ds_a, asn_a) < params.ds_asn_matches
-        || count_in_org(&ds_b, asn_b) < params.ds_asn_matches
+    if count_in_org(ds_a, asn_a) < params.ds_asn_matches
+        || count_in_org(ds_b, asn_b) < params.ds_asn_matches
     {
         return None;
     }
 
-    dpl::dpl_of_pair(a.target, b.target)
+    dpl::dpl_of_pair(a.target(), b.target())
+}
+
+#[inline]
+fn in_org(ids: &IdAsns, resolver: &AsnResolver, id: u32, asn: Asn) -> bool {
+    ids.origin[id as usize]
+        .map(|x| resolver.same_org(x, asn))
+        .unwrap_or(false)
 }
 
 /// The IA hack: traces whose last hop is a low-byte (`::1`) address in
-/// the target's own /64 discovered that /64 exactly.
+/// the target's own /64 discovered that /64 exactly. One pass in target
+/// order — the output is born sorted, no re-sort needed.
 pub fn ia_hack(ts: &TraceSet) -> Vec<CandidateSubnet> {
-    let mut out = Vec::new();
-    for t in ts.iter_sorted() {
-        let Some((_, last)) = t.last_hop() else {
+    let mut out: Vec<CandidateSubnet> = Vec::new();
+    let interner = ts.interner();
+    for t in ts.iter() {
+        let Some(&(_, last_id)) = t.hop_cells().last() else {
             continue;
         };
-        let lw = u128::from(last);
-        let tw = u128::from(t.target);
+        let lw = interner.resolve_word(last_id);
+        let tw = u128::from(t.target());
         let same_64 = bits::net_bits(lw) == bits::net_bits(tw);
         let is_one = bits::iid_bits(lw) == 1;
         if same_64 && is_one {
@@ -221,7 +294,10 @@ pub fn ia_hack(ts: &TraceSet) -> Vec<CandidateSubnet> {
             });
         }
     }
-    out.sort_by_key(|c| c.prefix.base_word());
+    // Targets ascend, so /64 base words ascend too; only dedup remains.
+    debug_assert!(out
+        .windows(2)
+        .all(|w| w[0].prefix.base_word() <= w[1].prefix.base_word()));
     out.dedup();
     out
 }
@@ -238,11 +314,12 @@ pub fn by_prefix_length(cands: &[CandidateSubnet]) -> std::collections::BTreeMap
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference;
     use std::collections::BTreeMap;
 
     /// Hand-built trace: hops at ttl 1.. from a list.
-    fn trace(target: &str, hops: &[&str]) -> Trace {
-        let mut t = Trace::new(target.parse().unwrap());
+    fn trace(target: &str, hops: &[&str]) -> reference::Trace {
+        let mut t = reference::Trace::new(target.parse().unwrap());
         for (i, h) in hops.iter().enumerate() {
             t.hops.insert(i as u8 + 1, h.parse().unwrap());
         }
@@ -257,12 +334,8 @@ mod tests {
         AsnResolver::new(bgp, vec![], &[])
     }
 
-    fn ts(traces: Vec<Trace>) -> TraceSet {
-        let mut set = TraceSet::default();
-        for t in traces {
-            set.traces.insert(t.target, t);
-        }
-        set
+    fn ts(traces: Vec<reference::Trace>) -> TraceSet {
+        TraceSet::from_traces(traces)
     }
 
     #[test]
@@ -284,9 +357,6 @@ mod tests {
             &PathDivParams::default(),
         );
         assert_eq!(cands.len(), 2);
-        // Targets differ first within group 4 (0:1 vs 0:2): DPL = 62? The
-        // words differ at ...0001 vs ...0010 in bits 48..64 → common
-        // prefix 48 + 12 = 60, DPL 61? Compute exactly:
         let n = dpl::dpl_of_pair(
             "2001:db8:0:1::aa".parse().unwrap(),
             "2001:db8:0:2::bb".parse().unwrap(),

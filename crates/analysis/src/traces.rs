@@ -1,136 +1,419 @@
-//! Reconstructing per-target traces from stateless response records.
+//! Reconstructing per-target traces from stateless response records —
+//! columnar layout.
 //!
 //! Yarrp6 responses arrive in no particular order, interleaved across
 //! all destinations; this module groups them back into traceroute-style
-//! paths.
+//! paths. The store is flat and index-based rather than a map of maps:
+//!
+//! * records are bucketed by target with one **stable counting
+//!   scatter** over dense interned target ids — no comparison sort
+//!   over the record volume and no `HashMap`/`BTreeMap` node
+//!   insertions;
+//! * all hop cells live contiguously in a single `Vec<(ttl, iface_id)>`,
+//!   each trace owning an `(offset, len)` range — iteration is a slice
+//!   walk, already in target order, so no `iter_sorted()` re-sort per
+//!   analysis pass;
+//! * responder addresses are interned once into a shared
+//!   [`AddrInterner`] ([`crate::intern`]); hops carry dense `u32` ids
+//!   and downstream stages cache per-address derived values by id.
+//!
+//! [`TraceView`] is the per-trace accessor; it mirrors the old `Trace`
+//! API (`path_len`, `last_hop`, `hop_vec`, ...) over the flat store.
+//! The original map-based implementation survives as
+//! [`crate::reference`], pinned bit-identical by golden tests.
 
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use crate::intern::AddrInterner;
+use crate::reference;
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 use v6addr::{Asn, BgpTable, Ipv6Prefix};
 use yarrp6::{ProbeLog, ResponseKind};
 
-/// One reconstructed trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct Trace {
-    /// The probed destination.
-    pub target: Ipv6Addr,
-    /// TTL → responding router interface (Time Exceeded sources only).
-    pub hops: BTreeMap<u8, Ipv6Addr>,
-    /// Smallest TTL at which the destination itself answered, if any.
-    pub reached_at: Option<u8>,
-    /// Destination Unreachable responses seen: (ttl, responder).
-    pub unreachable: Vec<(u8, Ipv6Addr)>,
+/// Per-trace metadata: ranges into the shared hop/unreachable columns.
+#[derive(Clone, Copy, Debug, Default)]
+struct TraceMeta {
+    hop_off: u32,
+    hop_len: u32,
+    unreach_off: u32,
+    unreach_len: u32,
+    reached_at: Option<u8>,
 }
 
-impl Trace {
-    /// An empty trace toward `target`.
-    pub fn new(target: Ipv6Addr) -> Self {
-        Trace {
-            target,
-            hops: BTreeMap::new(),
-            reached_at: None,
-            unreachable: Vec::new(),
-        }
-    }
-
-    /// Estimated path length in router hops: the TTL of the destination
-    /// response when reached, else the deepest responding hop (a lower
-    /// bound).
-    pub fn path_len(&self) -> Option<u8> {
-        self.reached_at
-            .or_else(|| self.hops.keys().next_back().copied())
-    }
-
-    /// The deepest responding hop address (the "last hop" of §6).
-    pub fn last_hop(&self) -> Option<(u8, Ipv6Addr)> {
-        self.hops.iter().next_back().map(|(&t, &a)| (t, a))
-    }
-
-    /// The hop sequence `ttl=1..=k` with gaps as `None`, up to the
-    /// deepest response.
-    pub fn hop_vec(&self) -> Vec<Option<Ipv6Addr>> {
-        let Some((&max, _)) = self.hops.iter().next_back() else {
-            return Vec::new();
-        };
-        (1..=max).map(|t| self.hops.get(&t).copied()).collect()
-    }
-}
-
-/// All traces of one campaign, indexed by target.
+/// All traces of one campaign in columnar form, sorted by target.
 #[derive(Clone, Debug, Default)]
 pub struct TraceSet {
-    /// target → trace.
-    pub traces: HashMap<Ipv6Addr, Trace>,
-    /// Campaign identity, carried through for reporting.
-    pub vantage: String,
+    /// Campaign identity, carried through for reporting (shared, not
+    /// re-allocated per analysis).
+    pub vantage: Arc<str>,
     /// Target-set name.
-    pub target_set: String,
+    pub target_set: Arc<str>,
     /// Records dropped because the quoted destination failed the target
     /// checksum (middlebox rewriting detected): their "target" is not
     /// an address we probed, so including them would fabricate traces.
     pub rewritten_dropped: u64,
+    /// Interned responder/interface addresses shared by all stages.
+    interner: AddrInterner,
+    /// Probed destinations, ascending by address word.
+    targets: Vec<Ipv6Addr>,
+    /// Parallel to `targets`.
+    metas: Vec<TraceMeta>,
+    /// All hop cells `(ttl, iface_id)`, contiguous per trace, ttl
+    /// ascending within a trace.
+    hops: Vec<(u8, u32)>,
+    /// All Destination Unreachable cells `(ttl, responder_id)`,
+    /// contiguous per trace, record order within a trace.
+    unreach: Vec<(u8, u32)>,
+}
+
+/// `reached_at` sentinel in the tid-indexed scratch column.
+const NOT_REACHED: u16 = u16::MAX;
+
+/// Stable counting scatter: buckets `(tid, rid, ttl)` rows into
+/// target-address order (`order[r] = (word, tid)`) in two linear passes
+/// (count, then place), returning the bucketed `(rid, ttl)` payloads
+/// plus the `n + 1` bucket start offsets (rank-indexed). Both passes
+/// index per-tid arrays directly — one random access per row. Within a
+/// bucket the input (record) order is preserved; that stability is what
+/// lets the emit walk apply first-record-wins dedup without any
+/// comparison sort.
+fn scatter_by_rank(rows: &[(u32, u32, u8)], order: &[(u128, u32)]) -> (Vec<(u32, u8)>, Vec<u32>) {
+    let n_targets = order.len();
+    let mut counts = vec![0u32; n_targets];
+    for &(tid, _, _) in rows {
+        counts[tid as usize] += 1;
+    }
+    let mut starts = vec![0u32; n_targets + 1];
+    // Write cursors, indexed by tid so the place pass skips the
+    // tid → rank indirection.
+    let mut cur = vec![0u32; n_targets];
+    let mut acc = 0u32;
+    for (r, &(_, tid)) in order.iter().enumerate() {
+        starts[r] = acc;
+        cur[tid as usize] = acc;
+        acc += counts[tid as usize];
+    }
+    starts[n_targets] = acc;
+    let mut out = vec![(0u32, 0u8); rows.len()];
+    for &(tid, rid, ttl) in rows {
+        let slot = &mut cur[tid as usize];
+        out[*slot as usize] = (rid, ttl);
+        *slot += 1;
+    }
+    (out, starts)
 }
 
 impl TraceSet {
-    /// Builds traces from a probe log.
+    /// Builds traces from a probe log in one classify pass plus a
+    /// *stable* counting scatter — no comparison sort, no `seq` keys:
+    ///
+    /// * targets are interned to dense `tid`s, so the destination-
+    ///   response class updates a flat `reached_at[tid]` min-column —
+    ///   no rows at all;
+    /// * Time-Exceeded hops become 12-byte `(tid, responder id, ttl)`
+    ///   rows, bucketed by the target's *rank* (position in address
+    ///   order) with one counting scatter; the scatter is stable, so
+    ///   each bucket keeps record order and "first record wins per
+    ///   (target, ttl)" — the map pipeline's exact semantics — falls
+    ///   out of a 256-slot TTL scratch, no per-bucket sort;
+    /// * Destination Unreachable rows ride the same scatter; their
+    ///   bucket order *is* the required record order, copied verbatim.
     pub fn from_log(log: &ProbeLog) -> Self {
-        let mut traces: HashMap<Ipv6Addr, Trace> = HashMap::new();
+        let mut interner = AddrInterner::with_capacity(1024);
+        let mut tgt_ids = AddrInterner::with_capacity(1024);
         let mut rewritten_dropped = 0u64;
-        for r in &log.records {
+        // (tid, responder id, ttl) — record order.
+        let mut hop_rows: Vec<(u32, u32, u8)> = Vec::with_capacity(log.records.len() / 2);
+        let mut unreach_rows: Vec<(u32, u32, u8)> = Vec::new();
+        // Min destination-response TTL per tid; NOT_REACHED = none.
+        let mut reached: Vec<u16> = Vec::new();
+        // Probe the target table a window ahead so slot misses overlap
+        // instead of serializing (a HashMap cannot expose its bucket
+        // address to do this).
+        const PREFETCH: usize = 8;
+        for (i, r) in log.records.iter().enumerate() {
+            if let Some(ahead) = log.records.get(i + PREFETCH) {
+                tgt_ids.prefetch(ahead.target);
+            }
             if !r.target_cksum_ok {
                 rewritten_dropped += 1;
                 continue;
             }
-            let t = traces
-                .entry(r.target)
-                .or_insert_with(|| Trace::new(r.target));
+            let tid = tgt_ids.intern(r.target);
+            if tid as usize == reached.len() {
+                reached.push(NOT_REACHED);
+            }
             match r.kind {
                 ResponseKind::TimeExceeded => {
                     if let Some(ttl) = r.probe_ttl {
-                        // First responder wins; duplicates (fill + main
-                        // probes) are consistent by path determinism.
-                        t.hops.entry(ttl).or_insert(r.responder);
+                        hop_rows.push((tid, interner.intern(r.responder), ttl));
                     }
                 }
                 ResponseKind::DestUnreachable(c)
                     if c != v6packet::icmp6::DestUnreachCode::PortUnreachable =>
                 {
                     if let Some(ttl) = r.probe_ttl {
-                        t.unreachable.push((ttl, r.responder));
+                        unreach_rows.push((tid, interner.intern(r.responder), ttl));
                     }
                 }
                 _ => {
                     // Destination responded (echo reply, TCP, port
                     // unreachable from the host).
-                    let at = r.probe_ttl.unwrap_or(u8::MAX);
-                    t.reached_at = Some(t.reached_at.map_or(at, |x| x.min(at)));
+                    let at = r.probe_ttl.unwrap_or(u8::MAX) as u16;
+                    reached[tid as usize] = reached[tid as usize].min(at);
                 }
             }
         }
+        let n_targets = tgt_ids.len();
+
+        // Target-address order over the dense tid arena (the arena holds
+        // every probed target, so no separate union pass exists). The
+        // sort runs over materialized (word, tid) pairs — sorting ids
+        // with an arena-lookup key would re-read random memory on every
+        // comparison.
+        let mut order: Vec<(u128, u32)> = tgt_ids
+            .words()
+            .iter()
+            .enumerate()
+            .map(|(tid, &w)| (w, tid as u32))
+            .collect();
+        order.sort_unstable();
+
+        // Stable counting scatter: bucket rows straight into final
+        // trace order, preserving record order within each bucket.
+        let (hops_scratch, hop_starts) = scatter_by_rank(&hop_rows, &order);
+        drop(hop_rows);
+        let (unreach_scratch, unreach_starts) = scatter_by_rank(&unreach_rows, &order);
+        drop(unreach_rows);
+
+        // Emit walk. `ttl_slot[t]` holds (owner rank + 1, responder) —
+        // the epoch trick avoids clearing 256 slots per trace.
+        let mut ttl_slot = [(0u32, 0u32); 256];
+        let mut targets = Vec::with_capacity(n_targets);
+        let mut metas = Vec::with_capacity(n_targets);
+        let mut hops = Vec::with_capacity(hops_scratch.len());
+        let mut unreach = Vec::with_capacity(unreach_scratch.len());
+        for (r, &(word, tid)) in order.iter().enumerate() {
+            let epoch = r as u32 + 1;
+            let bucket = &hops_scratch[hop_starts[r] as usize..hop_starts[r + 1] as usize];
+            let (mut lo, mut hi) = (usize::MAX, 0usize);
+            for &(rid, ttl) in bucket {
+                let slot = &mut ttl_slot[ttl as usize];
+                // First record wins per (target, ttl): bucket order is
+                // record order, so only an unclaimed slot is written.
+                if slot.0 != epoch {
+                    *slot = (epoch, rid);
+                    lo = lo.min(ttl as usize);
+                    hi = hi.max(ttl as usize);
+                }
+            }
+            let hop_off = hops.len() as u32;
+            if lo != usize::MAX {
+                for (t, &(e, rid)) in ttl_slot.iter().enumerate().take(hi + 1).skip(lo) {
+                    if e == epoch {
+                        hops.push((t as u8, rid));
+                    }
+                }
+            }
+            let unreach_off = unreach.len() as u32;
+            unreach.extend(
+                unreach_scratch[unreach_starts[r] as usize..unreach_starts[r + 1] as usize]
+                    .iter()
+                    .map(|&(rid, ttl)| (ttl, rid)),
+            );
+            let at = reached[tid as usize];
+            targets.push(Ipv6Addr::from(word));
+            metas.push(TraceMeta {
+                hop_off,
+                hop_len: hops.len() as u32 - hop_off,
+                unreach_off,
+                unreach_len: unreach.len() as u32 - unreach_off,
+                reached_at: (at != NOT_REACHED).then_some(at as u8),
+            });
+        }
+
         TraceSet {
-            traces,
             vantage: log.vantage.clone(),
             target_set: log.target_set.clone(),
             rewritten_dropped,
+            interner,
+            targets,
+            metas,
+            hops,
+            unreach,
         }
+    }
+
+    /// Builds a columnar set from hand-constructed [`reference::Trace`]s
+    /// (tests, conversions). Duplicate targets: last one wins, matching
+    /// `HashMap::insert`.
+    pub fn from_traces(traces: impl IntoIterator<Item = reference::Trace>) -> Self {
+        let mut by_target: std::collections::BTreeMap<u128, reference::Trace> =
+            std::collections::BTreeMap::new();
+        for t in traces {
+            by_target.insert(u128::from(t.target), t);
+        }
+        let mut set = TraceSet::default();
+        for (tw, t) in by_target {
+            let hop_off = set.hops.len() as u32;
+            for (&ttl, &addr) in &t.hops {
+                let id = set.interner.intern(addr);
+                set.hops.push((ttl, id));
+            }
+            let unreach_off = set.unreach.len() as u32;
+            for &(ttl, addr) in &t.unreachable {
+                let id = set.interner.intern(addr);
+                set.unreach.push((ttl, id));
+            }
+            set.targets.push(Ipv6Addr::from(tw));
+            set.metas.push(TraceMeta {
+                hop_off,
+                hop_len: set.hops.len() as u32 - hop_off,
+                unreach_off,
+                unreach_len: set.unreach.len() as u32 - unreach_off,
+                reached_at: t.reached_at,
+            });
+        }
+        set
     }
 
     /// Number of traces with at least one response.
     pub fn len(&self) -> usize {
-        self.traces.len()
+        self.targets.len()
     }
 
     /// True when no responses were recorded.
     pub fn is_empty(&self) -> bool {
-        self.traces.is_empty()
+        self.targets.is_empty()
     }
 
-    /// Iterates traces in target order (deterministic).
-    pub fn iter_sorted(&self) -> Vec<&Trace> {
-        let mut v: Vec<&Trace> = self.traces.values().collect();
-        v.sort_by_key(|t| u128::from(t.target));
-        v
+    /// The probed targets, ascending.
+    pub fn targets(&self) -> &[Ipv6Addr] {
+        &self.targets
+    }
+
+    /// The shared interface-address interner.
+    pub fn interner(&self) -> &AddrInterner {
+        &self.interner
+    }
+
+    /// Iterates traces in target order — a slice walk, no re-sort.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = TraceView<'_>> + Clone {
+        (0..self.targets.len()).map(move |idx| TraceView { set: self, idx })
+    }
+
+    /// The trace at position `idx` in target order.
+    pub fn view_at(&self, idx: usize) -> TraceView<'_> {
+        assert!(idx < self.targets.len());
+        TraceView { set: self, idx }
+    }
+
+    /// The trace toward `target`, via binary search.
+    pub fn get(&self, target: Ipv6Addr) -> Option<TraceView<'_>> {
+        let w = u128::from(target);
+        self.targets
+            .binary_search_by_key(&w, |&t| u128::from(t))
+            .ok()
+            .map(|idx| TraceView { set: self, idx })
+    }
+}
+
+/// A borrowed view of one trace inside the flat store.
+#[derive(Clone, Copy)]
+pub struct TraceView<'a> {
+    set: &'a TraceSet,
+    idx: usize,
+}
+
+impl<'a> TraceView<'a> {
+    #[inline]
+    fn meta(&self) -> &'a TraceMeta {
+        &self.set.metas[self.idx]
+    }
+
+    /// The probed destination.
+    #[inline]
+    pub fn target(&self) -> Ipv6Addr {
+        self.set.targets[self.idx]
+    }
+
+    /// Position of this trace in target order.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Smallest TTL at which the destination itself answered, if any.
+    #[inline]
+    pub fn reached_at(&self) -> Option<u8> {
+        self.meta().reached_at
+    }
+
+    /// The raw hop cells `(ttl, iface_id)`, ttl ascending. Ids resolve
+    /// through [`TraceSet::interner`]; id equality is address equality.
+    #[inline]
+    pub fn hop_cells(&self) -> &'a [(u8, u32)] {
+        let m = self.meta();
+        &self.set.hops[m.hop_off as usize..(m.hop_off + m.hop_len) as usize]
+    }
+
+    /// Hops as `(ttl, address)`, ttl ascending.
+    pub fn hops(&self) -> impl ExactSizeIterator<Item = (u8, Ipv6Addr)> + 'a {
+        let interner = &self.set.interner;
+        self.hop_cells()
+            .iter()
+            .map(move |&(ttl, id)| (ttl, interner.resolve(id)))
+    }
+
+    /// The raw Destination Unreachable cells `(ttl, responder_id)`, in
+    /// record order.
+    #[inline]
+    pub fn unreachable_cells(&self) -> &'a [(u8, u32)] {
+        let m = self.meta();
+        &self.set.unreach[m.unreach_off as usize..(m.unreach_off + m.unreach_len) as usize]
+    }
+
+    /// Destination Unreachable responses as `(ttl, responder)`.
+    pub fn unreachable(&self) -> impl ExactSizeIterator<Item = (u8, Ipv6Addr)> + 'a {
+        let interner = &self.set.interner;
+        self.unreachable_cells()
+            .iter()
+            .map(move |&(ttl, id)| (ttl, interner.resolve(id)))
+    }
+
+    /// Estimated path length in router hops: the TTL of the destination
+    /// response when reached, else the deepest responding hop (a lower
+    /// bound).
+    pub fn path_len(&self) -> Option<u8> {
+        self.reached_at()
+            .or_else(|| self.hop_cells().last().map(|&(t, _)| t))
+    }
+
+    /// The deepest responding hop address (the "last hop" of §6).
+    pub fn last_hop(&self) -> Option<(u8, Ipv6Addr)> {
+        self.hop_cells()
+            .last()
+            .map(|&(t, id)| (t, self.set.interner.resolve(id)))
+    }
+
+    /// The hop sequence `ttl=1..=k` with gaps as `None`, up to the
+    /// deepest response. Compatibility helper — the analysis passes walk
+    /// [`hop_cells`](Self::hop_cells) directly instead of materializing
+    /// this.
+    pub fn hop_vec(&self) -> Vec<Option<Ipv6Addr>> {
+        let cells = self.hop_cells();
+        let Some(&(max, _)) = cells.last() else {
+            return Vec::new();
+        };
+        let mut out = vec![None; max as usize];
+        for &(ttl, id) in cells {
+            // The sequence starts at ttl 1; a (nonsensical but
+            // representable) ttl-0 hop is dropped here, as the map
+            // reference's `(1..=max)` range did.
+            if ttl > 0 {
+                out[ttl as usize - 1] = Some(self.set.interner.resolve(id));
+            }
+        }
+        out
     }
 }
 
@@ -220,9 +503,9 @@ mod tests {
             Some(7),
         ));
         let ts = TraceSet::from_log(&log);
-        let t = &ts.traces[&"2001:db8::1".parse::<Ipv6Addr>().unwrap()];
-        assert_eq!(t.hops.len(), 2);
-        assert_eq!(t.reached_at, Some(4));
+        let t = ts.get("2001:db8::1".parse().unwrap()).unwrap();
+        assert_eq!(t.hop_cells().len(), 2);
+        assert_eq!(t.reached_at(), Some(4));
         assert_eq!(t.path_len(), Some(4));
         assert_eq!(
             t.hop_vec(),
@@ -236,6 +519,29 @@ mod tests {
     }
 
     #[test]
+    fn first_te_record_wins_per_ttl() {
+        let mut log = ProbeLog::default();
+        log.records.push(rec(
+            "2001:db8::1",
+            "::a",
+            ResponseKind::TimeExceeded,
+            Some(2),
+        ));
+        log.records.push(rec(
+            "2001:db8::1",
+            "::b",
+            ResponseKind::TimeExceeded,
+            Some(2),
+        ));
+        let ts = TraceSet::from_log(&log);
+        let t = ts.get("2001:db8::1".parse().unwrap()).unwrap();
+        assert_eq!(
+            t.hops().collect::<Vec<_>>(),
+            vec![(2, "::a".parse().unwrap())]
+        );
+    }
+
+    #[test]
     fn unreached_path_len_is_deepest_hop() {
         let mut log = ProbeLog::default();
         log.records.push(rec(
@@ -245,9 +551,39 @@ mod tests {
             Some(5),
         ));
         let ts = TraceSet::from_log(&log);
-        let t = &ts.traces[&"2001:db8::2".parse::<Ipv6Addr>().unwrap()];
-        assert_eq!(t.reached_at, None);
+        let t = ts.get("2001:db8::2".parse().unwrap()).unwrap();
+        assert_eq!(t.reached_at(), None);
         assert_eq!(t.path_len(), Some(5));
+    }
+
+    #[test]
+    fn targets_sorted_and_interner_shared() {
+        let mut log = ProbeLog::default();
+        log.records.push(rec(
+            "2001:db8::9",
+            "::a",
+            ResponseKind::TimeExceeded,
+            Some(1),
+        ));
+        log.records.push(rec(
+            "2001:db8::1",
+            "::a",
+            ResponseKind::TimeExceeded,
+            Some(1),
+        ));
+        let ts = TraceSet::from_log(&log);
+        let targets: Vec<Ipv6Addr> = ts.targets().to_vec();
+        assert_eq!(
+            targets,
+            vec![
+                "2001:db8::1".parse::<Ipv6Addr>().unwrap(),
+                "2001:db8::9".parse::<Ipv6Addr>().unwrap(),
+            ]
+        );
+        // Both traces' hop cells share one interned id for ::a.
+        assert_eq!(ts.interner().len(), 1);
+        let ids: Vec<u32> = ts.iter().map(|t| t.hop_cells()[0].1).collect();
+        assert_eq!(ids, vec![0, 0]);
     }
 
     #[test]

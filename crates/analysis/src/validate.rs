@@ -10,10 +10,14 @@
 //!   truth subnet, intentionally lowering target DPL so discovery is
 //!   bounded by the truth granularity; count exact matches and
 //!   one/two-bit-short misses.
+//!
+//! Both passes are columnar: truth membership is a binary search over a
+//! sorted `(base, len)` table and the per-truth "considered"/"more
+//! specific" sets are sort-dedup flat rows, not per-candidate tree
+//! nodes.
 
 use crate::subnets::CandidateSubnet;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use v6addr::{Ipv6Prefix, PrefixTrie};
 
 /// Validation outcome.
@@ -34,6 +38,11 @@ pub struct ValidationReport {
     pub unmatched: u64,
 }
 
+#[inline]
+fn key(p: &Ipv6Prefix) -> (u128, u8) {
+    (p.base_word(), p.len())
+}
+
 /// Compares candidates against truth prefixes.
 pub fn validate(
     candidates: &[CandidateSubnet],
@@ -41,23 +50,25 @@ pub fn validate(
     traced_targets: &[std::net::Ipv6Addr],
 ) -> ValidationReport {
     let truth_trie: PrefixTrie<()> = truth.iter().map(|&p| (p, ())).collect();
-    let truth_set: BTreeSet<Ipv6Prefix> = truth.iter().copied().collect();
+    let mut truth_keys: Vec<(u128, u8)> = truth.iter().map(key).collect();
+    truth_keys.sort_unstable();
+    truth_keys.dedup();
 
     // Truth subnets we actually sent traces into.
-    let mut considered: BTreeSet<Ipv6Prefix> = BTreeSet::new();
-    for &t in traced_targets {
-        if let Some((p, _)) = truth_trie.longest_match(t) {
-            considered.insert(p);
-        }
-    }
+    let mut considered: Vec<(u128, u8)> = traced_targets
+        .iter()
+        .filter_map(|&t| truth_trie.longest_match(t).map(|(p, _)| key(&p)))
+        .collect();
+    considered.sort_unstable();
+    considered.dedup();
 
     let mut report = ValidationReport {
         truth_considered: considered.len() as u64,
         ..Default::default()
     };
-    let mut more_specific: BTreeSet<Ipv6Prefix> = BTreeSet::new();
+    let mut more_specific: Vec<(u128, u8)> = Vec::new();
     for c in candidates {
-        if truth_set.contains(&c.prefix) {
+        if truth_keys.binary_search(&key(&c.prefix)).is_ok() {
             report.exact += 1;
             continue;
         }
@@ -65,7 +76,7 @@ pub fn validate(
         // short-by-n approximation of it when bases align).
         if let Some((tp, _)) = truth_trie.longest_match(c.prefix.base()) {
             if tp.len() < c.prefix.len() {
-                more_specific.insert(tp);
+                more_specific.push(key(&tp));
                 continue;
             }
             // Candidate is *shorter* than the truth prefix: how short?
@@ -79,12 +90,15 @@ pub fn validate(
             report.unmatched += 1;
         }
     }
+    more_specific.sort_unstable();
+    more_specific.dedup();
     report.truth_with_more_specific = more_specific.len() as u64;
     report
 }
 
 /// Stratified sampling: keep one target per truth subnet (the first in
-/// address order), lowering DPL fidelity on purpose.
+/// address order), lowering DPL fidelity on purpose. One sort groups
+/// targets per truth prefix; a second restores address order.
 pub fn stratified_sample(
     targets: &[std::net::Ipv6Addr],
     truth: &[Ipv6Prefix],
@@ -92,16 +106,22 @@ pub fn stratified_sample(
     let truth_trie: PrefixTrie<()> = truth.iter().map(|&p| (p, ())).collect();
     let mut sorted: Vec<std::net::Ipv6Addr> = targets.to_vec();
     sorted.sort();
-    let mut taken: BTreeSet<Ipv6Prefix> = BTreeSet::new();
-    let mut out = Vec::new();
-    for t in sorted {
-        if let Some((p, _)) = truth_trie.longest_match(t) {
-            if taken.insert(p) {
-                out.push(t);
-            }
-        }
-    }
-    out
+    // (truth key, position in address order): the first row of each
+    // truth-prefix run is the first target in address order.
+    let mut rows: Vec<(u128, u8, u32)> = sorted
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &t)| {
+            truth_trie
+                .longest_match(t)
+                .map(|(p, _)| (p.base_word(), p.len(), i as u32))
+        })
+        .collect();
+    rows.sort_unstable();
+    rows.dedup_by(|b, a| b.0 == a.0 && b.1 == a.1);
+    let mut picks: Vec<u32> = rows.into_iter().map(|(_, _, i)| i).collect();
+    picks.sort_unstable();
+    picks.into_iter().map(|i| sorted[i as usize]).collect()
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ fn main() {
                 other_ifaces.push(ints);
             }
             row(&[
-                (sc.topo.vantages[vantage as usize].name.clone(), 10),
+                (sc.topo.vantages[vantage as usize].name.to_string(), 10),
                 (proto.to_string(), 9),
                 (human(ints), 9),
                 (human(res.log.other_responses()), 8),

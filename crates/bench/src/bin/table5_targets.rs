@@ -28,7 +28,7 @@ fn main() {
     ]);
     for s in &stats {
         row(&[
-            (s.name.clone(), 16),
+            (s.name.to_string(), 16),
             (human(s.unique), 9),
             (human(s.exclusive), 9),
             (human(s.routed), 9),

@@ -25,7 +25,7 @@ fn reduce(name: &str, logs: Vec<ProbeLog>, targets: u64, bgp: &v6addr::BgpTable)
     // Merge the three vantage logs into one aggregate campaign log.
     let mut merged = ProbeLog {
         vantage: "ALL".into(),
-        target_set: name.to_string(),
+        target_set: name.into(),
         ..Default::default()
     };
     for log in logs {
@@ -71,7 +71,8 @@ fn main() {
         .collect();
 
     // Per-vantage cumulative interface sets for the summary rows.
-    let mut per_vantage: Vec<(String, u64, BTreeSet<Ipv6Addr>, Vec<f64>)> = sc
+    type VantageRow = (std::sync::Arc<str>, u64, BTreeSet<Ipv6Addr>, Vec<f64>);
+    let mut per_vantage: Vec<VantageRow> = sc
         .topo
         .vantages
         .iter()
@@ -158,7 +159,7 @@ fn main() {
     for (name, probes, ifaces, reach) in &per_vantage {
         let mean_reach = reach.iter().sum::<f64>() / reach.len().max(1) as f64;
         row(&[
-            (name.clone(), 16),
+            (name.to_string(), 16),
             (human(*probes), 9),
             ("".into(), 9),
             (human(ifaces.len() as u64), 9),

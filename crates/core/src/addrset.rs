@@ -1,0 +1,137 @@
+//! A compact open-addressed set of IPv6 addresses for the prober's
+//! live discovery counters.
+//!
+//! `yarrp::run` tracks "have we seen this Time-Exceeded source before"
+//! once per response — on the hot path, where a std `HashSet<Ipv6Addr>`
+//! pays SipHash plus hasher machinery per probe. This set hashes the
+//! folded 128-bit word with one splitmix round and probes linearly, in
+//! the same style as `simnet::pathcache` and `analysis::intern`.
+
+use std::net::Ipv6Addr;
+
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn hash_word(w: u128) -> u64 {
+    let mut z = ((w >> 64) as u64 ^ w as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Open-addressed insert-only set of `Ipv6Addr`.
+#[derive(Clone, Debug)]
+pub struct AddrSet {
+    /// Member words in insertion order.
+    words: Vec<u128>,
+    /// Slot table holding indices into `words`; `EMPTY` is free.
+    slots: Vec<u32>,
+    mask: usize,
+}
+
+impl Default for AddrSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddrSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        let cap = 256;
+        AddrSet {
+            words: Vec::new(),
+            slots: vec![EMPTY; cap],
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct addresses inserted.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Inserts `addr`; returns `true` when it was not yet a member
+    /// (mirroring `HashSet::insert`).
+    #[inline]
+    pub fn insert(&mut self, addr: Ipv6Addr) -> bool {
+        let w = u128::from(addr);
+        let mut i = hash_word(w) as usize & self.mask;
+        loop {
+            let id = self.slots[i];
+            if id == EMPTY {
+                self.slots[i] = self.words.len() as u32;
+                self.words.push(w);
+                if self.words.len() * 4 >= self.slots.len() * 3 {
+                    self.grow();
+                }
+                return true;
+            }
+            if self.words[id as usize] == w {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        let w = u128::from(addr);
+        let mut i = hash_word(w) as usize & self.mask;
+        loop {
+            let id = self.slots[i];
+            if id == EMPTY {
+                return false;
+            }
+            if self.words[id as usize] == w {
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots.clear();
+        self.slots.resize(cap, EMPTY);
+        for (id, &w) in self.words.iter().enumerate() {
+            let mut i = hash_word(w) as usize & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = id as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_semantics_match_hashset() {
+        let mut ours = AddrSet::new();
+        let mut std_set = std::collections::HashSet::new();
+        let mut w = 0x2001_0db8_u128 << 96;
+        for i in 0..5_000u64 {
+            // Pseudo-random-ish walk with repeats.
+            w = w
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u128 % 97);
+            let a = Ipv6Addr::from(w >> 7);
+            assert_eq!(ours.insert(a), std_set.insert(a));
+        }
+        assert_eq!(ours.len(), std_set.len());
+        for &a in &std_set {
+            assert!(ours.contains(a));
+        }
+        assert!(!ours.contains(Ipv6Addr::from(1u128)));
+    }
+}

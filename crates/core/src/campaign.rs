@@ -52,7 +52,7 @@ pub fn run_campaign_addrs(
 ) -> CampaignResult {
     let mut engine = Engine::new(topo.clone());
     let mut log = yarrp::run(&mut engine, vantage_idx, addrs, cfg);
-    log.target_set = set_name.to_string();
+    log.target_set = set_name.into();
     CampaignResult {
         log,
         engine_stats: engine.stats,
@@ -129,8 +129,8 @@ mod tests {
     fn single_campaign_runs() {
         let (topo, set) = fixture();
         let res = run_campaign(&topo, 0, &set, &YarrpConfig::default());
-        assert_eq!(res.log.target_set, "test-set");
-        assert_eq!(res.log.vantage, "EU-NET");
+        assert_eq!(&*res.log.target_set, "test-set");
+        assert_eq!(&*res.log.vantage, "EU-NET");
         assert!(res.engine_stats.probes >= res.log.probes_sent);
         assert!(!res.log.records.is_empty());
     }

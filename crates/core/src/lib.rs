@@ -23,6 +23,7 @@
 //! * [`campaign`] — drivers that bind probers to vantages and target
 //!   sets, serially or in parallel.
 
+pub mod addrset;
 pub mod campaign;
 pub mod doubletree;
 pub mod perm;

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 use v6packet::icmp6::{self, DestUnreachCode, Icmp6Type};
 use v6packet::probe::{decode_echo_body, decode_quotation};
 use v6packet::tcp;
@@ -148,12 +149,13 @@ pub fn decode_response(
 /// The output of one probing campaign.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ProbeLog {
-    /// Vantage name.
-    pub vantage: String,
-    /// Target-set name.
-    pub target_set: String,
+    /// Vantage name — shared (`Arc`), so carrying it into per-campaign
+    /// logs and trace sets is a refcount bump, not a string copy.
+    pub vantage: Arc<str>,
+    /// Target-set name (shared).
+    pub target_set: Arc<str>,
     /// Prober name ("yarrp6", "sequential", "doubletree").
-    pub prober: String,
+    pub prober: Arc<str>,
     /// Probes emitted.
     pub probes_sent: u64,
     /// Fill-mode probes among them.

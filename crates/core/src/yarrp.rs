@@ -13,11 +13,11 @@
 //!   interface; when a low TTL stops producing new interfaces for a
 //!   window, its probes are skipped (§4.2 closing remark).
 
+use crate::addrset::AddrSet;
 use crate::perm::Permutation;
 use crate::record::{decode_response, ProbeLog, ResponseKind, ResponseRecord};
 use serde::{Deserialize, Serialize};
 use simnet::{Delivery, Engine};
-use std::collections::HashSet;
 use std::net::Ipv6Addr;
 use v6packet::probe::{ProbeSpec, ProbeTemplate, Protocol};
 
@@ -210,9 +210,11 @@ pub fn run(
         scratch: [0u8; v6packet::probe::MAX_PROBE_LEN],
     };
 
-    // Neighborhood state.
+    // Neighborhood state. The seen-interface counter is the
+    // open-addressed `AddrSet` — one splitmix probe per response instead
+    // of a SipHash `HashSet` insert on the hot path.
     let mut last_new = vec![0u64; 256];
-    let mut seen_ifaces: HashSet<Ipv6Addr> = HashSet::new();
+    let mut seen_ifaces = AddrSet::new();
 
     for v in perm.iter() {
         let tidx = (v / ttl_span) as usize;
@@ -278,7 +280,7 @@ pub fn run_reference(
     let interval_us = 1_000_000 / cfg.rate_pps.max(1);
     let mut now_us: u64 = 0;
     let mut last_new = vec![0u64; 256];
-    let mut seen_ifaces: HashSet<Ipv6Addr> = HashSet::new();
+    let mut seen_ifaces = AddrSet::new();
 
     for v in perm.iter() {
         let target = targets[(v / ttl_span) as usize];
@@ -365,7 +367,7 @@ fn send_probe_reference(
     }
 }
 
-fn note_response(rec: &ResponseRecord, last_new: &mut [u64], seen: &mut HashSet<Ipv6Addr>) {
+fn note_response(rec: &ResponseRecord, last_new: &mut [u64], seen: &mut AddrSet) {
     if rec.kind == ResponseKind::TimeExceeded && seen.insert(rec.responder) {
         if let Some(ttl) = rec.probe_ttl {
             last_new[ttl as usize] = rec.recv_us;
@@ -385,7 +387,7 @@ fn maybe_fill(
     cfg: &YarrpConfig,
     log: &mut ProbeLog,
     last_new: &mut [u64],
-    seen: &mut HashSet<Ipv6Addr>,
+    seen: &mut AddrSet,
 ) {
     if !cfg.fill_mode {
         return;
@@ -415,6 +417,7 @@ mod tests {
     use super::*;
     use simnet::config::TopologyConfig;
     use simnet::generate::generate;
+    use std::collections::HashSet;
     use std::sync::Arc;
 
     fn engine() -> Engine {

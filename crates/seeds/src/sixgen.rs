@@ -8,6 +8,13 @@
 //! nybble uniformly within its cluster range (a wildcard when the range
 //! spans), weighting generation toward denser clusters.
 //!
+//! Deduplication is sort-based (draw, sort, dedup) with a **bounded
+//! rejection loop**: when duplicate draws leave the output short of the
+//! budget, up to [`REFILL_ROUNDS`] extra proportional rounds redraw only
+//! the deficit. Per-draw work is constant — tight mode precomputes each
+//! cluster's per-position choice lists once instead of rebuilding a
+//! `Vec` of observed values on every nybble of every draw.
+//!
 //! The paper feeds 6Gen with CAIDA probing results (targets probed plus
 //! interfaces discovered) and observes a characteristic discovery curve:
 //! strong initial yield near dense ranges, then flattening — "the shape
@@ -20,6 +27,69 @@ use std::net::Ipv6Addr;
 
 /// Number of leading bits two addresses must share to sit in one cluster.
 const CLUSTER_BITS: u8 = 32;
+
+/// Extra proportional redraw rounds allowed to make up for duplicate
+/// draws. Bounded so saturated clusters (fewer distinct addresses than
+/// budget share) cannot spin.
+const REFILL_ROUNDS: usize = 4;
+
+/// Sorts/dedups the seed words once, up front.
+fn seed_words(seeds: &[Ipv6Addr]) -> Vec<u128> {
+    let mut words: Vec<u128> = seeds.iter().map(|&a| u128::from(a)).collect();
+    words.sort_unstable();
+    words.dedup();
+    words
+}
+
+/// Cluster boundaries over sorted seed words: `(start, end)` index
+/// ranges of members sharing a `CLUSTER_BITS` prefix.
+fn cluster_bounds(words: &[u128]) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=words.len() {
+        let boundary = i == words.len()
+            || v6addr::bits::common_prefix_len(words[i - 1], words[i]) < CLUSTER_BITS;
+        if boundary {
+            bounds.push((start, i));
+            start = i;
+        }
+    }
+    bounds
+}
+
+/// Draws `deficit` fresh words proportionally to cluster weights,
+/// merges them into `out`, and sort-dedups once per round.
+fn refill<C>(
+    out: &mut Vec<u128>,
+    budget: usize,
+    clusters: &[C],
+    weight: impl Fn(&C) -> usize,
+    total_weight: usize,
+    draw: impl Fn(&C, &mut SmallRng) -> u128,
+    rng: &mut SmallRng,
+) {
+    let mut rounds = 0;
+    while out.len() < budget && rounds < REFILL_ROUNDS {
+        rounds += 1;
+        let deficit = budget - out.len();
+        let before = out.len();
+        for c in clusters {
+            let share = ((weight(c) as f64 / total_weight as f64) * deficit as f64).ceil() as usize;
+            for _ in 0..share {
+                if out.len() - before >= deficit {
+                    break;
+                }
+                out.push(draw(c, rng));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        if out.len() == before {
+            // The clusters cannot produce anything new; stop early.
+            break;
+        }
+    }
+}
 
 /// A cluster of observed addresses and its per-nybble value ranges.
 #[derive(Clone, Debug)]
@@ -58,80 +128,102 @@ impl Cluster {
     }
 }
 
+/// A tight-mode cluster: per-position *observed value* choice lists,
+/// built once so every draw is table lookups (the old per-draw
+/// `Vec<u32>` rebuild made large budgets quadratic-ish).
+#[derive(Clone, Debug)]
+struct TightCluster {
+    /// choices[pos] = sorted observed nybble values at that position.
+    choices: Vec<Vec<u8>>,
+    members: usize,
+}
+
+impl TightCluster {
+    fn from_members(words: &[u128]) -> Self {
+        let mut observed = [0u16; 32];
+        for &w in words {
+            for (pos, o) in observed.iter_mut().enumerate() {
+                *o |= 1 << ((w >> (124 - 4 * pos)) & 0xf);
+            }
+        }
+        let choices = observed
+            .iter()
+            .map(|&mask| (0..16u8).filter(|v| mask & (1 << v) != 0).collect())
+            .collect();
+        TightCluster {
+            choices,
+            members: words.len(),
+        }
+    }
+
+    fn draw(&self, rng: &mut SmallRng) -> u128 {
+        let mut w = 0u128;
+        for (pos, choices) in self.choices.iter().enumerate() {
+            let nyb = choices[rng.gen_range(0..choices.len())] as u128;
+            w |= nyb << (124 - 4 * pos);
+        }
+        w
+    }
+}
+
 /// Generates up to `budget` addresses from `seeds` in *tight*-clustering
 /// mode: each nybble position draws only from the **observed values** at
 /// that position (the paper's `2::[1-4]:0` style ranges), instead of the
 /// full min..max span loose mode wildcards over. Tight mode generates
 /// fewer, higher-confidence candidates.
 pub fn generate_tight(seeds: &[Ipv6Addr], budget: usize, rng_seed: u64) -> Vec<Ipv6Addr> {
-    let mut words: Vec<u128> = seeds.iter().map(|&a| u128::from(a)).collect();
-    words.sort_unstable();
-    words.dedup();
+    let words = seed_words(seeds);
     if words.is_empty() || budget == 0 {
         return Vec::new();
     }
-    // Same clustering as loose mode, but record observed value *sets*.
-    let mut out: Vec<u128> = Vec::with_capacity(budget);
+    // Same clustering as loose mode; clusters need >= 2 members.
+    let clusters: Vec<TightCluster> = cluster_bounds(&words)
+        .into_iter()
+        .filter(|&(s, e)| e - s >= 2)
+        .map(|(s, e)| TightCluster::from_members(&words[s..e]))
+        .collect();
+    if clusters.is_empty() {
+        return Vec::new();
+    }
     let mut rng = SmallRng::seed_from_u64(rng_seed);
-    let mut start = 0usize;
-    for i in 1..=words.len() {
-        let boundary = i == words.len()
-            || v6addr::bits::common_prefix_len(words[i - 1], words[i]) < CLUSTER_BITS;
-        if !boundary {
-            continue;
-        }
-        let members = &words[start..i];
-        start = i;
-        if members.len() < 2 {
-            continue;
-        }
-        // Observed nybble values per position.
-        let mut observed: [u16; 32] = [0; 32]; // bitmask of seen values
-        for &w in members {
-            for (pos, o) in observed.iter_mut().enumerate() {
-                *o |= 1 << ((w >> (124 - 4 * pos)) & 0xf);
-            }
-        }
-        let share = (budget * members.len() / words.len()).max(1);
+    let mut out: Vec<u128> = Vec::with_capacity(budget);
+    for c in &clusters {
+        let share = (budget * c.members / words.len()).max(1);
         for _ in 0..share {
             if out.len() >= budget {
                 break;
             }
-            let mut w = 0u128;
-            for (pos, &mask) in observed.iter().enumerate() {
-                let choices: Vec<u32> = (0..16).filter(|v| mask & (1 << v) != 0).collect();
-                let nyb = choices[rng.gen_range(0..choices.len())] as u128;
-                w |= nyb << (124 - 4 * pos);
-            }
-            out.push(w);
+            out.push(c.draw(&mut rng));
         }
     }
     out.sort_unstable();
     out.dedup();
+    let total: usize = clusters.iter().map(|c| c.members).sum();
+    refill(
+        &mut out,
+        budget,
+        &clusters,
+        |c| c.members,
+        total,
+        |c, rng| c.draw(rng),
+        &mut rng,
+    );
     out.into_iter().map(Ipv6Addr::from).collect()
 }
 
 /// Generates up to `budget` addresses from `seeds` in loose-clustering
 /// mode. Deterministic for a given `(seeds, budget, rng_seed)`.
 pub fn generate_loose(seeds: &[Ipv6Addr], budget: usize, rng_seed: u64) -> Vec<Ipv6Addr> {
-    let mut words: Vec<u128> = seeds.iter().map(|&a| u128::from(a)).collect();
-    words.sort_unstable();
-    words.dedup();
+    let words = seed_words(seeds);
     if words.is_empty() || budget == 0 {
         return Vec::new();
     }
 
     // Cluster by shared CLUSTER_BITS prefix over the sorted words.
-    let mut clusters: Vec<Cluster> = Vec::new();
-    let mut start = 0usize;
-    for i in 1..=words.len() {
-        let boundary = i == words.len()
-            || v6addr::bits::common_prefix_len(words[i - 1], words[i]) < CLUSTER_BITS;
-        if boundary {
-            clusters.push(Cluster::from_members(&words[start..i]));
-            start = i;
-        }
-    }
+    let clusters: Vec<Cluster> = cluster_bounds(&words)
+        .into_iter()
+        .map(|(s, e)| Cluster::from_members(&words[s..e]))
+        .collect();
 
     // Weight clusters by member count (denser ranges yield more targets).
     let total_members: usize = clusters.iter().map(|c| c.members).sum();
@@ -148,6 +240,15 @@ pub fn generate_loose(seeds: &[Ipv6Addr], budget: usize, rng_seed: u64) -> Vec<I
     }
     out.sort_unstable();
     out.dedup();
+    refill(
+        &mut out,
+        budget,
+        &clusters,
+        |c| c.members,
+        total_members,
+        |c, rng| c.draw(rng),
+        &mut rng,
+    );
     out.into_iter().map(Ipv6Addr::from).collect()
 }
 
@@ -213,6 +314,27 @@ mod tests {
     fn empty_and_zero_budget() {
         assert!(generate_loose(&[], 100, 1).is_empty());
         assert!(generate_loose(&[a("::1")], 0, 1).is_empty());
+    }
+
+    #[test]
+    fn rejection_rounds_fill_toward_budget() {
+        // A wide cluster: the address space is ~16^3 at the varying
+        // positions, plenty for the budget; duplicate draws alone should
+        // not leave the output badly short.
+        let seeds = vec![a("2001:db8::"), a("2001:db8::fff")];
+        let out = generate_loose(&seeds, 1_000, 9);
+        assert!(out.len() <= 1_000);
+        assert!(
+            out.len() >= 900,
+            "refill left output at {} of 1000",
+            out.len()
+        );
+        // Saturated cluster: only 16 distinct addresses exist; the
+        // bounded loop must terminate without spinning.
+        let narrow = vec![a("2001:db8::10"), a("2001:db8::1f")];
+        let small = generate_loose(&narrow, 1_000, 9);
+        assert!(small.len() <= 16);
+        assert!(!small.is_empty());
     }
 
     #[test]

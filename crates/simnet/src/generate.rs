@@ -186,7 +186,7 @@ impl Gen {
         // 4. Vantages.
         let names = ["EU-NET", "US-EDU-1", "US-EDU-2"];
         for (i, &as_idx) in v_as.iter().enumerate() {
-            self.make_vantage(i as u8, names[i].to_string(), as_idx);
+            self.make_vantage(i as u8, names[i], as_idx);
         }
     }
 
@@ -723,7 +723,7 @@ impl Gen {
         }
     }
 
-    fn make_vantage(&mut self, i: u8, name: String, as_idx: AsIdx) {
+    fn make_vantage(&mut self, i: u8, name: &str, as_idx: AsIdx) {
         let n_hops = self.cfg.vantage_onprem_hops[i as usize];
         let infra = self.ases[as_idx as usize].infra_prefix;
         let mut onprem = Vec::with_capacity(n_hops);
@@ -744,7 +744,7 @@ impl Gen {
             .addr(0x10 + i as u128);
         self.vantages.push(Vantage {
             id: VantageId(i),
-            name,
+            name: name.into(),
             addr: vaddr,
             as_idx,
             onprem,

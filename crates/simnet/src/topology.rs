@@ -9,6 +9,7 @@
 use crate::config::TopologyConfig;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 use v6addr::{Asn, BgpTable, Ipv6Prefix, PrefixTrie};
 
 /// Index into [`Topology::ases`].
@@ -205,8 +206,9 @@ pub enum HostKind {
 pub struct Vantage {
     /// Identifier (index).
     pub id: VantageId,
-    /// Display name (EU-NET, US-EDU-1, US-EDU-2).
-    pub name: String,
+    /// Display name (EU-NET, US-EDU-1, US-EDU-2) — shared so probers
+    /// carry it into logs without copying.
+    pub name: Arc<str>,
     /// Probe source address.
     pub addr: Ipv6Addr,
     /// Hosting AS.

@@ -22,6 +22,7 @@ pub mod transform;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::net::Ipv6Addr;
+use std::sync::Arc;
 use v6addr::dpl::DplCdf;
 use v6addr::{BgpTable, Ipv6Prefix};
 
@@ -32,15 +33,16 @@ pub use transform::zn;
 /// A named, deduplicated, sorted set of probe targets.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TargetSet {
-    /// Name, e.g. `"cdn-k32-z64"`.
-    pub name: String,
+    /// Name, e.g. `"cdn-k32-z64"` — shared (`Arc`) so campaign logs
+    /// reference it without copying.
+    pub name: Arc<str>,
     /// Sorted unique target addresses.
     pub addrs: Vec<Ipv6Addr>,
 }
 
 impl TargetSet {
     /// Builds a set from addresses, deduplicating and sorting.
-    pub fn new(name: impl Into<String>, addrs: impl IntoIterator<Item = Ipv6Addr>) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, addrs: impl IntoIterator<Item = Ipv6Addr>) -> Self {
         let mut v: Vec<u128> = addrs.into_iter().map(u128::from).collect();
         v.sort_unstable();
         v.dedup();
@@ -71,7 +73,7 @@ impl TargetSet {
     }
 
     /// Union of several sets (used for combined DPL, Fig 3b).
-    pub fn union(name: impl Into<String>, sets: &[&TargetSet]) -> TargetSet {
+    pub fn union(name: impl Into<Arc<str>>, sets: &[&TargetSet]) -> TargetSet {
         TargetSet::new(name, sets.iter().flat_map(|s| s.addrs.iter().copied()))
     }
 
@@ -95,7 +97,7 @@ impl TargetSet {
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct SetStats {
     /// Set name.
-    pub name: String,
+    pub name: Arc<str>,
     /// Unique targets.
     pub unique: u64,
     /// Targets found in no other independent set.

@@ -34,7 +34,7 @@ impl TargetCatalog {
 
     /// Looks a set up by full name (e.g. `"cdn-k32-z64"`).
     pub fn get(&self, name: &str) -> Option<&TargetSet> {
-        self.sets.iter().find(|s| s.name == name)
+        self.sets.iter().find(|s| &*s.name == name)
     }
 
     /// Indices of the independent sets (the Table 5 exclusivity basis:
@@ -50,7 +50,7 @@ impl TargetCatalog {
 
     /// All sets as `(name, &set)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &TargetSet)> {
-        self.sets.iter().map(|s| (s.name.as_str(), s))
+        self.sets.iter().map(|s| (&*s.name, s))
     }
 
     /// Only the z64 sets (the Fig 3 / Fig 7 slice).

@@ -47,7 +47,7 @@ impl IidStrategy {
 /// Prefixes must be /64 or shorter; the IID is OR-ed into the low 64
 /// bits (the paper's bitwise-OR semantics).
 pub fn synthesize(
-    name: impl Into<String>,
+    name: impl Into<std::sync::Arc<str>>,
     prefixes: &[Ipv6Prefix],
     strategy: IidStrategy,
 ) -> TargetSet {
@@ -69,7 +69,10 @@ pub fn synthesize(
 
 /// The `known` strategy: probe seed addresses verbatim (used in the
 /// Table 4 comparison against end-host addresses).
-pub fn known(name: impl Into<String>, addrs: impl IntoIterator<Item = Ipv6Addr>) -> TargetSet {
+pub fn known(
+    name: impl Into<std::sync::Arc<str>>,
+    addrs: impl IntoIterator<Item = Ipv6Addr>,
+) -> TargetSet {
     TargetSet::new(name, addrs)
 }
 

@@ -62,12 +62,12 @@ fn main() {
 
     // 4. A few example traces, reconstructed from the stateless records.
     let traces = TraceSet::from_log(log);
-    for trace in traces.iter_sorted().into_iter().take(3) {
-        println!("\ntrace to {}:", trace.target);
-        for (ttl, hop) in &trace.hops {
+    for trace in traces.iter().take(3) {
+        println!("\ntrace to {}:", trace.target());
+        for (ttl, hop) in trace.hops() {
             println!("  {ttl:>3}  {hop}");
         }
-        match trace.reached_at {
+        match trace.reached_at() {
             Some(t) => println!("  destination answered at hop {t}"),
             None => println!(
                 "  destination did not answer (path len >= {:?})",

@@ -51,7 +51,8 @@ pub use yarrp6 as probe;
 /// The commonly-used types, one `use` away.
 pub mod prelude {
     pub use analysis::{
-        discover_by_path_div, ia_hack, AsnResolver, CandidateSubnet, PathDivParams, Trace, TraceSet,
+        discover_by_path_div, ia_hack, AsnResolver, CandidateSubnet, PathDivParams, TraceSet,
+        TraceView,
     };
     pub use seeds::sources::SeedCatalog;
     pub use seeds::{SeedEntry, SeedList};

@@ -164,7 +164,7 @@ fn middlebox_rewrites_detected_and_quarantined() {
     assert_eq!(ts.rewritten_dropped, flagged);
     // No reconstructed trace may reference an unprobed target.
     let probed: std::collections::BTreeSet<_> = set.addrs.iter().copied().collect();
-    for t in ts.traces.keys() {
+    for t in ts.targets() {
         assert!(probed.contains(t), "fabricated trace toward {t}");
     }
     // With middleboxes disabled, every checksum verifies.
