@@ -1,5 +1,5 @@
 //! Speedtrap-style IPv6 alias resolution and router-level graphs — the
-//! paper's stated follow-on (§7.2, citing Luckie et al. [42]).
+//! paper's stated follow-on (§7.2, citing Luckie et al. \[42\]).
 //!
 //! Interface-level discovery (the paper's contribution) produces a set
 //! of router *interface* addresses; turning them into a router-level

@@ -1,0 +1,384 @@
+//! Incremental trace reconstruction: the streaming half of the
+//! columnar pipeline.
+//!
+//! [`TraceSetBuilder`] ingests response records in fixed-size chunks
+//! *as a campaign produces them* and assembles the same columnar
+//! [`TraceSet`] the batch path builds from a full
+//! [`yarrp6::ProbeLog`] — so a
+//! campaign-scale sweep never materializes its log. Per record the
+//! builder keeps at most one 24-byte classified row (targets and
+//! responders are interned to dense ids on ingestion); destination
+//! responses and checksum-failed records fold into counters
+//! immediately and keep no row at all.
+//!
+//! **Equivalence contract** (pinned by golden + property tests in
+//! `tests/stream_golden.rs`): feeding the builder a campaign's records
+//! in any chunking of their emission order and calling
+//! [`finish`](TraceSetBuilder::finish) yields a `TraceSet`
+//! bit-identical — interner ids included — to
+//! [`TraceSet::from_log`] on the receive-sorted `ProbeLog` the batch
+//! prober would have returned. The builder buffers `(recv_us, row)`
+//! pairs and applies one stable sort at finish, which commutes with
+//! the batch path's [`yarrp6::ProbeLog::sort_by_recv`]; everything after that
+//! seam is literally the same `assemble` code the batch path runs.
+//!
+//! [`stream_campaign`] / [`stream_campaigns_parallel`] wire the
+//! builder to the bounded-channel campaign drivers in
+//! `yarrp6::campaign`, returning finished `(TraceSet, EngineStats)`
+//! pairs directly.
+
+use crate::intern::AddrInterner;
+use crate::traces::{assemble, ClassifiedRows, TraceSet, NOT_REACHED};
+use simnet::{EngineStats, Topology};
+use std::sync::Arc;
+use targets::TargetSet;
+use v6packet::icmp6::DestUnreachCode;
+use yarrp6::campaign::{run_campaign_streaming, run_campaigns_parallel_streaming, CampaignSpec};
+use yarrp6::sink::{RecordStream, StreamConfig};
+use yarrp6::{ResponseKind, ResponseRecord, YarrpConfig};
+
+/// One classified, interned record awaiting assembly: 24 bytes instead
+/// of a 64-byte [`ResponseRecord`], and only for the record classes
+/// that reach the hop/unreachable columns.
+#[derive(Clone, Copy)]
+struct PendingRow {
+    /// Receive time — the finish-sort key that reproduces the batch
+    /// path's receive-ordered analysis.
+    recv_us: u64,
+    /// Dense probed-target id.
+    tid: u32,
+    /// Responder id in the builder's ingestion-order scratch interner.
+    rid: u32,
+    /// Originating probe hop limit.
+    ttl: u8,
+    /// Destination Unreachable row (else Time Exceeded).
+    unreach: bool,
+}
+
+/// Builds a [`TraceSet`] incrementally from streamed response records.
+#[derive(Default)]
+pub struct TraceSetBuilder {
+    vantage: Arc<str>,
+    target_set: Arc<str>,
+    /// Responders in ingestion order; finish re-interns in receive
+    /// order so the final ids match the batch pipeline's exactly.
+    scratch: AddrInterner,
+    /// Probed targets → dense tids.
+    tgt_ids: AddrInterner,
+    /// Min destination-response TTL per tid (`NOT_REACHED` = none).
+    reached: Vec<u16>,
+    rows: Vec<PendingRow>,
+    rewritten_dropped: u64,
+    records_seen: u64,
+}
+
+impl TraceSetBuilder {
+    /// Bytes per buffered classified row — what the streaming bench's
+    /// peak-memory proxy charges per Time-Exceeded/unreachable record.
+    pub const ROW_BYTES: usize = std::mem::size_of::<PendingRow>();
+
+    /// An empty builder with blank campaign identity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stamps the campaign identity carried into the finished set
+    /// (what [`TraceSet::from_log`] copies from the log's fields).
+    pub fn with_identity(mut self, vantage: Arc<str>, target_set: Arc<str>) -> Self {
+        self.vantage = vantage;
+        self.target_set = target_set;
+        self
+    }
+
+    /// Ingests one record. Chunk ingestion
+    /// ([`push_chunk`](Self::push_chunk)) is preferred on the hot
+    /// path — it overlaps interner probes via prefetch.
+    #[inline]
+    pub fn push(&mut self, r: &ResponseRecord) {
+        self.records_seen += 1;
+        if !r.target_cksum_ok {
+            self.rewritten_dropped += 1;
+            return;
+        }
+        let tid = self.tgt_ids.intern(r.target);
+        if tid as usize == self.reached.len() {
+            self.reached.push(NOT_REACHED);
+        }
+        match r.kind {
+            ResponseKind::TimeExceeded => {
+                if let Some(ttl) = r.probe_ttl {
+                    self.rows.push(PendingRow {
+                        recv_us: r.recv_us,
+                        tid,
+                        rid: self.scratch.intern(r.responder),
+                        ttl,
+                        unreach: false,
+                    });
+                }
+            }
+            ResponseKind::DestUnreachable(c) if c != DestUnreachCode::PortUnreachable => {
+                if let Some(ttl) = r.probe_ttl {
+                    self.rows.push(PendingRow {
+                        recv_us: r.recv_us,
+                        tid,
+                        rid: self.scratch.intern(r.responder),
+                        ttl,
+                        unreach: true,
+                    });
+                }
+            }
+            _ => {
+                // Destination responded (echo reply, TCP, port
+                // unreachable from the host).
+                let at = r.probe_ttl.unwrap_or(u8::MAX) as u16;
+                self.reached[tid as usize] = self.reached[tid as usize].min(at);
+            }
+        }
+    }
+
+    /// Ingests a chunk, prefetching the target-interner slot a window
+    /// ahead (the same overlap trick as the batch classify pass).
+    pub fn push_chunk(&mut self, chunk: &[ResponseRecord]) {
+        const PREFETCH: usize = 8;
+        for (i, r) in chunk.iter().enumerate() {
+            if let Some(ahead) = chunk.get(i + PREFETCH) {
+                self.tgt_ids.prefetch(ahead.target);
+            }
+            self.push(r);
+        }
+    }
+
+    /// Records ingested so far (including dropped/destination ones).
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// Classified rows currently buffered — the builder's whole
+    /// per-record memory; everything else is per-unique-address.
+    pub fn pending_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bytes held by the buffered rows (the peak-memory proxy the
+    /// streaming bench reports against the batch path's full log).
+    pub fn buffered_bytes(&self) -> usize {
+        self.rows.len() * Self::ROW_BYTES
+    }
+
+    /// Assembles the final columnar set.
+    ///
+    /// One stable sort puts the buffered rows in receive order (ties
+    /// keep ingestion order — exactly the stable
+    /// [`yarrp6::ProbeLog::sort_by_recv`] the batch prober applies), then a
+    /// single pass re-interns responders in that order so final ids
+    /// match [`TraceSet::from_log`]'s, and the shared scatter/emit
+    /// core does the rest.
+    pub fn finish(mut self) -> TraceSet {
+        self.rows.sort_by_key(|r| r.recv_us);
+        let mut interner = AddrInterner::with_capacity(self.scratch.len());
+        let mut hop_rows: Vec<(u32, u32, u8)> = Vec::new();
+        let mut unreach_rows: Vec<(u32, u32, u8)> = Vec::new();
+        for row in &self.rows {
+            let rid = interner.intern(self.scratch.resolve(row.rid));
+            if row.unreach {
+                unreach_rows.push((row.tid, rid, row.ttl));
+            } else {
+                hop_rows.push((row.tid, rid, row.ttl));
+            }
+        }
+        assemble(
+            ClassifiedRows {
+                interner,
+                tgt_ids: self.tgt_ids,
+                reached: self.reached,
+                hop_rows,
+                unreach_rows,
+                rewritten_dropped: self.rewritten_dropped,
+            },
+            self.vantage,
+            self.target_set,
+        )
+    }
+}
+
+/// Runs one streaming Yarrp6 campaign: the prober feeds a
+/// [`TraceSetBuilder`] through the bounded chunk channel, so the
+/// campaign's record log never exists in memory. The result is
+/// bit-identical to `TraceSet::from_log(&run_campaign(..).log)`.
+pub fn stream_campaign(
+    topo: &Arc<Topology>,
+    vantage_idx: u8,
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+) -> (TraceSet, EngineStats) {
+    let res = run_campaign_streaming(topo, vantage_idx, set, cfg, stream, |records| {
+        let mut builder = TraceSetBuilder::new().with_identity(
+            topo.vantages[vantage_idx as usize].name.clone(),
+            set.name.clone(),
+        );
+        records.for_each_chunk(|c| builder.push_chunk(c));
+        builder.finish()
+    });
+    (res.output, res.engine_stats)
+}
+
+/// Runs many streaming campaigns on the parallel work-queue driver;
+/// each worker feeds a per-campaign [`TraceSetBuilder`] and returns
+/// the finished `(TraceSet, EngineStats)` directly — a campaign-scale
+/// sweep holds columnar stores, never record logs.
+pub fn stream_campaigns_parallel(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+) -> Vec<(TraceSet, EngineStats)> {
+    run_campaigns_parallel_streaming(topo, specs, stream, |_, spec| {
+        let vantage = topo.vantages[spec.vantage_idx as usize].name.clone();
+        let set_name = spec.set.name.clone();
+        move |records: RecordStream| {
+            let mut builder = TraceSetBuilder::new().with_identity(vantage, set_name);
+            records.for_each_chunk(|c| builder.push_chunk(c));
+            builder.finish()
+        }
+    })
+    .into_iter()
+    .map(|r| (r.output, r.engine_stats))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv6Addr;
+    use yarrp6::ProbeLog;
+
+    fn rec(
+        target: &str,
+        responder: &str,
+        kind: ResponseKind,
+        ttl: Option<u8>,
+        recv_us: u64,
+    ) -> ResponseRecord {
+        ResponseRecord {
+            target: target.parse().unwrap(),
+            responder: responder.parse().unwrap(),
+            kind,
+            probe_ttl: ttl,
+            rtt_us: Some(1),
+            recv_us,
+            target_cksum_ok: true,
+        }
+    }
+
+    /// The batch comparator: what the prober's receive-sorted log
+    /// analyzes to.
+    fn batch(records: &[ResponseRecord]) -> TraceSet {
+        let mut log = ProbeLog {
+            records: records.to_vec(),
+            ..Default::default()
+        };
+        log.sort_by_recv();
+        TraceSet::from_log(&log)
+    }
+
+    #[test]
+    fn chunked_ingestion_matches_batch() {
+        let records = vec![
+            rec(
+                "2001:db8::1",
+                "::a",
+                ResponseKind::TimeExceeded,
+                Some(1),
+                50,
+            ),
+            rec(
+                "2001:db8::1",
+                "::b",
+                ResponseKind::TimeExceeded,
+                Some(3),
+                20,
+            ),
+            rec(
+                "2001:db8::2",
+                "::a",
+                ResponseKind::TimeExceeded,
+                Some(2),
+                90,
+            ),
+            rec(
+                "2001:db8::1",
+                "2001:db8::1",
+                ResponseKind::EchoReply,
+                Some(4),
+                70,
+            ),
+            rec(
+                "2001:db8::2",
+                "::c",
+                ResponseKind::DestUnreachable(DestUnreachCode::NoRoute),
+                Some(5),
+                10,
+            ),
+        ];
+        for chunk_size in [1, 2, 5] {
+            let mut b = TraceSetBuilder::new();
+            for chunk in records.chunks(chunk_size) {
+                b.push_chunk(chunk);
+            }
+            assert_eq!(b.records_seen(), 5);
+            assert_eq!(b.finish(), batch(&records), "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn out_of_emission_order_duplicates_resolve_by_recv_time() {
+        // Two TE records for the same (target, ttl): the batch path
+        // sorts by recv and keeps the first — the builder must agree
+        // even though the later-received record was emitted first.
+        let records = vec![
+            rec(
+                "2001:db8::1",
+                "::b",
+                ResponseKind::TimeExceeded,
+                Some(2),
+                80,
+            ),
+            rec(
+                "2001:db8::1",
+                "::a",
+                ResponseKind::TimeExceeded,
+                Some(2),
+                30,
+            ),
+        ];
+        let mut b = TraceSetBuilder::new();
+        b.push_chunk(&records);
+        let ts = b.finish();
+        assert_eq!(ts, batch(&records));
+        let t = ts.get("2001:db8::1".parse().unwrap()).unwrap();
+        assert_eq!(
+            t.hops().collect::<Vec<_>>(),
+            vec![(2u8, "::a".parse::<Ipv6Addr>().unwrap())]
+        );
+    }
+
+    #[test]
+    fn rewritten_records_counted_not_traced() {
+        let mut bad = rec("2001:db8::9", "::a", ResponseKind::TimeExceeded, Some(1), 5);
+        bad.target_cksum_ok = false;
+        let mut b = TraceSetBuilder::new();
+        b.push(&bad);
+        assert_eq!(b.pending_rows(), 0);
+        let ts = b.finish();
+        assert_eq!(ts.rewritten_dropped, 1);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn identity_is_carried() {
+        let b = TraceSetBuilder::new().with_identity("EU-NET".into(), "fdns-z64".into());
+        let ts = b.finish();
+        assert_eq!(&*ts.vantage, "EU-NET");
+        assert_eq!(&*ts.target_set, "fdns-z64");
+    }
+}

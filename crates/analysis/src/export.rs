@@ -1,5 +1,5 @@
 //! Dataset export/import — the release artifacts the paper ships
-//! (targets, discovered topology, subnet inferences) [7].
+//! (targets, discovered topology, subnet inferences) \[7\].
 //!
 //! Formats are deliberately plain: line-oriented text with `#` comments
 //! for address lists, and header-bearing CSV for response records, so

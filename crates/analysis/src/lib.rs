@@ -13,9 +13,19 @@
 //! addresses interned to `u32` ids ([`intern`]), and the analysis
 //! passes ([`subnets`], [`metrics`], [`validate`]) are sorted-merge
 //! walks over those columns. The original map-based implementation is
-//! preserved in [`reference`] and pinned bit-identical by golden tests;
+//! preserved in [`mod@reference`] and pinned bit-identical by golden tests;
 //! `trace_analysis_pps` tracks the speedup between the two.
+//!
+//! It is also **streaming**: [`builder::TraceSetBuilder`] ingests
+//! record chunks as a campaign produces them and assembles the
+//! identical columnar set without the log ever existing, and
+//! [`builder::stream_campaign`] / [`builder::stream_campaigns_parallel`]
+//! wire that builder to the probers' bounded-channel drivers (those
+//! drivers return the engine's [`simnet::EngineStats`] alongside, like
+//! `yarrp6::campaign::run_campaign` does — the analysis passes
+//! themselves still consume only prober-visible data).
 
+pub mod builder;
 pub mod export;
 pub mod intern;
 pub mod metrics;
@@ -24,6 +34,7 @@ pub mod subnets;
 pub mod traces;
 pub mod validate;
 
+pub use builder::{stream_campaign, stream_campaigns_parallel, TraceSetBuilder};
 pub use intern::AddrInterner;
 pub use metrics::{discovery_curve, hop_responsiveness, CampaignMetrics};
 pub use subnets::{discover_by_path_div, ia_hack, CandidateSubnet, PathDivParams};

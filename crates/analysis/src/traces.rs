@@ -30,7 +30,7 @@ use v6addr::{Asn, BgpTable, Ipv6Prefix};
 use yarrp6::{ProbeLog, ResponseKind};
 
 /// Per-trace metadata: ranges into the shared hop/unreachable columns.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct TraceMeta {
     hop_off: u32,
     hop_len: u32,
@@ -65,8 +65,24 @@ pub struct TraceSet {
     unreach: Vec<(u8, u32)>,
 }
 
+/// Bit-for-bit equality of the flat stores, *including* interner id
+/// assignment — the pinned contract between the batch classify pass
+/// and the streaming [`crate::builder::TraceSetBuilder`].
+impl PartialEq for TraceSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.vantage == other.vantage
+            && self.target_set == other.target_set
+            && self.rewritten_dropped == other.rewritten_dropped
+            && self.targets == other.targets
+            && self.metas == other.metas
+            && self.hops == other.hops
+            && self.unreach == other.unreach
+            && self.interner.words() == other.interner.words()
+    }
+}
+
 /// `reached_at` sentinel in the tid-indexed scratch column.
-const NOT_REACHED: u16 = u16::MAX;
+pub(crate) const NOT_REACHED: u16 = u16::MAX;
 
 /// Stable counting scatter: buckets `(tid, rid, ttl)` rows into
 /// target-address order (`order[r] = (word, tid)`) in two linear passes
@@ -100,6 +116,118 @@ fn scatter_by_rank(rows: &[(u32, u32, u8)], order: &[(u128, u32)]) -> (Vec<(u32,
         *slot += 1;
     }
     (out, starts)
+}
+
+/// The classified form of a record stream, ready for assembly: the
+/// shared seam between the batch classify pass ([`TraceSet::from_log`])
+/// and the incremental [`crate::builder::TraceSetBuilder`].
+pub(crate) struct ClassifiedRows {
+    /// Responder interner — ids as the final `TraceSet` will carry them
+    /// (first-occurrence order over the classified rows).
+    pub interner: AddrInterner,
+    /// Probed-target interner: dense `tid`s.
+    pub tgt_ids: AddrInterner,
+    /// Min destination-response TTL per tid; [`NOT_REACHED`] = none.
+    pub reached: Vec<u16>,
+    /// Time-Exceeded rows `(tid, responder id, ttl)`, record order.
+    pub hop_rows: Vec<(u32, u32, u8)>,
+    /// Destination Unreachable rows, record order.
+    pub unreach_rows: Vec<(u32, u32, u8)>,
+    /// Records dropped for failing the target checksum.
+    pub rewritten_dropped: u64,
+}
+
+/// Assembles classified rows into the final columnar store: target-
+/// address ordering, the stable counting scatters, and the dedup/emit
+/// walk. Row order is preserved within each target bucket, so "first
+/// row wins per (target, ttl)" falls out without a comparison sort.
+pub(crate) fn assemble(rows: ClassifiedRows, vantage: Arc<str>, target_set: Arc<str>) -> TraceSet {
+    let ClassifiedRows {
+        interner,
+        tgt_ids,
+        reached,
+        hop_rows,
+        unreach_rows,
+        rewritten_dropped,
+    } = rows;
+    let n_targets = tgt_ids.len();
+
+    // Target-address order over the dense tid arena (the arena holds
+    // every probed target, so no separate union pass exists). The
+    // sort runs over materialized (word, tid) pairs — sorting ids
+    // with an arena-lookup key would re-read random memory on every
+    // comparison.
+    let mut order: Vec<(u128, u32)> = tgt_ids
+        .words()
+        .iter()
+        .enumerate()
+        .map(|(tid, &w)| (w, tid as u32))
+        .collect();
+    order.sort_unstable();
+
+    // Stable counting scatter: bucket rows straight into final
+    // trace order, preserving record order within each bucket.
+    let (hops_scratch, hop_starts) = scatter_by_rank(&hop_rows, &order);
+    drop(hop_rows);
+    let (unreach_scratch, unreach_starts) = scatter_by_rank(&unreach_rows, &order);
+    drop(unreach_rows);
+
+    // Emit walk. `ttl_slot[t]` holds (owner rank + 1, responder) —
+    // the epoch trick avoids clearing 256 slots per trace.
+    let mut ttl_slot = [(0u32, 0u32); 256];
+    let mut targets = Vec::with_capacity(n_targets);
+    let mut metas = Vec::with_capacity(n_targets);
+    let mut hops = Vec::with_capacity(hops_scratch.len());
+    let mut unreach = Vec::with_capacity(unreach_scratch.len());
+    for (r, &(word, tid)) in order.iter().enumerate() {
+        let epoch = r as u32 + 1;
+        let bucket = &hops_scratch[hop_starts[r] as usize..hop_starts[r + 1] as usize];
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &(rid, ttl) in bucket {
+            let slot = &mut ttl_slot[ttl as usize];
+            // First record wins per (target, ttl): bucket order is
+            // record order, so only an unclaimed slot is written.
+            if slot.0 != epoch {
+                *slot = (epoch, rid);
+                lo = lo.min(ttl as usize);
+                hi = hi.max(ttl as usize);
+            }
+        }
+        let hop_off = hops.len() as u32;
+        if lo != usize::MAX {
+            for (t, &(e, rid)) in ttl_slot.iter().enumerate().take(hi + 1).skip(lo) {
+                if e == epoch {
+                    hops.push((t as u8, rid));
+                }
+            }
+        }
+        let unreach_off = unreach.len() as u32;
+        unreach.extend(
+            unreach_scratch[unreach_starts[r] as usize..unreach_starts[r + 1] as usize]
+                .iter()
+                .map(|&(rid, ttl)| (ttl, rid)),
+        );
+        let at = reached[tid as usize];
+        targets.push(Ipv6Addr::from(word));
+        metas.push(TraceMeta {
+            hop_off,
+            hop_len: hops.len() as u32 - hop_off,
+            unreach_off,
+            unreach_len: unreach.len() as u32 - unreach_off,
+            reached_at: (at != NOT_REACHED).then_some(at as u8),
+        });
+    }
+
+    TraceSet {
+        vantage,
+        target_set,
+        rewritten_dropped,
+        interner,
+        targets,
+        metas,
+        hops,
+        unreach,
+    }
 }
 
 impl TraceSet {
@@ -163,84 +291,19 @@ impl TraceSet {
                 }
             }
         }
-        let n_targets = tgt_ids.len();
 
-        // Target-address order over the dense tid arena (the arena holds
-        // every probed target, so no separate union pass exists). The
-        // sort runs over materialized (word, tid) pairs — sorting ids
-        // with an arena-lookup key would re-read random memory on every
-        // comparison.
-        let mut order: Vec<(u128, u32)> = tgt_ids
-            .words()
-            .iter()
-            .enumerate()
-            .map(|(tid, &w)| (w, tid as u32))
-            .collect();
-        order.sort_unstable();
-
-        // Stable counting scatter: bucket rows straight into final
-        // trace order, preserving record order within each bucket.
-        let (hops_scratch, hop_starts) = scatter_by_rank(&hop_rows, &order);
-        drop(hop_rows);
-        let (unreach_scratch, unreach_starts) = scatter_by_rank(&unreach_rows, &order);
-        drop(unreach_rows);
-
-        // Emit walk. `ttl_slot[t]` holds (owner rank + 1, responder) —
-        // the epoch trick avoids clearing 256 slots per trace.
-        let mut ttl_slot = [(0u32, 0u32); 256];
-        let mut targets = Vec::with_capacity(n_targets);
-        let mut metas = Vec::with_capacity(n_targets);
-        let mut hops = Vec::with_capacity(hops_scratch.len());
-        let mut unreach = Vec::with_capacity(unreach_scratch.len());
-        for (r, &(word, tid)) in order.iter().enumerate() {
-            let epoch = r as u32 + 1;
-            let bucket = &hops_scratch[hop_starts[r] as usize..hop_starts[r + 1] as usize];
-            let (mut lo, mut hi) = (usize::MAX, 0usize);
-            for &(rid, ttl) in bucket {
-                let slot = &mut ttl_slot[ttl as usize];
-                // First record wins per (target, ttl): bucket order is
-                // record order, so only an unclaimed slot is written.
-                if slot.0 != epoch {
-                    *slot = (epoch, rid);
-                    lo = lo.min(ttl as usize);
-                    hi = hi.max(ttl as usize);
-                }
-            }
-            let hop_off = hops.len() as u32;
-            if lo != usize::MAX {
-                for (t, &(e, rid)) in ttl_slot.iter().enumerate().take(hi + 1).skip(lo) {
-                    if e == epoch {
-                        hops.push((t as u8, rid));
-                    }
-                }
-            }
-            let unreach_off = unreach.len() as u32;
-            unreach.extend(
-                unreach_scratch[unreach_starts[r] as usize..unreach_starts[r + 1] as usize]
-                    .iter()
-                    .map(|&(rid, ttl)| (ttl, rid)),
-            );
-            let at = reached[tid as usize];
-            targets.push(Ipv6Addr::from(word));
-            metas.push(TraceMeta {
-                hop_off,
-                hop_len: hops.len() as u32 - hop_off,
-                unreach_off,
-                unreach_len: unreach.len() as u32 - unreach_off,
-                reached_at: (at != NOT_REACHED).then_some(at as u8),
-            });
-        }
-
-        TraceSet {
-            vantage: log.vantage.clone(),
-            target_set: log.target_set.clone(),
-            rewritten_dropped,
-            interner,
-            targets,
-            metas,
-            hops,
-            unreach,
-        }
+        assemble(
+            ClassifiedRows {
+                interner,
+                tgt_ids,
+                reached,
+                hop_rows,
+                unreach_rows,
+                rewritten_dropped,
+            },
+            log.vantage.clone(),
+            log.target_set.clone(),
+        )
     }
 
     /// Builds a columnar set from hand-constructed [`reference::Trace`]s

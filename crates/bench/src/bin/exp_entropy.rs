@@ -1,4 +1,4 @@
-//! Entropy/IP-style structure analysis of the seed lists ([24], related
+//! Entropy/IP-style structure analysis of the seed lists (\[24\], related
 //! work the paper builds on): per-nybble entropy and the segmentation of
 //! each list into constant / structured / random fields — a compact
 //! fingerprint of how each source's collection bias shows up in the

@@ -1,6 +1,6 @@
 //! `yarrp6_sim` — the Yarrp6 prober as a command-line tool, run against
 //! the simulated Internet (the release-artifact form of the paper's
-//! prober [7], adapted to this reproduction's substrate).
+//! prober \[7\], adapted to this reproduction's substrate).
 //!
 //! ```text
 //! yarrp6_sim [--scale tiny|small|full] [--seed N] [--vantage 0..2]

@@ -7,8 +7,18 @@
 //! shared atomic queue, so a slow campaign never stalls unrelated ones;
 //! the engine is per-campaign so no locking is needed beyond the shared,
 //! read-only topology.
+//!
+//! The **streaming** drivers ([`run_campaign_streaming`],
+//! [`run_campaigns_parallel_streaming`]) run the prober and a consumer
+//! concurrently, connected by the bounded chunk channel of
+//! [`crate::sink`]: the consumer sees fixed-size record chunks as they
+//! are produced and the campaign's full log never exists in memory.
+//! They are generic over the consumer; `analysis::stream_campaign`
+//! feeds an incremental trace builder and returns the finished
+//! `TraceSet` directly.
 
 use crate::record::ProbeLog;
+use crate::sink::{RecordStream, StreamConfig};
 use crate::yarrp::{self, YarrpConfig};
 use simnet::{Engine, EngineStats, Topology};
 use std::net::Ipv6Addr;
@@ -26,6 +36,24 @@ pub struct CampaignResult {
     pub engine_stats: EngineStats,
 }
 
+/// Shared body of the batch campaign runners: fresh engine, one Yarrp6
+/// run, the set name stamped onto the log.
+fn run_campaign_named(
+    topo: &Arc<Topology>,
+    vantage_idx: u8,
+    set_name: Arc<str>,
+    addrs: &[Ipv6Addr],
+    cfg: &YarrpConfig,
+) -> CampaignResult {
+    let mut engine = Engine::new(topo.clone());
+    let mut log = yarrp::run(&mut engine, vantage_idx, addrs, cfg);
+    log.target_set = set_name;
+    CampaignResult {
+        log,
+        engine_stats: engine.stats,
+    }
+}
+
 /// Runs one Yarrp6 campaign on a fresh engine.
 pub fn run_campaign(
     topo: &Arc<Topology>,
@@ -33,13 +61,7 @@ pub fn run_campaign(
     set: &TargetSet,
     cfg: &YarrpConfig,
 ) -> CampaignResult {
-    let mut engine = Engine::new(topo.clone());
-    let mut log = yarrp::run(&mut engine, vantage_idx, &set.addrs, cfg);
-    log.target_set = set.name.clone();
-    CampaignResult {
-        log,
-        engine_stats: engine.stats,
-    }
+    run_campaign_named(topo, vantage_idx, set.name.clone(), &set.addrs, cfg)
 }
 
 /// Runs one Yarrp6 campaign over raw addresses (trial harness).
@@ -50,13 +72,60 @@ pub fn run_campaign_addrs(
     addrs: &[Ipv6Addr],
     cfg: &YarrpConfig,
 ) -> CampaignResult {
-    let mut engine = Engine::new(topo.clone());
-    let mut log = yarrp::run(&mut engine, vantage_idx, addrs, cfg);
-    log.target_set = set_name.into();
-    CampaignResult {
-        log,
-        engine_stats: engine.stats,
-    }
+    run_campaign_named(topo, vantage_idx, set_name.into(), addrs, cfg)
+}
+
+/// A finished *streaming* campaign: whatever the consumer produced,
+/// plus the send-side counters and the engine's accounting. `log` is
+/// the counters-only [`ProbeLog`] from
+/// [`yarrp::run_with_sink`] — its `records` is empty; the records went
+/// through the consumer.
+#[derive(Clone, Debug)]
+pub struct StreamedCampaign<T> {
+    /// The consumer's product (e.g. a finished trace set).
+    pub output: T,
+    /// Send-side counters (empty `records`).
+    pub log: ProbeLog,
+    /// The simulator's view.
+    pub engine_stats: EngineStats,
+}
+
+/// Runs one Yarrp6 campaign with the prober on a spawned thread and
+/// `consume` draining the bounded record stream on the calling thread.
+///
+/// The prober blocks when the consumer falls `stream.channel_chunks`
+/// chunks behind (backpressure bounds memory); the consumer's
+/// [`RecordStream`] ends when the prober finishes. Records arrive in
+/// emission order — the order a [`ProbeLog`] would hold them *before*
+/// its final [`ProbeLog::sort_by_recv`]; an order-sensitive consumer
+/// (like `analysis`'s trace builder) accounts for that itself.
+pub fn run_campaign_streaming<T>(
+    topo: &Arc<Topology>,
+    vantage_idx: u8,
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    consume: impl FnOnce(RecordStream) -> T,
+) -> StreamedCampaign<T> {
+    let (sink, records) = RecordStream::channel(stream);
+    std::thread::scope(|s| {
+        let prober = s.spawn(move || {
+            let mut engine = Engine::new(topo.clone());
+            let mut sink = sink;
+            let mut log =
+                yarrp::run_with_sink(&mut engine, vantage_idx, &set.addrs, cfg, &mut sink);
+            sink.finish();
+            log.target_set = set.name.clone();
+            (log, engine.stats)
+        });
+        let output = consume(records);
+        let (log, engine_stats) = prober.join().expect("prober thread panicked");
+        StreamedCampaign {
+            output,
+            log,
+            engine_stats,
+        }
+    })
 }
 
 /// A campaign specification for the parallel driver.
@@ -112,6 +181,72 @@ pub fn run_campaigns_parallel(
         .collect()
 }
 
+/// Runs many campaigns in parallel, each streaming into its own
+/// consumer, returning results in input order.
+///
+/// The worker pool is the same atomic work queue as
+/// [`run_campaigns_parallel`]; each claimed campaign runs as a
+/// [`run_campaign_streaming`] pair (prober thread + the worker thread
+/// consuming), so at no point does any campaign hold its full record
+/// log — peak record memory per campaign is
+/// [`StreamConfig::max_buffered_records`].
+///
+/// `make_consumer` is called on the worker thread once per campaign
+/// (with the campaign's index into `specs`) to create that campaign's
+/// consumer — e.g. a fresh incremental trace builder.
+pub fn run_campaigns_parallel_streaming<T, C, F>(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+    make_consumer: F,
+) -> Vec<StreamedCampaign<T>>
+where
+    T: Send,
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, &CampaignSpec<'_>) -> C + Sync,
+{
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(specs.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, StreamedCampaign<T>)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let make_consumer = &make_consumer;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let consumer = make_consumer(i, spec);
+                let res = run_campaign_streaming(
+                    topo,
+                    spec.vantage_idx,
+                    spec.set,
+                    &spec.cfg,
+                    stream,
+                    consumer,
+                );
+                if tx.send((i, res)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<StreamedCampaign<T>>> = (0..specs.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("worker completed every claimed campaign"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +288,63 @@ mod tests {
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.log.records, p.log.records, "campaign divergence");
             assert_eq!(s.engine_stats, p.engine_stats);
+        }
+    }
+
+    #[test]
+    fn streaming_campaign_delivers_the_batch_records() {
+        let (topo, set) = fixture();
+        let cfg = YarrpConfig::default();
+        let batch = run_campaign(&topo, 0, &set, &cfg);
+        let stream = StreamConfig {
+            chunk_records: 32,
+            channel_chunks: 2,
+        };
+        let streamed = run_campaign_streaming(&topo, 0, &set, &cfg, &stream, |records| {
+            let mut all = Vec::new();
+            records.for_each_chunk(|c| all.extend_from_slice(c));
+            all
+        });
+        // Same records (the batch log is receive-sorted; the stream is
+        // emission-ordered), same counters, same engine view.
+        let mut collected = streamed.output;
+        collected.sort_by_key(|r| r.recv_us);
+        assert_eq!(collected, batch.log.records);
+        assert!(streamed.log.records.is_empty());
+        assert_eq!(streamed.log.probes_sent, batch.log.probes_sent);
+        assert_eq!(streamed.log.fills, batch.log.fills);
+        assert_eq!(streamed.log.discarded, batch.log.discarded);
+        assert_eq!(streamed.log.duration_us, batch.log.duration_us);
+        assert_eq!(&*streamed.log.target_set, "test-set");
+        assert_eq!(streamed.engine_stats, batch.engine_stats);
+    }
+
+    #[test]
+    fn parallel_streaming_matches_parallel_batch() {
+        let (topo, set) = fixture();
+        let cfg = YarrpConfig::default();
+        let specs: Vec<CampaignSpec> = (0..3u8)
+            .map(|v| CampaignSpec {
+                vantage_idx: v,
+                set: &set,
+                cfg,
+            })
+            .collect();
+        let batch = run_campaigns_parallel(&topo, &specs);
+        let stream = StreamConfig::default();
+        let streamed = run_campaigns_parallel_streaming(&topo, &specs, &stream, |_, _| {
+            |records: RecordStream| {
+                let mut all = Vec::new();
+                records.for_each_chunk(|c| all.extend_from_slice(c));
+                all
+            }
+        });
+        assert_eq!(streamed.len(), batch.len());
+        for (s, b) in streamed.into_iter().zip(&batch) {
+            let mut collected = s.output;
+            collected.sort_by_key(|r| r.recv_us);
+            assert_eq!(collected, b.log.records);
+            assert_eq!(s.engine_stats, b.engine_stats);
         }
     }
 

@@ -1,4 +1,4 @@
-//! Doubletree (Donnet et al. [20]) — the classic probe-reduction
+//! Doubletree (Donnet et al. \[20\]) — the classic probe-reduction
 //! comparator (§4.2).
 //!
 //! Doubletree starts each trace at an intermediate TTL and probes
@@ -13,7 +13,8 @@
 //! the very token buckets that are already drained. This implementation
 //! reproduces that behavior faithfully: silence ≠ stop.
 
-use crate::record::{decode_response, ProbeLog, ResponseKind};
+use crate::record::{decode_response, ProbeLog, ResponseKind, ResponseRecord};
+use crate::sink::RecordSink;
 use serde::{Deserialize, Serialize};
 use simnet::Engine;
 use std::collections::HashSet;
@@ -51,12 +52,30 @@ impl Default for DoubletreeConfig {
     }
 }
 
-/// Runs a Doubletree campaign from `vantage_idx` against `targets`.
+/// Runs a Doubletree campaign from `vantage_idx` against `targets`,
+/// collecting into a receive-sorted [`ProbeLog`] (batch shape).
 pub fn run(
     engine: &mut Engine,
     vantage_idx: u8,
     targets: &[Ipv6Addr],
     cfg: &DoubletreeConfig,
+) -> ProbeLog {
+    let mut records: Vec<ResponseRecord> = Vec::new();
+    let mut log = run_with_sink(engine, vantage_idx, targets, cfg, &mut records);
+    log.records = records;
+    log.sort_by_recv();
+    log
+}
+
+/// Runs a Doubletree campaign, emitting records into `sink` in
+/// emission order; the returned [`ProbeLog`] carries only the
+/// send-side counters (its `records` stays empty).
+pub fn run_with_sink<S: RecordSink>(
+    engine: &mut Engine,
+    vantage_idx: u8,
+    targets: &[Ipv6Addr],
+    cfg: &DoubletreeConfig,
+    sink: &mut S,
 ) -> ProbeLog {
     let src = engine.topology().vantages[vantage_idx as usize].addr;
     let vantage_name = engine.topology().vantages[vantage_idx as usize]
@@ -77,8 +96,9 @@ pub fn run(
                  target: Ipv6Addr,
                  ttl: u8,
                  now_us: &mut u64,
-                 log: &mut ProbeLog|
-     -> Option<crate::record::ResponseRecord> {
+                 log: &mut ProbeLog,
+                 sink: &mut S|
+     -> Option<ResponseRecord> {
         let spec = ProbeSpec {
             src,
             target,
@@ -92,7 +112,7 @@ pub fn run(
         *now_us += interval_us;
         let rec = d.and_then(|d| decode_response(&d.bytes, d.at_us, cfg.instance).ok());
         if let Some(r) = rec {
-            log.records.push(r);
+            sink.record(r);
         }
         rec
     };
@@ -101,7 +121,7 @@ pub fn run(
         // Forward phase: start_ttl .. max_ttl.
         let mut gap = 0u8;
         for ttl in cfg.start_ttl..=cfg.max_ttl {
-            match probe(engine, target, ttl, &mut now_us, &mut log) {
+            match probe(engine, target, ttl, &mut now_us, &mut log, sink) {
                 Some(rec) => {
                     gap = 0;
                     if rec.kind != ResponseKind::TimeExceeded {
@@ -121,7 +141,7 @@ pub fn run(
         // Crucially: *silence does not stop backward probing* — the
         // pathology under rate limiting.
         for ttl in (1..cfg.start_ttl).rev() {
-            match probe(engine, target, ttl, &mut now_us, &mut log) {
+            match probe(engine, target, ttl, &mut now_us, &mut log, sink) {
                 Some(rec) => {
                     let hit =
                         rec.kind == ResponseKind::TimeExceeded && !stop_set.insert(rec.responder);
@@ -134,7 +154,6 @@ pub fn run(
         }
     }
     log.duration_us = now_us;
-    log.sort_by_recv();
     log
 }
 

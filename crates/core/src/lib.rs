@@ -20,8 +20,12 @@
 //!   per-TTL synchronized bursts the paper observed (§4.2, Fig. 5);
 //! * [`doubletree`] — the Doubletree comparator (§4.2), including its
 //!   backward-probing pathology under rate limiting;
+//! * [`sink`] — record sinks: probers are generic over where decoded
+//!   responses go (a buffered [`ProbeLog`], or fixed-size chunks over
+//!   a bounded channel to a concurrent consumer);
 //! * [`campaign`] — drivers that bind probers to vantages and target
-//!   sets, serially or in parallel.
+//!   sets: serially, in parallel, and streaming (probe → analyze
+//!   without materializing the log).
 
 pub mod addrset;
 pub mod campaign;
@@ -29,10 +33,12 @@ pub mod doubletree;
 pub mod perm;
 pub mod record;
 pub mod sequential;
+pub mod sink;
 pub mod yarrp;
 
-pub use campaign::{run_campaign, CampaignResult};
+pub use campaign::{run_campaign, run_campaign_streaming, CampaignResult, StreamedCampaign};
 pub use record::{ProbeLog, ResponseKind, ResponseRecord};
+pub use sink::{RecordSink, RecordStream, StreamConfig};
 pub use yarrp::YarrpConfig;
 
 // Re-export the probe protocol enum: it is part of this crate's API.

@@ -14,7 +14,8 @@
 //! Headers stay constant per destination (Paris), so ECMP paths are
 //! stable.
 
-use crate::record::{decode_response, ProbeLog, ResponseKind};
+use crate::record::{decode_response, ProbeLog, ResponseKind, ResponseRecord};
+use crate::sink::RecordSink;
 use serde::{Deserialize, Serialize};
 use simnet::Engine;
 use std::net::Ipv6Addr;
@@ -57,12 +58,30 @@ struct TraceState {
     gap: u8,
 }
 
-/// Runs a sequential campaign from `vantage_idx` against `targets`.
+/// Runs a sequential campaign from `vantage_idx` against `targets`,
+/// collecting into a receive-sorted [`ProbeLog`] (batch shape).
 pub fn run(
     engine: &mut Engine,
     vantage_idx: u8,
     targets: &[Ipv6Addr],
     cfg: &SequentialConfig,
+) -> ProbeLog {
+    let mut records: Vec<ResponseRecord> = Vec::new();
+    let mut log = run_with_sink(engine, vantage_idx, targets, cfg, &mut records);
+    log.records = records;
+    log.sort_by_recv();
+    log
+}
+
+/// Runs a sequential campaign, emitting records into `sink` in
+/// emission order; the returned [`ProbeLog`] carries only the
+/// send-side counters (its `records` stays empty).
+pub fn run_with_sink<S: RecordSink>(
+    engine: &mut Engine,
+    vantage_idx: u8,
+    targets: &[Ipv6Addr],
+    cfg: &SequentialConfig,
+    sink: &mut S,
 ) -> ProbeLog {
     let src = engine.topology().vantages[vantage_idx as usize].addr;
     let vantage_name = engine.topology().vantages[vantage_idx as usize]
@@ -103,7 +122,7 @@ pub fn run(
                 now_us += interval_us;
                 match delivery.and_then(|d| decode_response(&d.bytes, d.at_us, cfg.instance).ok()) {
                     Some(rec) => {
-                        log.records.push(rec);
+                        sink.record(rec);
                         state[i].gap = 0;
                         // Traceroute semantics: any destination response
                         // or unreachable error terminates the trace.
@@ -122,7 +141,6 @@ pub fn run(
         }
     }
     log.duration_us = now_us;
-    log.sort_by_recv();
     log
 }
 

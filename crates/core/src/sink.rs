@@ -1,0 +1,229 @@
+//! Record sinks: where probers put decoded responses.
+//!
+//! The probers ([`crate::yarrp`], [`crate::sequential`],
+//! [`crate::doubletree`]) are generic over a [`RecordSink`]; every
+//! decoded [`ResponseRecord`] is handed to the sink in **emission
+//! order** (the order the prober observed it, which is send order, not
+//! arrival order). Three sinks cover the repo's shapes:
+//!
+//! * [`ProbeLog`] / `Vec<ResponseRecord>` — the batch shape: buffer
+//!   everything, analyze afterwards;
+//! * [`ChunkSender`] — the streaming shape: fixed-size record chunks
+//!   over a **bounded** channel to a concurrent consumer, so a
+//!   campaign's full log never exists in memory. Backpressure is the
+//!   channel bound: a slow consumer throttles the prober instead of
+//!   growing a buffer. Spent chunk buffers are recycled back to the
+//!   sender, so steady state allocates nothing per chunk.
+//!
+//! [`RecordStream::channel`] wires a `ChunkSender` to the
+//! [`RecordStream`] the consumer drains; [`crate::campaign`] runs the
+//! two ends on separate threads.
+
+use crate::record::{ProbeLog, ResponseRecord};
+use std::sync::mpsc;
+
+/// A destination for decoded response records, fed in emission order.
+pub trait RecordSink {
+    /// Accepts one decoded record.
+    fn record(&mut self, rec: ResponseRecord);
+}
+
+/// The batch sink: append to the log's record vector.
+impl RecordSink for ProbeLog {
+    #[inline]
+    fn record(&mut self, rec: ResponseRecord) {
+        self.records.push(rec);
+    }
+}
+
+/// The minimal batch sink.
+impl RecordSink for Vec<ResponseRecord> {
+    #[inline]
+    fn record(&mut self, rec: ResponseRecord) {
+        self.push(rec);
+    }
+}
+
+/// Tuning for the streaming record pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Records per chunk handed to the consumer. Large enough to
+    /// amortize channel synchronization, small enough that a chunk is
+    /// cache-friendly.
+    pub chunk_records: usize,
+    /// Chunks the bounded channel holds before the prober blocks — the
+    /// pipeline's entire record buffering, and therefore its peak
+    /// record memory: `chunk_records * (channel_chunks + 2)` records
+    /// (one chunk filling at the prober, `channel_chunks` in flight,
+    /// one draining at the consumer).
+    pub channel_chunks: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            chunk_records: 4096,
+            channel_chunks: 4,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Upper bound on records buffered anywhere in the pipeline at
+    /// once (prober chunk + channel + consumer chunk).
+    pub fn max_buffered_records(&self) -> usize {
+        self.chunk_records * (self.channel_chunks + 2)
+    }
+}
+
+/// The streaming sink: batches records into chunks and sends them over
+/// a bounded channel. Created by [`RecordStream::channel`].
+pub struct ChunkSender {
+    tx: mpsc::SyncSender<Vec<ResponseRecord>>,
+    /// Spent buffers coming back from the consumer.
+    spare: mpsc::Receiver<Vec<ResponseRecord>>,
+    buf: Vec<ResponseRecord>,
+    chunk_records: usize,
+}
+
+impl RecordSink for ChunkSender {
+    #[inline]
+    fn record(&mut self, rec: ResponseRecord) {
+        self.buf.push(rec);
+        if self.buf.len() >= self.chunk_records {
+            self.flush();
+        }
+    }
+}
+
+impl ChunkSender {
+    /// Sends the current partial chunk, swapping in a recycled buffer
+    /// when the consumer has returned one. A send error means the
+    /// consumer is gone; the record stream is then silently discarded
+    /// so the prober can finish and surface the join error instead.
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut next = self.spare.try_recv().unwrap_or_default();
+        next.clear();
+        let full = std::mem::replace(&mut self.buf, next);
+        let _ = self.tx.send(full);
+    }
+
+    /// Flushes the trailing partial chunk and closes the stream; the
+    /// consumer's iteration ends once the channel drains.
+    pub fn finish(mut self) {
+        self.flush();
+    }
+}
+
+/// The consumer end of a streaming record pipeline.
+pub struct RecordStream {
+    rx: mpsc::Receiver<Vec<ResponseRecord>>,
+    spare_tx: mpsc::Sender<Vec<ResponseRecord>>,
+}
+
+impl RecordStream {
+    /// Creates a connected `(sender, stream)` pair with `cfg`'s chunk
+    /// size and channel bound.
+    pub fn channel(cfg: &StreamConfig) -> (ChunkSender, RecordStream) {
+        let (tx, rx) = mpsc::sync_channel(cfg.channel_chunks.max(1));
+        let (spare_tx, spare) = mpsc::channel();
+        (
+            ChunkSender {
+                tx,
+                spare,
+                buf: Vec::with_capacity(cfg.chunk_records.max(1)),
+                chunk_records: cfg.chunk_records.max(1),
+            },
+            RecordStream { rx, spare_tx },
+        )
+    }
+
+    /// Drains the stream, calling `f` once per chunk (in emission
+    /// order) and recycling each spent buffer back to the prober.
+    /// Returns when the sender side finishes.
+    pub fn for_each_chunk(self, mut f: impl FnMut(&[ResponseRecord])) {
+        for chunk in self.rx.iter() {
+            f(&chunk);
+            // The prober may already be gone (it sent everything and
+            // finished); a dead spare channel is fine.
+            let _ = self.spare_tx.send(chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ResponseKind;
+    use std::net::Ipv6Addr;
+
+    fn rec(i: u64) -> ResponseRecord {
+        ResponseRecord {
+            target: Ipv6Addr::from(i as u128),
+            responder: Ipv6Addr::from(0xff00 + i as u128),
+            kind: ResponseKind::TimeExceeded,
+            probe_ttl: Some((i % 16) as u8),
+            rtt_us: Some(i),
+            recv_us: i * 7 % 97,
+            target_cksum_ok: true,
+        }
+    }
+
+    #[test]
+    fn chunks_preserve_order_and_nothing_is_lost() {
+        let cfg = StreamConfig {
+            chunk_records: 8,
+            channel_chunks: 2,
+        };
+        let (mut sink, stream) = RecordStream::channel(&cfg);
+        let n = 1000u64;
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut chunks = 0usize;
+            stream.for_each_chunk(|c| {
+                assert!(c.len() <= 8);
+                got.extend_from_slice(c);
+                chunks += 1;
+            });
+            (got, chunks)
+        });
+        for i in 0..n {
+            sink.record(rec(i));
+        }
+        sink.finish();
+        let (got, chunks) = consumer.join().unwrap();
+        assert_eq!(got, (0..n).map(rec).collect::<Vec<_>>());
+        assert_eq!(chunks, n.div_ceil(8) as usize);
+    }
+
+    #[test]
+    fn trailing_partial_chunk_is_flushed() {
+        let cfg = StreamConfig {
+            chunk_records: 64,
+            channel_chunks: 1,
+        };
+        let (mut sink, stream) = RecordStream::channel(&cfg);
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0usize;
+            stream.for_each_chunk(|c| got += c.len());
+            got
+        });
+        for i in 0..5 {
+            sink.record(rec(i));
+        }
+        sink.finish();
+        assert_eq!(consumer.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn probe_log_and_vec_are_sinks() {
+        let mut log = ProbeLog::default();
+        log.record(rec(1));
+        let mut v: Vec<ResponseRecord> = Vec::new();
+        v.record(rec(1));
+        assert_eq!(log.records, v);
+    }
+}

@@ -16,6 +16,7 @@
 use crate::addrset::AddrSet;
 use crate::perm::Permutation;
 use crate::record::{decode_response, ProbeLog, ResponseKind, ResponseRecord};
+use crate::sink::RecordSink;
 use serde::{Deserialize, Serialize};
 use simnet::{Delivery, Engine};
 use std::net::Ipv6Addr;
@@ -93,10 +94,11 @@ struct HotPath<'e> {
 }
 
 impl HotPath<'_> {
-    /// Emits one probe to `targets[tidx]`, decoding and logging any
-    /// response. Returns the decoded record for fill/neighborhood
+    /// Emits one probe to `targets[tidx]`, decoding any response into
+    /// `sink`. Returns the decoded record for fill/neighborhood
     /// bookkeeping.
-    fn send_probe(
+    #[allow(clippy::too_many_arguments)]
+    fn send_probe<S: RecordSink>(
         &mut self,
         targets: &[Ipv6Addr],
         tidx: usize,
@@ -104,6 +106,7 @@ impl HotPath<'_> {
         now_us: u64,
         cfg: &YarrpConfig,
         log: &mut ProbeLog,
+        sink: &mut S,
     ) -> Option<ResponseRecord> {
         let tmpl = self.templates[tidx].get_or_insert_with(|| {
             ProbeTemplate::new(self.src, targets[tidx], cfg.protocol, cfg.instance)
@@ -123,7 +126,7 @@ impl HotPath<'_> {
         }
         match decode_response(&self.delivery.bytes, self.delivery.at_us, cfg.instance) {
             Ok(rec) => {
-                log.records.push(rec);
+                sink.record(rec);
                 Some(rec)
             }
             Err(_) => {
@@ -136,13 +139,15 @@ impl HotPath<'_> {
     /// Emits one probe to an arbitrary address via the scratch buffer —
     /// the rare fill-chain case where the quoted target was rewritten
     /// and matches no template. Still allocation-free.
-    fn send_probe_to(
+    #[allow(clippy::too_many_arguments)]
+    fn send_probe_to<S: RecordSink>(
         &mut self,
         target: Ipv6Addr,
         ttl: u8,
         now_us: u64,
         cfg: &YarrpConfig,
         log: &mut ProbeLog,
+        sink: &mut S,
     ) -> Option<ResponseRecord> {
         let spec = ProbeSpec {
             src: self.src,
@@ -165,7 +170,7 @@ impl HotPath<'_> {
         }
         match decode_response(&self.delivery.bytes, self.delivery.at_us, cfg.instance) {
             Ok(rec) => {
-                log.records.push(rec);
+                sink.record(rec);
                 Some(rec)
             }
             Err(_) => {
@@ -176,12 +181,36 @@ impl HotPath<'_> {
     }
 }
 
-/// Runs a Yarrp6 campaign from `vantage_idx` against `targets`.
+/// Runs a Yarrp6 campaign from `vantage_idx` against `targets`,
+/// collecting records into a [`ProbeLog`] sorted by receive time — the
+/// batch shape. Implemented over [`run_with_sink`] with a `Vec` sink;
+/// the golden tests pin it bit-identical to [`run_reference`].
 pub fn run(
     engine: &mut Engine,
     vantage_idx: u8,
     targets: &[Ipv6Addr],
     cfg: &YarrpConfig,
+) -> ProbeLog {
+    let n = targets.len() as u64 * cfg.max_ttl as u64;
+    let mut records: Vec<ResponseRecord> = Vec::with_capacity((n as usize).min(MAX_RESERVE));
+    let mut log = run_with_sink(engine, vantage_idx, targets, cfg, &mut records);
+    log.records = records;
+    log.sort_by_recv();
+    log
+}
+
+/// Runs a Yarrp6 campaign, emitting every decoded record into `sink`
+/// in emission order (send order — *not* sorted by receive time; the
+/// batch [`run`] wrapper sorts, a streaming consumer sees the raw
+/// order). The returned [`ProbeLog`] carries the send-side counters
+/// (`probes_sent`, `fills`, `discarded`, `duration_us`, identity) with
+/// an empty `records` vector — the records went to the sink.
+pub fn run_with_sink<S: RecordSink>(
+    engine: &mut Engine,
+    vantage_idx: u8,
+    targets: &[Ipv6Addr],
+    cfg: &YarrpConfig,
+    sink: &mut S,
 ) -> ProbeLog {
     assert!(cfg.max_ttl >= 1 && cfg.fill_max_ttl >= cfg.max_ttl);
     let src = engine.topology().vantages[vantage_idx as usize].addr;
@@ -198,7 +227,6 @@ pub fn run(
         traces: targets.len() as u64,
         ..Default::default()
     };
-    log.records.reserve((n as usize).min(MAX_RESERVE));
     let interval_us = 1_000_000 / cfg.rate_pps.max(1);
     let mut now_us: u64 = 0;
 
@@ -230,7 +258,7 @@ pub fn run(
             }
         }
 
-        let resp = hot.send_probe(targets, tidx, ttl, now_us, cfg, &mut log);
+        let resp = hot.send_probe(targets, tidx, ttl, now_us, cfg, &mut log, sink);
         if let Some(rec) = resp {
             note_response(&rec, &mut last_new, &mut seen_ifaces);
             maybe_fill(
@@ -240,6 +268,7 @@ pub fn run(
                 rec,
                 cfg,
                 &mut log,
+                sink,
                 &mut last_new,
                 &mut seen_ifaces,
             );
@@ -247,7 +276,6 @@ pub fn run(
         now_us += interval_us;
     }
     log.duration_us = now_us;
-    log.sort_by_recv();
     log
 }
 
@@ -379,13 +407,14 @@ fn note_response(rec: &ResponseRecord, last_new: &mut [u64], seen: &mut AddrSet)
 /// answering. Fill probes are sent when the triggering response arrives
 /// (the prober reacts on receipt), so they ride the same virtual clock.
 #[allow(clippy::too_many_arguments)]
-fn maybe_fill(
+fn maybe_fill<S: RecordSink>(
     hot: &mut HotPath<'_>,
     targets: &[Ipv6Addr],
     tidx: usize,
     trigger: ResponseRecord,
     cfg: &YarrpConfig,
     log: &mut ProbeLog,
+    sink: &mut S,
     last_new: &mut [u64],
     seen: &mut AddrSet,
 ) {
@@ -402,9 +431,9 @@ fn maybe_fill(
         // wire would): usually the probed target's template, but a
         // middlebox-rewritten quotation diverges onto the scratch path.
         let rec = if cur.target == targets[tidx] {
-            hot.send_probe(targets, tidx, h + 1, send_at, cfg, log)
+            hot.send_probe(targets, tidx, h + 1, send_at, cfg, log, sink)
         } else {
-            hot.send_probe_to(cur.target, h + 1, send_at, cfg, log)
+            hot.send_probe_to(cur.target, h + 1, send_at, cfg, log, sink)
         };
         let Some(rec) = rec else { break };
         note_response(&rec, last_new, seen);

@@ -1,4 +1,4 @@
-//! kIP aggregation-based address anonymization (Plonka & Berger [49]).
+//! kIP aggregation-based address anonymization (Plonka & Berger \[49\]).
 //!
 //! The CDN cannot share client addresses; instead it shares *aggregates*:
 //! prefixes that each cover at least `k` simultaneously-active client

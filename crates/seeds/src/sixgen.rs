@@ -1,5 +1,5 @@
 //! A reimplementation of 6Gen-style target generation (Murdock et al.
-//! [46]), loose-clustering mode.
+//! \[46\]), loose-clustering mode.
 //!
 //! 6Gen exploits *address locality*: observed addresses cluster, and new
 //! live addresses are likelier near dense observed ranges. Seeds are
@@ -10,7 +10,7 @@
 //!
 //! Deduplication is sort-based (draw, sort, dedup) with a **bounded
 //! rejection loop**: when duplicate draws leave the output short of the
-//! budget, up to [`REFILL_ROUNDS`] extra proportional rounds redraw only
+//! budget, up to `REFILL_ROUNDS` extra proportional rounds redraw only
 //! the deficit. Per-draw work is constant — tight mode precomputes each
 //! cluster's per-position choice lists once instead of rebuilding a
 //! `Vec` of observed values on every nybble of every draw.

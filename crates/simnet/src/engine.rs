@@ -82,6 +82,57 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Accumulates another campaign's counters into this one —
+    /// multi-campaign aggregation (e.g. a whole Table 7 sweep) without
+    /// hand-summing fields at every call site.
+    pub fn merge(&mut self, other: &EngineStats) {
+        let EngineStats {
+            probes,
+            malformed,
+            lost,
+            rate_limited,
+            silent_router,
+            fw_dropped,
+            time_exceeded,
+            echo_replies,
+            tcp_responses,
+            du_no_route,
+            du_admin,
+            du_addr,
+            du_port,
+            du_reject,
+            dest_silent,
+            frag_echo_replies,
+            rewritten_quotes,
+        } = other;
+        self.probes += probes;
+        self.malformed += malformed;
+        self.lost += lost;
+        self.rate_limited += rate_limited;
+        self.silent_router += silent_router;
+        self.fw_dropped += fw_dropped;
+        self.time_exceeded += time_exceeded;
+        self.echo_replies += echo_replies;
+        self.tcp_responses += tcp_responses;
+        self.du_no_route += du_no_route;
+        self.du_admin += du_admin;
+        self.du_addr += du_addr;
+        self.du_port += du_port;
+        self.du_reject += du_reject;
+        self.dest_silent += dest_silent;
+        self.frag_echo_replies += frag_echo_replies;
+        self.rewritten_quotes += rewritten_quotes;
+    }
+
+    /// The accumulated counters of many campaigns (field-wise sum).
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a EngineStats>) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        total
+    }
+
     /// Total responses of any kind.
     pub fn responses(&self) -> u64 {
         self.time_exceeded + self.echo_replies + self.tcp_responses + self.dest_unreach_total()
@@ -654,6 +705,48 @@ mod tests {
             instance: 1,
             elapsed_us: 0,
         }
+    }
+
+    #[test]
+    fn stats_merge_accumulates_every_field() {
+        // Two real campaigns' worth of stats, merged, must equal the
+        // field-wise sums (checked through the derived aggregates so a
+        // future field that `merge` misses fails the destructure, and
+        // the totals here catch arithmetic slips).
+        let mut e1 = engine();
+        let mut e2 = engine();
+        let hosts: Vec<std::net::Ipv6Addr> =
+            e1.topology().hosts().map(|(a, _)| a).take(30).collect();
+        for (i, &h) in hosts.iter().enumerate() {
+            let t = (i as u64) * 1_000;
+            let _ = e1.inject(
+                &spec(&e1, h, (i % 12) as u8 + 1, Protocol::Icmp6).build(),
+                t,
+            );
+            let _ = e2.inject(&spec(&e2, h, (i % 7) as u8 + 1, Protocol::Udp).build(), t);
+        }
+        let mut merged = e1.stats;
+        merged.merge(&e2.stats);
+        assert_eq!(merged.probes, e1.stats.probes + e2.stats.probes);
+        assert_eq!(
+            merged.responses(),
+            e1.stats.responses() + e2.stats.responses()
+        );
+        assert_eq!(
+            merged.dest_unreach_total(),
+            e1.stats.dest_unreach_total() + e2.stats.dest_unreach_total()
+        );
+        assert_eq!(
+            merged.rate_limited + merged.lost + merged.silent_router,
+            e1.stats.rate_limited
+                + e2.stats.rate_limited
+                + e1.stats.lost
+                + e2.stats.lost
+                + e1.stats.silent_router
+                + e2.stats.silent_router
+        );
+        assert_eq!(EngineStats::merged([&e1.stats, &e2.stats]), merged);
+        assert_eq!(EngineStats::merged([]), EngineStats::default());
     }
 
     #[test]

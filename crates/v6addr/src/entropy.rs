@@ -1,5 +1,5 @@
 //! Entropy/IP-style address-structure analysis (Foremski, Plonka &
-//! Berger [24]).
+//! Berger \[24\]).
 //!
 //! Entropy/IP "uncovers structure in IPv6 addresses" by computing the
 //! Shannon entropy of each address nybble across a set and segmenting

@@ -6,7 +6,7 @@
 //! Identification field. Most router implementations draw that field
 //! from a single monotonic counter shared by *all* interfaces — so two
 //! interface addresses whose fragment identifiers interleave along one
-//! counter belong to one router. Speedtrap (Luckie et al. [42]) elicits
+//! counter belong to one router. Speedtrap (Luckie et al. \[42\]) elicits
 //! fragmented Echo Replies with oversized Echo Requests and exploits
 //! exactly this.
 //!

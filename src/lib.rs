@@ -51,16 +51,18 @@ pub use yarrp6 as probe;
 /// The commonly-used types, one `use` away.
 pub mod prelude {
     pub use analysis::{
-        discover_by_path_div, ia_hack, AsnResolver, CandidateSubnet, PathDivParams, TraceSet,
-        TraceView,
+        discover_by_path_div, ia_hack, stream_campaign, stream_campaigns_parallel, AsnResolver,
+        CandidateSubnet, PathDivParams, TraceSet, TraceSetBuilder, TraceView,
     };
     pub use seeds::sources::SeedCatalog;
     pub use seeds::{SeedEntry, SeedList};
     pub use simnet::config::TopologyConfig;
-    pub use simnet::{Engine, Scale, Topology};
+    pub use simnet::{Engine, EngineStats, Scale, Topology};
     pub use targets::{IidStrategy, TargetCatalog, TargetSet};
     pub use v6addr::{Asn, BgpTable, IidClass, Ipv6Prefix, PrefixTrie};
     pub use v6packet::probe::Protocol;
     pub use yarrp6::campaign::run_campaign;
-    pub use yarrp6::{ProbeLog, ResponseKind, ResponseRecord, YarrpConfig};
+    pub use yarrp6::{
+        ProbeLog, RecordSink, ResponseKind, ResponseRecord, StreamConfig, YarrpConfig,
+    };
 }
