@@ -33,7 +33,10 @@ use simnet::{EngineStats, Topology};
 use std::sync::Arc;
 use targets::TargetSet;
 use v6packet::icmp6::DestUnreachCode;
-use yarrp6::campaign::{run_campaign_streaming, run_campaigns_parallel_streaming, CampaignSpec};
+use yarrp6::campaign::{
+    run_campaign_streaming, run_campaigns_parallel_streaming, run_campaigns_serial_streaming,
+    CampaignSpec,
+};
 use yarrp6::sink::{RecordStream, StreamConfig};
 use yarrp6::{ResponseKind, ResponseRecord, YarrpConfig};
 
@@ -223,6 +226,24 @@ pub fn stream_campaign(
     (res.output, res.engine_stats)
 }
 
+/// The per-campaign consumer both multi-campaign drivers install: a
+/// fresh identity-stamped [`TraceSetBuilder`] fed chunk by chunk. One
+/// shared factory, so the serial/parallel bit-identical contract can't
+/// drift when the builder setup changes.
+fn builder_consumer(
+    topo: &Arc<Topology>,
+) -> impl Fn(usize, &CampaignSpec<'_>) -> Box<dyn FnOnce(RecordStream) -> TraceSet> + '_ {
+    move |_, spec| {
+        let vantage = topo.vantages[spec.vantage_idx as usize].name.clone();
+        let set_name = spec.set.name.clone();
+        Box::new(move |records: RecordStream| {
+            let mut builder = TraceSetBuilder::new().with_identity(vantage, set_name);
+            records.for_each_chunk(|c| builder.push_chunk(c));
+            builder.finish()
+        })
+    }
+}
+
 /// Runs many streaming campaigns on the parallel work-queue driver;
 /// each worker feeds a per-campaign [`TraceSetBuilder`] and returns
 /// the finished `(TraceSet, EngineStats)` directly — a campaign-scale
@@ -232,18 +253,27 @@ pub fn stream_campaigns_parallel(
     specs: &[CampaignSpec<'_>],
     stream: &StreamConfig,
 ) -> Vec<(TraceSet, EngineStats)> {
-    run_campaigns_parallel_streaming(topo, specs, stream, |_, spec| {
-        let vantage = topo.vantages[spec.vantage_idx as usize].name.clone();
-        let set_name = spec.set.name.clone();
-        move |records: RecordStream| {
-            let mut builder = TraceSetBuilder::new().with_identity(vantage, set_name);
-            records.for_each_chunk(|c| builder.push_chunk(c));
-            builder.finish()
-        }
-    })
-    .into_iter()
-    .map(|r| (r.output, r.engine_stats))
-    .collect()
+    run_campaigns_parallel_streaming(topo, specs, stream, builder_consumer(topo))
+        .into_iter()
+        .map(|r| (r.output, r.engine_stats))
+        .collect()
+}
+
+/// Runs many streaming campaigns one after another on the calling
+/// thread (each campaign still overlaps its prober thread with the
+/// builder) — the serial counterpart of [`stream_campaigns_parallel`],
+/// bit-identical per campaign since engines are campaign-isolated (the
+/// two share one consumer factory). The adaptive discovery loop uses
+/// the pair as its serial/parallel round drivers.
+pub fn stream_campaigns_serial(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+) -> Vec<(TraceSet, EngineStats)> {
+    run_campaigns_serial_streaming(topo, specs, stream, builder_consumer(topo))
+        .into_iter()
+        .map(|r| (r.output, r.engine_stats))
+        .collect()
 }
 
 #[cfg(test)]

@@ -34,7 +34,9 @@ pub mod subnets;
 pub mod traces;
 pub mod validate;
 
-pub use builder::{stream_campaign, stream_campaigns_parallel, TraceSetBuilder};
+pub use builder::{
+    stream_campaign, stream_campaigns_parallel, stream_campaigns_serial, TraceSetBuilder,
+};
 pub use intern::AddrInterner;
 pub use metrics::{discovery_curve, hop_responsiveness, CampaignMetrics};
 pub use subnets::{discover_by_path_div, ia_hack, CandidateSubnet, PathDivParams};

@@ -27,6 +27,7 @@ use crate::reference;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
 use v6addr::{Asn, BgpTable, Ipv6Prefix};
+use yarrp6::addrset::AddrSet;
 use yarrp6::{ProbeLog, ResponseKind};
 
 /// Per-trace metadata: ranges into the shared hop/unreachable columns.
@@ -359,6 +360,27 @@ impl TraceSet {
         &self.interner
     }
 
+    /// Per-round incremental discovery delta: every responder interface
+    /// in this set that is not yet in `seen`, in first-discovery
+    /// (interner id) order, inserting each into `seen` as it goes.
+    ///
+    /// This is a straight walk of the interner's word column — no
+    /// per-record work, no re-derivation from the hop cells — so a
+    /// multi-round orchestrator pays O(unique interfaces) per round to
+    /// learn what the round newly earned, and a shared `seen` set
+    /// guarantees no interface is ever counted (or re-fed into target
+    /// generation) twice across rounds.
+    pub fn discovery_delta(&self, seen: &mut AddrSet) -> Vec<Ipv6Addr> {
+        let mut fresh = Vec::new();
+        for &w in self.interner.words() {
+            let addr = Ipv6Addr::from(w);
+            if seen.insert(addr) {
+                fresh.push(addr);
+            }
+        }
+        fresh
+    }
+
     /// Iterates traces in target order — a slice walk, no re-sort.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = TraceView<'_>> + Clone {
         (0..self.targets.len()).map(move |idx| TraceView { set: self, idx })
@@ -579,6 +601,50 @@ mod tests {
             ]
         );
         assert_eq!(t.last_hop().unwrap().0, 3);
+    }
+
+    #[test]
+    fn discovery_delta_is_incremental_and_ordered() {
+        let mut log = ProbeLog::default();
+        log.records.push(rec(
+            "2001:db8::1",
+            "::a",
+            ResponseKind::TimeExceeded,
+            Some(1),
+        ));
+        log.records.push(rec(
+            "2001:db8::1",
+            "::b",
+            ResponseKind::TimeExceeded,
+            Some(2),
+        ));
+        let ts1 = TraceSet::from_log(&log);
+        log.records.push(rec(
+            "2001:db8::2",
+            "::b",
+            ResponseKind::TimeExceeded,
+            Some(2),
+        ));
+        log.records.push(rec(
+            "2001:db8::2",
+            "::c",
+            ResponseKind::TimeExceeded,
+            Some(3),
+        ));
+        let ts2 = TraceSet::from_log(&log);
+
+        let mut seen = AddrSet::new();
+        let first = ts1.discovery_delta(&mut seen);
+        let a: Ipv6Addr = "::a".parse().unwrap();
+        let b: Ipv6Addr = "::b".parse().unwrap();
+        let c: Ipv6Addr = "::c".parse().unwrap();
+        assert_eq!(first, vec![a, b]);
+        // Round two only pays for the genuinely new interface.
+        let second = ts2.discovery_delta(&mut seen);
+        assert_eq!(second, vec![c]);
+        assert_eq!(seen.len(), 3);
+        // A repeat round discovers nothing.
+        assert!(ts2.discovery_delta(&mut seen).is_empty());
     }
 
     #[test]

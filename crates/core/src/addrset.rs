@@ -79,6 +79,13 @@ impl AddrSet {
         }
     }
 
+    /// Members in insertion order — for the adaptive loop this is
+    /// *discovery order*, so feeding the set back into target
+    /// generation is deterministic across serial and parallel drivers.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Ipv6Addr> + '_ {
+        self.words.iter().map(|&w| Ipv6Addr::from(w))
+    }
+
     /// Membership test.
     #[inline]
     pub fn contains(&self, addr: Ipv6Addr) -> bool {
@@ -133,5 +140,17 @@ mod tests {
             assert!(ours.contains(a));
         }
         assert!(!ours.contains(Ipv6Addr::from(1u128)));
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut s = AddrSet::new();
+        let addrs: Vec<Ipv6Addr> = (0..10u128).map(|i| Ipv6Addr::from(i * 77 + 5)).collect();
+        for &a in &addrs {
+            s.insert(a);
+            s.insert(a); // duplicates don't re-enter
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), addrs);
+        assert_eq!(s.iter().len(), s.len());
     }
 }

@@ -181,6 +181,40 @@ pub fn run_campaigns_parallel(
         .collect()
 }
 
+/// Runs many campaigns one after another, each streaming into its own
+/// consumer, returning results in input order — the serial counterpart
+/// of [`run_campaigns_parallel_streaming`], with the identical
+/// per-campaign behavior (fresh engine, bounded channel, consumer built
+/// by `make_consumer`). Campaign results are deterministic and
+/// engine-isolated, so the two drivers produce bit-identical results;
+/// the adaptive discovery loop pins that equivalence in its tests.
+pub fn run_campaigns_serial_streaming<T, C, F>(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+    make_consumer: F,
+) -> Vec<StreamedCampaign<T>>
+where
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, &CampaignSpec<'_>) -> C,
+{
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let consumer = make_consumer(i, spec);
+            run_campaign_streaming(
+                topo,
+                spec.vantage_idx,
+                spec.set,
+                &spec.cfg,
+                stream,
+                consumer,
+            )
+        })
+        .collect()
+}
+
 /// Runs many campaigns in parallel, each streaming into its own
 /// consumer, returning results in input order.
 ///
@@ -317,6 +351,35 @@ mod tests {
         assert_eq!(streamed.log.duration_us, batch.log.duration_us);
         assert_eq!(&*streamed.log.target_set, "test-set");
         assert_eq!(streamed.engine_stats, batch.engine_stats);
+    }
+
+    #[test]
+    fn serial_streaming_matches_parallel_streaming() {
+        let (topo, set) = fixture();
+        let cfg = YarrpConfig::default();
+        let specs: Vec<CampaignSpec> = (0..3u8)
+            .map(|v| CampaignSpec {
+                vantage_idx: v,
+                set: &set,
+                cfg,
+            })
+            .collect();
+        let stream = StreamConfig::default();
+        let collect = |_: usize, _: &CampaignSpec<'_>| {
+            |records: RecordStream| {
+                let mut all = Vec::new();
+                records.for_each_chunk(|c| all.extend_from_slice(c));
+                all
+            }
+        };
+        let serial = run_campaigns_serial_streaming(&topo, &specs, &stream, collect);
+        let parallel = run_campaigns_parallel_streaming(&topo, &specs, &stream, collect);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.into_iter().zip(parallel) {
+            assert_eq!(s.output, p.output);
+            assert_eq!(s.engine_stats, p.engine_stats);
+            assert_eq!(s.log.probes_sent, p.log.probes_sent);
+        }
     }
 
     #[test]

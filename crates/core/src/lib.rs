@@ -36,7 +36,10 @@ pub mod sequential;
 pub mod sink;
 pub mod yarrp;
 
-pub use campaign::{run_campaign, run_campaign_streaming, CampaignResult, StreamedCampaign};
+pub use campaign::{
+    run_campaign, run_campaign_streaming, run_campaigns_parallel_streaming,
+    run_campaigns_serial_streaming, CampaignResult, StreamedCampaign,
+};
 pub use record::{ProbeLog, ResponseKind, ResponseRecord};
 pub use sink::{RecordSink, RecordStream, StreamConfig};
 pub use yarrp::YarrpConfig;

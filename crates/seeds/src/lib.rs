@@ -18,7 +18,13 @@
 //! | random  | uniform in routed space        | unguided control |
 //!
 //! Each synthesizer is deterministic given `(topology, seed)`.
+//!
+//! [`feedback`] is the closed-loop entry point: instead of a static
+//! source it regenerates seeds from a probing round's own discoveries
+//! (kIP aggregation + 6Gen expansion over discovered interfaces), which
+//! is what the adaptive multi-round orchestrator feeds between rounds.
 
+pub mod feedback;
 pub mod kip;
 pub mod sixgen;
 pub mod sources;

@@ -221,6 +221,30 @@ impl TopologyConfig {
         }
     }
 
+    /// A *tiled* discovery topology: `tiles` tranches of stub ASes with
+    /// dense sequential LAN plans layered onto the tiny skeleton.
+    ///
+    /// Each tile adds another tranche of enterprise stubs (with their
+    /// distribution hierarchies, LAN gateways and alias interfaces), so
+    /// the address space holds far more discoverable structure than any
+    /// single seed source covers — the workload multi-round adaptive
+    /// discovery needs: round 1's seeds reveal a fraction of each tile,
+    /// and the feedback loop has real, findable neighbors left to earn.
+    /// Transit capacity (tier-2 count) grows with the tile count so
+    /// paths stay diverse instead of funneling through one bottleneck.
+    pub fn tiled(seed: u64, tiles: usize) -> Self {
+        let tiles = tiles.max(1);
+        TopologyConfig {
+            n_tier2: 8 + 2 * tiles,
+            n_stub: 40 * tiles,
+            // Denser, mostly-sequential LAN plans per stub: more /64s
+            // adjacent to whatever a first round discovers.
+            lans_per_stub: 10,
+            hosts_per_lan: 3,
+            ..Self::tiny(seed)
+        }
+    }
+
     /// Preset lookup by [`Scale`].
     pub fn at_scale(scale: Scale, seed: u64) -> Self {
         match scale {
@@ -250,6 +274,17 @@ mod tests {
         assert!(s.total_ases() < f.total_ases());
         assert!(t.cpe_isps[0].subscribers < s.cpe_isps[0].subscribers);
         assert!(s.cpe_isps[0].subscribers < f.cpe_isps[0].subscribers);
+    }
+
+    #[test]
+    fn tiled_grows_with_tile_count() {
+        let t1 = TopologyConfig::tiled(1, 1);
+        let t4 = TopologyConfig::tiled(1, 4);
+        assert_eq!(t4.n_stub, 4 * t1.n_stub);
+        assert!(t4.total_ases() > t1.total_ases());
+        assert!(t1.total_ases() >= TopologyConfig::tiny(1).total_ases());
+        // Zero clamps to one tile instead of generating a degenerate net.
+        assert_eq!(TopologyConfig::tiled(1, 0).n_stub, 40);
     }
 
     #[test]

@@ -44,6 +44,19 @@ pub struct EngineStats {
     pub lost: u64,
     /// ICMPv6 errors suppressed by token buckets.
     pub rate_limited: u64,
+    /// Suppressions charged to default-class token buckets
+    /// ([`crate::config::TopologyConfig::default_rl`]). Together with
+    /// [`rl_dropped_aggressive`](Self::rl_dropped_aggressive) this
+    /// counts every *actual* bucket suppression (`rate_limited` can run
+    /// slightly higher: its destination-zone call sites also absorb
+    /// unresponsive responders), so a consumer (e.g. adaptive-yield
+    /// analysis) can tell "nothing left to find" apart from "routers
+    /// rate-limited us" — and *which* limiter class did the damage.
+    pub rl_dropped_default: u64,
+    /// Suppressions charged to aggressive-class token buckets
+    /// ([`crate::config::TopologyConfig::aggressive_rl`], the §4.2
+    /// hops with markedly stronger limiting).
+    pub rl_dropped_aggressive: u64,
     /// Hops that never answer (or answer only ICMPv6).
     pub silent_router: u64,
     /// UDP/TCP probes eaten by destination-AS firewalls.
@@ -91,6 +104,8 @@ impl EngineStats {
             malformed,
             lost,
             rate_limited,
+            rl_dropped_default,
+            rl_dropped_aggressive,
             silent_router,
             fw_dropped,
             time_exceeded,
@@ -109,6 +124,8 @@ impl EngineStats {
         self.malformed += malformed;
         self.lost += lost;
         self.rate_limited += rate_limited;
+        self.rl_dropped_default += rl_dropped_default;
+        self.rl_dropped_aggressive += rl_dropped_aggressive;
         self.silent_router += silent_router;
         self.fw_dropped += fw_dropped;
         self.time_exceeded += time_exceeded;
@@ -147,6 +164,13 @@ impl EngineStats {
     /// (Table 3's "Other ICMPv6" column).
     pub fn other_icmp6(&self) -> u64 {
         self.echo_replies + self.dest_unreach_total()
+    }
+
+    /// All token-bucket suppressions, by limiter class
+    /// `(default, aggressive)`. Never exceeds
+    /// [`rate_limited`](Self::rate_limited) in sum.
+    pub fn rl_dropped_by_class(&self) -> (u64, u64) {
+        (self.rl_dropped_default, self.rl_dropped_aggressive)
     }
 }
 
@@ -242,6 +266,24 @@ impl Engine {
     /// The resolved path behind an index from [`Self::resolve_path_idx`].
     pub fn path(&self, idx: u32) -> &ResolvedPath {
         &self.paths[idx as usize]
+    }
+
+    /// Ground-truth suppression counts straight from the token buckets
+    /// ([`crate::ratelimit::TokenBucket::suppressed`]), summed by
+    /// limiter class `(default, aggressive)`. Always equals
+    /// [`EngineStats::rl_dropped_by_class`] — exposed so per-round
+    /// consumers can audit the stats against the buckets themselves.
+    pub fn bucket_suppressed_by_class(&self) -> (u64, u64) {
+        let mut default = 0;
+        let mut aggressive = 0;
+        for (b, r) in self.buckets.iter().zip(&self.topo.routers) {
+            if r.aggressive_rl {
+                aggressive += b.suppressed;
+            } else {
+                default += b.suppressed;
+            }
+        }
+        (default, aggressive)
     }
 
     /// Injects a probe at virtual time `now_us`; returns the response
@@ -637,6 +679,14 @@ impl Engine {
             return false;
         }
         if !self.buckets[router.0 as usize].try_consume(now_us) {
+            // Charge the drop to the bucket's limiter class here, at the
+            // one site where a token bucket actually suppresses; the
+            // callers add the undifferentiated `rate_limited` count.
+            if info.aggressive_rl {
+                self.stats.rl_dropped_aggressive += 1;
+            } else {
+                self.stats.rl_dropped_default += 1;
+            }
             return false;
         }
         // Interior routers of a middlebox-fronted AS saw a *rewritten*
@@ -861,6 +911,35 @@ mod tests {
             answered_slow >= 190,
             "slow probing mostly answered: {answered_slow}"
         );
+    }
+
+    #[test]
+    fn rate_limit_drops_are_classed_and_bucket_audited() {
+        let mut e = engine();
+        let topo = e.topology().clone();
+        // Broad load across many destinations and TTLs at a hot rate:
+        // both limiter classes should see suppressions somewhere.
+        let mut t = 0u64;
+        for (host, _) in topo.hosts().take(120) {
+            for ttl in 1..=10u8 {
+                let s = spec(&e, host, ttl, Protocol::Icmp6);
+                e.inject(&s.build(), t);
+                t += 20; // 50k pps aggregate
+            }
+        }
+        let (def, agg) = e.stats.rl_dropped_by_class();
+        assert!(def + agg > 0, "workload must trip rate limiting");
+        // The stats' class split is exactly the buckets' own counters.
+        assert_eq!((def, agg), e.bucket_suppressed_by_class());
+        // Every classed drop is a rate_limited drop (the reverse can
+        // differ: unresponsive dest responders also land there).
+        assert!(def + agg <= e.stats.rate_limited);
+        // merge carries the class split.
+        let mut m = EngineStats::default();
+        m.merge(&e.stats);
+        m.merge(&e.stats);
+        assert_eq!(m.rl_dropped_default, 2 * def);
+        assert_eq!(m.rl_dropped_aggressive, 2 * agg);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use v6addr::dpl::DplCdf;
 use v6addr::{BgpTable, Ipv6Prefix};
 
-pub use pipeline::TargetCatalog;
+pub use pipeline::{feedback_targets, TargetCatalog};
 pub use synthesize::IidStrategy;
 pub use transform::zn;
 

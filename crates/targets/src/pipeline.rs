@@ -1,10 +1,16 @@
 //! End-to-end target catalog: the 18 target sets (9 sources × z48/z64)
-//! that the paper's campaigns probe (Table 5 / Table 7 row space).
+//! that the paper's campaigns probe (Table 5 / Table 7 row space) —
+//! plus the feedback-driven entry point ([`feedback_targets`]) that
+//! turns *discovered* prefixes into the next probing round's targets
+//! instead of starting from a static file.
 
 use crate::synthesize::{synthesize, IidStrategy};
 use crate::transform::zn;
 use crate::TargetSet;
 use seeds::sources::SeedCatalog;
+use seeds::SeedList;
+use std::sync::Arc;
+use v6addr::Ipv6Prefix;
 
 /// All generated target sets, in table order.
 #[derive(Clone, Debug)]
@@ -15,6 +21,40 @@ pub struct TargetCatalog {
 
 /// Sources excluded from the exclusivity basis (supersets of others).
 const NON_INDEPENDENT: [&str; 3] = ["tum", "combined", "random"];
+
+/// Feedback-driven target synthesis: the adaptive loop's replacement
+/// for the static `zn` step.
+///
+/// Address entries aggregate to their /64 exactly like `z64`. Prefix
+/// entries (kIP aggregates of discovered interfaces, analysis-inferred
+/// subnets) are *expanded*: every /64 inside the prefix, up to
+/// `per_prefix_64s` of them, becomes an intermediate prefix — the gaps
+/// inside an aggregate are precisely where locality says the next
+/// round should look, which plain `zn` (base-/64 only) would throw
+/// away. One target per intermediate prefix is then synthesized under
+/// `strategy`, deduplicated and sorted as always.
+pub fn feedback_targets(
+    name: impl Into<Arc<str>>,
+    list: &SeedList,
+    per_prefix_64s: usize,
+    strategy: IidStrategy,
+) -> TargetSet {
+    let cap = per_prefix_64s.max(1) as u128;
+    let mut prefixes: Vec<Ipv6Prefix> = Vec::new();
+    for p in list.prefixes() {
+        if p.len() >= 64 {
+            prefixes.push(Ipv6Prefix::truncating(p.base(), 64));
+        } else {
+            let n = p.count_64s().min(cap);
+            for i in 0..n {
+                prefixes.push(p.subnet(64, i));
+            }
+        }
+    }
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    synthesize(name, &prefixes, strategy)
+}
 
 impl TargetCatalog {
     /// Builds every `(source, zn)` combination with the given synthesis
@@ -72,6 +112,40 @@ mod tests {
         let topo = generate(TopologyConfig::tiny(42));
         let seeds = SeedCatalog::synthesize(&topo, 99);
         TargetCatalog::build(&seeds, IidStrategy::FixedIid)
+    }
+
+    #[test]
+    fn feedback_targets_expand_prefix_interiors() {
+        use seeds::SeedEntry;
+        let list = SeedList::new(
+            "fb",
+            vec![
+                SeedEntry::Prefix("2001:db8::/60".parse().unwrap()), // 16 /64s
+                SeedEntry::Addr("2620::1234".parse().unwrap()),
+                SeedEntry::Prefix("2620:0:0:7::/64".parse().unwrap()),
+            ],
+        );
+        let set = feedback_targets("fb-targets", &list, 8, IidStrategy::FixedIid);
+        // /60 expands to its first 8 /64s (capped), the address to its
+        // own /64, the /64 passes through: 10 targets.
+        assert_eq!(set.len(), 10);
+        for a in &set.addrs {
+            assert_eq!(u128::from(*a) as u64, crate::synthesize::FIXED_IID);
+        }
+        // Interior /64s beyond the base are present.
+        assert!(set.contains(
+            "2001:db8:0:3:1234:5678:1234:5678"
+                .parse::<std::net::Ipv6Addr>()
+                .unwrap()
+        ));
+        // Uncapped expansion covers the whole /60.
+        let full = feedback_targets("fb-full", &list, 1_000, IidStrategy::FixedIid);
+        assert_eq!(full.len(), 18);
+        // Determinism.
+        assert_eq!(
+            feedback_targets("x", &list, 8, IidStrategy::FixedIid).addrs,
+            set.addrs
+        );
     }
 
     #[test]

@@ -1,0 +1,505 @@
+//! Adaptive multi-round topology discovery: the closed feedback loop
+//! the paper argues for — *what you probe determines what you see*, so
+//! round *n+1*'s targets are generated from round *n*'s discoveries.
+//!
+//! Each round streams probe campaigns straight into the incremental
+//! [`TraceSetBuilder`](analysis::TraceSetBuilder) (record memory stays
+//! bounded by the chunk channel), mines the finished
+//! [`TraceSet`]s for newly discovered interfaces
+//! ([`TraceSet::discovery_delta`] against one global seen-set) and
+//! inferred subnets (the IA hack, optionally path divergence), feeds
+//! those through the feedback seed generator
+//! ([`seeds::feedback::feedback_list`]: kIP aggregation + 6Gen
+//! expansion) and the feedback target synthesizer
+//! ([`targets::feedback_targets`]), and repeats under a global probe
+//! budget until the marginal yield stays below a floor for
+//! [`AdaptiveConfig::patience`] consecutive rounds.
+//!
+//! ```text
+//!        ┌──────────── targets (round n) ────────────┐
+//!        │                                           ▼
+//!  seeds/feedback ◄── interfaces + subnets ◄── stream_campaign(s)
+//!   (kIP + 6Gen)        (discovery_delta,       → TraceSetBuilder
+//!        │               IA hack/path-div)            │
+//!        └────────── targets (round n+1) ◄────────────┘
+//! ```
+//!
+//! Two drivers share one deterministic loop body:
+//! [`run_adaptive`] runs each round's campaigns serially,
+//! [`run_adaptive_parallel`] runs them on the work-queue pool
+//! ([`analysis::stream_campaigns_parallel`]). Campaigns are
+//! engine-isolated and results return in input order, so the two
+//! produce bit-identical results — pinned by the `adaptive` test
+//! suite, alongside a golden test that a one-round run equals a plain
+//! [`analysis::stream_campaign`].
+//!
+//! This module lives in the umbrella crate because it is the one place
+//! the whole pipeline meets: it orchestrates `yarrp6` (probers),
+//! `analysis` (trace mining), `seeds`/`targets` (generation) and
+//! `simnet` (the network under test).
+
+use analysis::{
+    discover_by_path_div, ia_hack, stream_campaigns_parallel, stream_campaigns_serial, AsnResolver,
+    PathDivParams, TraceSet,
+};
+use seeds::feedback::{feedback_list, FeedbackParams};
+// The workspace's shared splitmix64, for per-round generation seeds.
+use simnet::flow::mix64 as mix;
+use simnet::{EngineStats, Topology};
+use std::collections::BTreeSet;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+use targets::{feedback_targets, IidStrategy, TargetSet};
+use v6addr::Ipv6Prefix;
+use yarrp6::addrset::AddrSet;
+use yarrp6::campaign::CampaignSpec;
+use yarrp6::{StreamConfig, YarrpConfig};
+
+/// Configuration of the adaptive discovery loop.
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Prober configuration used by every round's campaigns.
+    pub yarrp: YarrpConfig,
+    /// Bounded-channel configuration for the streaming campaigns.
+    pub stream: StreamConfig,
+    /// Vantage indices probing each round (every vantage probes every
+    /// round target).
+    pub vantages: Vec<u8>,
+    /// Global probe budget: once the engines' cumulative probe count
+    /// reaches it, no further round starts, and each round's target
+    /// list is pre-truncated so its nominal cost
+    /// (`targets × max_ttl × vantages`) fits the remainder.
+    pub probe_budget: u64,
+    /// Cap on targets probed per round (before the budget truncation).
+    pub round_targets: usize,
+    /// Shards per round: each round's target list is split round-robin
+    /// into this many independent campaigns per vantage, giving the
+    /// parallel driver work units and bounding per-campaign memory.
+    pub shards: usize,
+    /// Hard round cap.
+    pub max_rounds: usize,
+    /// Marginal-yield floor: new interfaces per 1000 probes.
+    pub min_yield_per_kprobes: f64,
+    /// Stop after this many *consecutive* rounds below the floor.
+    pub patience: usize,
+    /// Feedback seed-generation knobs (kIP k, 6Gen budget).
+    pub feedback: FeedbackParams,
+    /// How many /64s to expand out of each aggregated/inferred prefix
+    /// when synthesizing the next round's targets.
+    pub per_prefix_64s: usize,
+    /// IID synthesis strategy for generated targets.
+    pub iid: IidStrategy,
+    /// Master seed for the per-round generation RNG.
+    pub rng_seed: u64,
+    /// Optionally run path-divergence subnet inference each round (the
+    /// IA hack always runs; path divergence needs the public ASN view
+    /// and costs more).
+    pub path_div: Option<PathDivParams>,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            yarrp: YarrpConfig::default(),
+            stream: StreamConfig::default(),
+            vantages: vec![0],
+            probe_budget: 1_000_000,
+            round_targets: 4_096,
+            shards: 1,
+            max_rounds: 8,
+            min_yield_per_kprobes: 1.0,
+            patience: 2,
+            feedback: FeedbackParams::default(),
+            per_prefix_64s: 16,
+            iid: IidStrategy::FixedIid,
+            rng_seed: 0xada_917e,
+            path_div: None,
+        }
+    }
+}
+
+/// Why the loop ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The probe budget cannot fund another target.
+    BudgetExhausted,
+    /// Marginal yield stayed below the floor for `patience` rounds.
+    YieldFloor,
+    /// Feedback generation produced no unprobed targets.
+    NoTargets,
+    /// The round cap was reached.
+    MaxRounds,
+}
+
+/// One round's accounting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Targets probed this round (per vantage).
+    pub targets: u64,
+    /// Probes the engines injected this round (all campaigns).
+    pub probes: u64,
+    /// Interfaces first discovered this round.
+    pub new_interfaces: u64,
+    /// Subnets first inferred this round.
+    pub new_subnets: u64,
+    /// Marginal yield: `1000 × new_interfaces / probes`.
+    pub yield_per_kprobe: f64,
+    /// ICMPv6 errors the routers suppressed this round — high values
+    /// mean low yield reflects rate limiting, not an exhausted net.
+    pub rate_limited: u64,
+    /// Bucket-audited suppression split: default-class limiters.
+    pub rl_dropped_default: u64,
+    /// Bucket-audited suppression split: aggressive-class limiters.
+    pub rl_dropped_aggressive: u64,
+}
+
+/// The finished loop: everything the rounds earned, plus the pinned
+/// determinism surface (round-by-round target lists).
+#[derive(Clone, Debug)]
+pub struct AdaptiveResult {
+    /// Per-round accounting, in order.
+    pub rounds: Vec<RoundReport>,
+    /// Each round's exact (sorted, deduplicated) target list — the
+    /// seeded-determinism contract of the loop.
+    pub round_targets: Vec<Vec<Ipv6Addr>>,
+    /// Every campaign's trace set, rounds in order, vantage-major
+    /// within a round, shards within a vantage.
+    pub traces: Vec<TraceSet>,
+    /// Engine accounting accumulated over all campaigns via
+    /// [`EngineStats::merge`].
+    pub stats: EngineStats,
+    /// All discovered interfaces, in discovery order.
+    pub interfaces: AddrSet,
+    /// All inferred subnet prefixes, in discovery order.
+    pub subnets: Vec<Ipv6Prefix>,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+}
+
+impl AdaptiveResult {
+    /// Unique interfaces discovered over the whole run.
+    pub fn unique_interfaces(&self) -> usize {
+        self.interfaces.len()
+    }
+
+    /// Probes consumed over the whole run.
+    pub fn probes(&self) -> u64 {
+        self.stats.probes
+    }
+}
+
+/// Runs the adaptive loop with each round's campaigns executed
+/// serially. See the module docs for the loop structure.
+pub fn run_adaptive(
+    topo: &Arc<Topology>,
+    initial: &TargetSet,
+    cfg: &AdaptiveConfig,
+) -> AdaptiveResult {
+    run(topo, initial, cfg, false)
+}
+
+/// Runs the adaptive loop with each round's campaigns executed on the
+/// work-queue thread pool. Bit-identical to [`run_adaptive`] (campaigns
+/// are engine-isolated and return in input order); the discovery
+/// mining between rounds is always on the calling thread.
+pub fn run_adaptive_parallel(
+    topo: &Arc<Topology>,
+    initial: &TargetSet,
+    cfg: &AdaptiveConfig,
+) -> AdaptiveResult {
+    run(topo, initial, cfg, true)
+}
+
+fn run(
+    topo: &Arc<Topology>,
+    initial: &TargetSet,
+    cfg: &AdaptiveConfig,
+    parallel: bool,
+) -> AdaptiveResult {
+    assert!(!cfg.vantages.is_empty(), "at least one vantage required");
+    let shards = cfg.shards.max(1);
+    let resolver = cfg.path_div.map(|_| {
+        AsnResolver::new(
+            topo.bgp.clone(),
+            topo.rir_extra.clone(),
+            &topo.asn_equivalences,
+        )
+    });
+
+    // Global cross-round state.
+    let mut seen = AddrSet::new(); // discovered interfaces
+    let mut probed = AddrSet::new(); // targets already paid for
+    let mut subnet_set: BTreeSet<Ipv6Prefix> = BTreeSet::new();
+    let mut subnets: Vec<Ipv6Prefix> = Vec::new();
+
+    let mut rounds = Vec::new();
+    let mut round_targets_log = Vec::new();
+    let mut traces = Vec::new();
+    let mut stats = EngineStats::default();
+    let mut consumed = 0u64;
+    let mut low_streak = 0usize;
+
+    // Nominal per-target probe cost, used only to pre-truncate a
+    // round's list; the budget itself is enforced on actual injections.
+    let per_target = cfg.yarrp.max_ttl as u64 * cfg.vantages.len() as u64;
+    let mut pool: Vec<Ipv6Addr> = initial.addrs.clone();
+
+    let stop = loop {
+        let round = rounds.len();
+        if round >= cfg.max_rounds {
+            break StopReason::MaxRounds;
+        }
+        let remaining = cfg.probe_budget.saturating_sub(consumed);
+        let budget_cap = (remaining / per_target) as usize;
+        if budget_cap == 0 {
+            break StopReason::BudgetExhausted;
+        }
+
+        // This round's targets: the unprobed part of the pool, capped
+        // by the round size and the remaining budget. When the pool
+        // overflows the cap, stride-sample it so the round spans the
+        // whole (sorted) pool instead of starving high address space —
+        // a lowest-first truncation would spend every round in the
+        // same low slabs.
+        let unprobed: Vec<Ipv6Addr> = pool
+            .iter()
+            .copied()
+            .filter(|&a| !probed.contains(a))
+            .collect();
+        let cap = cfg.round_targets.min(budget_cap);
+        let targets: Vec<Ipv6Addr> = if unprobed.len() <= cap {
+            unprobed
+        } else {
+            (0..cap)
+                .map(|i| unprobed[i * unprobed.len() / cap])
+                .collect()
+        };
+        if targets.is_empty() {
+            break StopReason::NoTargets;
+        }
+        for &t in &targets {
+            probed.insert(t);
+        }
+
+        // Round-robin sharding keeps each shard spread across the
+        // address space (and the permutation within a campaign does the
+        // rest of the burst-avoidance).
+        let shard_sets: Vec<TargetSet> = (0..shards)
+            .map(|s| {
+                let name: Arc<str> = if shards == 1 {
+                    format!("adaptive-r{round}").into()
+                } else {
+                    format!("adaptive-r{round}-s{s}").into()
+                };
+                TargetSet::new(
+                    name,
+                    targets
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .filter(|(i, _)| i % shards == s)
+                        .map(|(_, a)| a),
+                )
+            })
+            .collect();
+        let specs: Vec<CampaignSpec<'_>> = cfg
+            .vantages
+            .iter()
+            .flat_map(|&v| {
+                shard_sets.iter().map(move |set| CampaignSpec {
+                    vantage_idx: v,
+                    set,
+                    cfg: cfg.yarrp,
+                })
+            })
+            .collect();
+
+        let results = if parallel {
+            stream_campaigns_parallel(topo, &specs, &cfg.stream)
+        } else {
+            stream_campaigns_serial(topo, &specs, &cfg.stream)
+        };
+
+        // Mine the round: discovery deltas against the global seen-set,
+        // inferred subnets, merged engine accounting.
+        let mut round_stats = EngineStats::default();
+        let mut new_ifaces = 0u64;
+        let mut new_subnets = 0u64;
+        for (i, (ts, es)) in results.into_iter().enumerate() {
+            new_ifaces += ts.discovery_delta(&mut seen).len() as u64;
+            for cand in ia_hack(&ts) {
+                if subnet_set.insert(cand.prefix) {
+                    subnets.push(cand.prefix);
+                    new_subnets += 1;
+                }
+            }
+            if let (Some(params), Some(res)) = (&cfg.path_div, &resolver) {
+                let v = cfg.vantages[i / shards];
+                let vasn = topo.ases[topo.vantages[v as usize].as_idx as usize].asn;
+                for cand in discover_by_path_div(&ts, res, vasn, params) {
+                    if subnet_set.insert(cand.prefix) {
+                        subnets.push(cand.prefix);
+                        new_subnets += 1;
+                    }
+                }
+            }
+            round_stats.merge(&es);
+            traces.push(ts);
+        }
+        stats.merge(&round_stats);
+        consumed += round_stats.probes;
+
+        let yield_per_kprobe = 1000.0 * new_ifaces as f64 / round_stats.probes.max(1) as f64;
+        rounds.push(RoundReport {
+            round,
+            targets: targets.len() as u64,
+            probes: round_stats.probes,
+            new_interfaces: new_ifaces,
+            new_subnets,
+            yield_per_kprobe,
+            rate_limited: round_stats.rate_limited,
+            rl_dropped_default: round_stats.rl_dropped_default,
+            rl_dropped_aggressive: round_stats.rl_dropped_aggressive,
+        });
+        round_targets_log.push(targets);
+
+        // Stopping rule: marginal yield below the floor for `patience`
+        // consecutive rounds.
+        if yield_per_kprobe < cfg.min_yield_per_kprobes {
+            low_streak += 1;
+            if low_streak >= cfg.patience {
+                break StopReason::YieldFloor;
+            }
+        } else {
+            low_streak = 0;
+        }
+
+        // The next iteration stops before probing when the round cap
+        // or the budget is already spent — don't pay for (and then
+        // discard) another generation pass; the loop top breaks with
+        // the right reason.
+        if rounds.len() >= cfg.max_rounds || cfg.probe_budget.saturating_sub(consumed) < per_target
+        {
+            continue;
+        }
+
+        // Feedback: regenerate the pool from *all* discoveries so far
+        // plus everything already probed — the paper's 6Gen basis
+        // ("targets probed plus interfaces discovered"); cumulative
+        // input gives the generators their cluster mass, and the
+        // `probed` filter at the top keeps rounds from re-paying.
+        let discovered: Vec<Ipv6Addr> = seen.iter().collect();
+        let probed_targets: Vec<Ipv6Addr> = probed.iter().collect();
+        let fb = feedback_list(
+            format!("adaptive-fb-r{round}"),
+            &discovered,
+            &probed_targets,
+            &subnets,
+            &cfg.feedback,
+            mix(cfg.rng_seed ^ round as u64),
+        );
+        pool = feedback_targets(
+            format!("adaptive-r{}", round + 1),
+            &fb,
+            cfg.per_prefix_64s,
+            cfg.iid,
+        )
+        .addrs;
+    };
+
+    AdaptiveResult {
+        rounds,
+        round_targets: round_targets_log,
+        traces,
+        stats,
+        interfaces: seen,
+        subnets,
+        stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::config::TopologyConfig;
+    use simnet::generate::generate;
+
+    fn fixture() -> (Arc<Topology>, TargetSet) {
+        let topo = Arc::new(generate(TopologyConfig::tiny(42)));
+        let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(60).collect();
+        let set = TargetSet::new("adaptive-r0", addrs);
+        (topo, set)
+    }
+
+    fn small_cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            probe_budget: 60_000,
+            round_targets: 200,
+            max_rounds: 3,
+            min_yield_per_kprobes: 0.0,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn loop_runs_and_accounts() {
+        let (topo, set) = fixture();
+        let res = run_adaptive(&topo, &set, &small_cfg());
+        assert!(!res.rounds.is_empty());
+        assert!(res.unique_interfaces() > 0);
+        assert_eq!(res.rounds.len(), res.round_targets.len());
+        // Stats accumulate across every campaign.
+        let per_campaign: u64 = res.rounds.iter().map(|r| r.probes).sum();
+        assert_eq!(res.stats.probes, per_campaign);
+        // No round re-probes a target.
+        let mut all = AddrSet::new();
+        for rt in &res.round_targets {
+            for &t in rt {
+                assert!(all.insert(t), "target {t} probed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (topo, set) = fixture();
+        let cfg = AdaptiveConfig {
+            probe_budget: 5_000,
+            round_targets: 10_000,
+            max_rounds: 10,
+            min_yield_per_kprobes: 0.0,
+            ..AdaptiveConfig::default()
+        };
+        let res = run_adaptive(&topo, &set, &cfg);
+        // Each round is pre-truncated to the nominal remainder, so the
+        // overshoot is at most one round's fill-mode surplus.
+        let nominal: u64 = res
+            .rounds
+            .iter()
+            .map(|r| r.targets * cfg.yarrp.max_ttl as u64 * cfg.vantages.len() as u64)
+            .sum();
+        assert!(nominal <= cfg.probe_budget);
+        assert!(matches!(
+            res.stop,
+            StopReason::BudgetExhausted | StopReason::YieldFloor | StopReason::NoTargets
+        ));
+    }
+
+    #[test]
+    fn yield_floor_stops_early() {
+        let (topo, set) = fixture();
+        let cfg = AdaptiveConfig {
+            probe_budget: 10_000_000,
+            round_targets: 50,
+            max_rounds: 20,
+            min_yield_per_kprobes: 1e9, // unreachable floor
+            patience: 2,
+            ..AdaptiveConfig::default()
+        };
+        let res = run_adaptive(&topo, &set, &cfg);
+        assert_eq!(res.stop, StopReason::YieldFloor);
+        assert_eq!(res.rounds.len(), 2);
+    }
+}

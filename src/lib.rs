@@ -23,6 +23,12 @@
 //! | [`analyze`] | `analysis` | traces, metrics, subnet discovery |
 //! | [`alias`] | `aliasres` | speedtrap alias resolution, router-level graphs |
 //!
+//! On top of the re-exports, [`adaptive`] (native to this crate — it
+//! is where the whole pipeline meets) closes the loop: multi-round
+//! discovery whose next targets are generated from the previous
+//! round's own findings, under a global probe budget with a
+//! marginal-yield stopping rule.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -39,6 +45,8 @@
 //! assert!(!result.log.interface_addrs().is_empty());
 //! ```
 
+pub mod adaptive;
+
 pub use aliasres as alias;
 pub use analysis as analyze;
 pub use seeds as seed;
@@ -50,9 +58,14 @@ pub use yarrp6 as probe;
 
 /// The commonly-used types, one `use` away.
 pub mod prelude {
+    pub use crate::adaptive::{
+        run_adaptive, run_adaptive_parallel, AdaptiveConfig, AdaptiveResult, RoundReport,
+        StopReason,
+    };
     pub use analysis::{
-        discover_by_path_div, ia_hack, stream_campaign, stream_campaigns_parallel, AsnResolver,
-        CandidateSubnet, PathDivParams, TraceSet, TraceSetBuilder, TraceView,
+        discover_by_path_div, ia_hack, stream_campaign, stream_campaigns_parallel,
+        stream_campaigns_serial, AsnResolver, CandidateSubnet, PathDivParams, TraceSet,
+        TraceSetBuilder, TraceView,
     };
     pub use seeds::sources::SeedCatalog;
     pub use seeds::{SeedEntry, SeedList};

@@ -1,0 +1,147 @@
+//! Contracts of the adaptive discovery loop:
+//!
+//! * **seeded determinism** — the same `(topology, initial set,
+//!   config)` produces identical round-by-round target lists and
+//!   bit-identical final trace sets;
+//! * **golden one-round equivalence** — a single-shard, single-round
+//!   run is exactly one `stream_campaign`, bit for bit (interner ids
+//!   included);
+//! * **parallel matches serial** — the work-queue driver reproduces the
+//!   serial driver's entire result.
+
+use beholder::prelude::*;
+use seeds::feedback::FeedbackParams;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+fn fixture() -> (Arc<Topology>, TargetSet) {
+    let topo = Arc::new(beholder::net::generate::generate(TopologyConfig::tiled(
+        42, 2,
+    )));
+    let seeds = SeedCatalog::synthesize(&topo, 42);
+    let z64 = targets::zn(&seeds.caida, 64);
+    let set = targets::synthesize::synthesize("adaptive-r0", &z64, IidStrategy::FixedIid);
+    (topo, set)
+}
+
+fn cfg() -> AdaptiveConfig {
+    AdaptiveConfig {
+        vantages: vec![0, 2],
+        probe_budget: 150_000,
+        round_targets: 300,
+        shards: 2,
+        max_rounds: 3,
+        min_yield_per_kprobes: 0.0,
+        feedback: FeedbackParams {
+            sixgen_budget: 512,
+            ..FeedbackParams::default()
+        },
+        path_div: Some(PathDivParams::default()),
+        ..AdaptiveConfig::default()
+    }
+}
+
+#[test]
+fn seeded_determinism_round_by_round() {
+    let (topo, set) = fixture();
+    let a = run_adaptive(&topo, &set, &cfg());
+    let b = run_adaptive(&topo, &set, &cfg());
+    assert_eq!(
+        a.round_targets, b.round_targets,
+        "round-by-round target lists diverged"
+    );
+    assert_eq!(a.traces.len(), b.traces.len());
+    for (x, y) in a.traces.iter().zip(&b.traces) {
+        assert_eq!(x, y, "trace sets diverged");
+    }
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(
+        a.interfaces.iter().collect::<Vec<_>>(),
+        b.interfaces.iter().collect::<Vec<_>>()
+    );
+    assert_eq!(a.subnets, b.subnets);
+
+    // A different generation seed must change the generated rounds
+    // (round 0 is seed-independent, later rounds draw differently).
+    let other = AdaptiveConfig {
+        rng_seed: 1,
+        ..cfg()
+    };
+    let c = run_adaptive(&topo, &set, &other);
+    assert_eq!(a.round_targets[0], c.round_targets[0]);
+    assert_ne!(
+        a.round_targets[1..],
+        c.round_targets[1..],
+        "generation rng must matter after round 0"
+    );
+}
+
+#[test]
+fn one_round_golden_matches_stream_campaign() {
+    let (topo, set) = fixture();
+    let one = AdaptiveConfig {
+        vantages: vec![1],
+        shards: 1,
+        max_rounds: 1,
+        round_targets: usize::MAX,
+        probe_budget: u64::MAX,
+        ..AdaptiveConfig::default()
+    };
+    let res = run_adaptive(&topo, &set, &one);
+    assert_eq!(res.rounds.len(), 1);
+    assert_eq!(res.traces.len(), 1);
+    assert_eq!(res.round_targets[0], set.addrs);
+
+    let (golden_ts, golden_stats) = stream_campaign(&topo, 1, &set, &one.yarrp, &one.stream);
+    assert_eq!(
+        res.traces[0], golden_ts,
+        "one-round adaptive must be bit-identical to stream_campaign"
+    );
+    assert_eq!(res.stats, golden_stats);
+    // The interfaces the loop reports are exactly the golden set's
+    // interner content.
+    let ifaces: Vec<Ipv6Addr> = res.interfaces.iter().collect();
+    assert_eq!(ifaces, golden_ts.interner().addrs());
+}
+
+#[test]
+fn parallel_matches_serial() {
+    let (topo, set) = fixture();
+    let serial = run_adaptive(&topo, &set, &cfg());
+    let parallel = run_adaptive_parallel(&topo, &set, &cfg());
+    assert_eq!(serial.round_targets, parallel.round_targets);
+    assert_eq!(serial.traces.len(), parallel.traces.len());
+    for (s, p) in serial.traces.iter().zip(&parallel.traces) {
+        assert_eq!(s, p);
+    }
+    assert_eq!(serial.stats, parallel.stats);
+    assert_eq!(serial.stop, parallel.stop);
+    assert_eq!(
+        serial.interfaces.iter().collect::<Vec<_>>(),
+        parallel.interfaces.iter().collect::<Vec<_>>()
+    );
+    assert_eq!(serial.subnets, parallel.subnets);
+    for (s, p) in serial.rounds.iter().zip(&parallel.rounds) {
+        assert_eq!(s, p);
+    }
+}
+
+#[test]
+fn feedback_rounds_discover_beyond_round_zero() {
+    let (topo, set) = fixture();
+    let res = run_adaptive(&topo, &set, &cfg());
+    assert!(
+        res.rounds.len() > 1,
+        "fixture must sustain more than one round"
+    );
+    let later: u64 = res.rounds[1..].iter().map(|r| r.new_interfaces).sum();
+    assert!(
+        later > 0,
+        "feedback-generated rounds must discover new interfaces"
+    );
+    // Rate-limit accounting flows through per round.
+    for r in &res.rounds {
+        assert!(r.rl_dropped_default + r.rl_dropped_aggressive <= r.rate_limited);
+    }
+}
