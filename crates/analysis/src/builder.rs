@@ -35,7 +35,7 @@ use targets::TargetSet;
 use v6packet::icmp6::DestUnreachCode;
 use yarrp6::campaign::{
     run_campaign_streaming, run_campaigns_parallel_streaming, run_campaigns_serial_streaming,
-    CampaignSpec,
+    run_multi_vantage_streaming, run_multi_vantage_streaming_parallel, CampaignSpec, VantageSweep,
 };
 use yarrp6::sink::{RecordStream, StreamConfig};
 use yarrp6::{ResponseKind, ResponseRecord, YarrpConfig};
@@ -274,6 +274,105 @@ pub fn stream_campaigns_serial(
         .into_iter()
         .map(|r| (r.output, r.engine_stats))
         .collect()
+}
+
+/// A finished multi-vantage streaming campaign: the per-vantage
+/// columnar sets *and* their deterministic cross-vantage union.
+///
+/// `merged` is `TraceSet::merge_all` over the per-vantage sets in
+/// vantage order: its interner is the full union of every vantage's
+/// discovered responders (the paper's union-of-vantages yield), its
+/// trace columns keep the first vantage's trace per shared target, and
+/// every trace carries its source vantage ([`TraceView::vantage`]).
+/// The per-vantage sets are kept alongside because contribution and
+/// overlap statistics ([`crate::metrics::vantage_contributions`],
+/// [`crate::metrics::vantage_jaccard`]) need each vantage's view, not
+/// just the union.
+///
+/// [`TraceView::vantage`]: crate::traces::TraceView::vantage
+#[derive(Clone, Debug)]
+pub struct MultiVantageCampaign {
+    /// The cross-vantage union, merged in vantage order.
+    pub merged: TraceSet,
+    /// Each vantage's own `(TraceSet, EngineStats)`, in input order.
+    pub per_vantage: Vec<(TraceSet, EngineStats)>,
+    /// Engine accounting merged over all vantages.
+    pub stats: EngineStats,
+}
+
+/// The per-vantage consumer factory both multi-vantage drivers
+/// install: a fresh identity-stamped [`TraceSetBuilder`] per vantage.
+fn vantage_consumer(
+    topo: &Arc<Topology>,
+    set_name: Arc<str>,
+) -> impl Fn(usize, u8) -> Box<dyn FnOnce(RecordStream) -> TraceSet> + '_ {
+    move |_, v| {
+        let vantage = topo.vantages[v as usize].name.clone();
+        let set_name = set_name.clone();
+        Box::new(move |records: RecordStream| {
+            let mut builder = TraceSetBuilder::new().with_identity(vantage, set_name);
+            records.for_each_chunk(|c| builder.push_chunk(c));
+            builder.finish()
+        })
+    }
+}
+
+fn finish_sweep(sweep: VantageSweep<TraceSet>) -> MultiVantageCampaign {
+    let stats = sweep.stats;
+    let per_vantage: Vec<(TraceSet, EngineStats)> = sweep
+        .runs
+        .into_iter()
+        .map(|r| (r.output, r.engine_stats))
+        .collect();
+    let merged = TraceSet::merge_all(per_vantage.iter().map(|(ts, _)| ts));
+    MultiVantageCampaign {
+        merged,
+        per_vantage,
+        stats,
+    }
+}
+
+/// Runs one streaming campaign per vantage over the same target set
+/// (vantages one after another) and merges the finished sets
+/// deterministically in vantage order. Each per-vantage set is
+/// bit-identical to that vantage's [`stream_campaign`] /
+/// `from_log(run_campaign(..))`.
+pub fn stream_multi_vantage(
+    topo: &Arc<Topology>,
+    vantages: &[u8],
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+) -> MultiVantageCampaign {
+    finish_sweep(run_multi_vantage_streaming(
+        topo,
+        vantages,
+        set,
+        cfg,
+        stream,
+        vantage_consumer(topo, set.name.clone()),
+    ))
+}
+
+/// The concurrent variant of [`stream_multi_vantage`]: one
+/// prober+builder pair per vantage on the work-queue pool. Campaigns
+/// are engine-isolated and merged in input order, so the result is
+/// bit-identical to the serial driver's.
+pub fn stream_multi_vantage_parallel(
+    topo: &Arc<Topology>,
+    vantages: &[u8],
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+) -> MultiVantageCampaign {
+    finish_sweep(run_multi_vantage_streaming_parallel(
+        topo,
+        vantages,
+        set,
+        cfg,
+        stream,
+        vantage_consumer(topo, set.name.clone()),
+    ))
 }
 
 #[cfg(test)]

@@ -297,6 +297,105 @@ pub fn exclusive_features(logs: &[&ProbeLog], bgp: &v6addr::BgpTable) -> Vec<Exc
         .collect()
 }
 
+/// One vantage's share of a multi-vantage sweep — the quantities
+/// behind the paper's vantage tables (each vantage's discoveries, how
+/// much only it saw, and how much of the union it covers).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VantageContribution {
+    /// Vantage name (from the set's campaign identity).
+    pub vantage: String,
+    /// Unique interface addresses this vantage discovered.
+    pub interfaces: u64,
+    /// Interfaces *no other* vantage in the sweep discovered.
+    pub exclusive: u64,
+    /// `interfaces / union` — this vantage's coverage of the sweep's
+    /// combined discovery (1.0 means it alone saw everything).
+    pub union_share: f64,
+}
+
+/// Sorted unique interface words per set — the shared basis of the
+/// vantage statistics. Borrows the sets (no columnar clones at call
+/// sites) and accepts any iterable of references, matching
+/// [`TraceSet::merge_all`]'s shape.
+fn interface_words_per<'a>(sets: impl IntoIterator<Item = &'a TraceSet>) -> Vec<Vec<u128>> {
+    sets.into_iter().map(|s| s.interface_words()).collect()
+}
+
+/// Unique interfaces across the union of all sets' discoveries.
+fn union_count(per: &[Vec<u128>]) -> u64 {
+    let mut all: Vec<u128> = per.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all.dedup();
+    all.len() as u64
+}
+
+/// Unique interface addresses discovered by the union of the given
+/// per-vantage sets (sorted-merge over their interface columns).
+pub fn vantage_union_count<'a>(sets: impl IntoIterator<Item = &'a TraceSet>) -> u64 {
+    union_count(&interface_words_per(sets))
+}
+
+/// Per-vantage contribution rows for a multi-vantage sweep: unique and
+/// exclusive interface counts plus each vantage's share of the union.
+/// Pass the *per-vantage* sets (e.g.
+/// [`crate::builder::MultiVantageCampaign::per_vantage`]) — the merged
+/// union set cannot attribute discoveries back to vantages.
+pub fn vantage_contributions<'a>(
+    sets: impl IntoIterator<Item = &'a TraceSet> + Clone,
+) -> Vec<VantageContribution> {
+    let per = interface_words_per(sets.clone());
+    let union = union_count(&per).max(1) as f64;
+    let excl = exclusive_counts(&per);
+    sets.into_iter()
+        .zip(&per)
+        .zip(&excl)
+        .map(|((s, words), &exclusive)| VantageContribution {
+            vantage: s.vantage.to_string(),
+            interfaces: words.len() as u64,
+            exclusive,
+            union_share: words.len() as f64 / union,
+        })
+        .collect()
+}
+
+/// Pairwise Jaccard similarity of the vantages' interface sets:
+/// `out[i][j] = |Ai ∩ Aj| / |Ai ∪ Aj|` (1.0 on the diagonal and for
+/// two empty sets). Low off-diagonal values are the paper's argument
+/// for vantage diversity — the vantages see substantially different
+/// slices of the topology.
+pub fn vantage_jaccard<'a>(sets: impl IntoIterator<Item = &'a TraceSet>) -> Vec<Vec<f64>> {
+    let per = interface_words_per(sets);
+    let n = per.len();
+    let mut out = vec![vec![1.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Sorted-merge intersection count.
+            let (a, b) = (&per[i], &per[j]);
+            let (mut x, mut y, mut inter) = (0usize, 0usize, 0usize);
+            while x < a.len() && y < b.len() {
+                match a[x].cmp(&b[y]) {
+                    std::cmp::Ordering::Less => x += 1,
+                    std::cmp::Ordering::Greater => y += 1,
+                    std::cmp::Ordering::Equal => {
+                        inter += 1;
+                        x += 1;
+                        y += 1;
+                    }
+                }
+            }
+            let union = a.len() + b.len() - inter;
+            let jac = if union == 0 {
+                1.0
+            } else {
+                inter as f64 / union as f64
+            };
+            out[i][j] = jac;
+            out[j][i] = jac;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +504,55 @@ mod tests {
             assert!(w[1].0 >= w[0].0);
             assert_eq!(w[1].1, w[0].1 + 1);
         }
+    }
+
+    fn vantage_set(vantage: &str, hops: &[(&str, &str, u8)]) -> TraceSet {
+        let mut log = ProbeLog {
+            vantage: vantage.into(),
+            target_set: "vset".into(),
+            ..Default::default()
+        };
+        for (i, &(tgt, responder, ttl)) in hops.iter().enumerate() {
+            log.records.push(rec(
+                tgt,
+                responder,
+                ResponseKind::TimeExceeded,
+                ttl,
+                i as u64,
+            ));
+        }
+        TraceSet::from_log(&log)
+    }
+
+    #[test]
+    fn vantage_contribution_rows() {
+        // A sees {a, b}; B sees {b, c}; C sees {b}.
+        let sets = [
+            vantage_set("A", &[("2001:db8::1", "::a", 1), ("2001:db8::1", "::b", 2)]),
+            vantage_set("B", &[("2001:db8::2", "::b", 1), ("2001:db8::2", "::c", 2)]),
+            vantage_set("C", &[("2001:db8::3", "::b", 1)]),
+        ];
+        assert_eq!(vantage_union_count(&sets), 3);
+        let rows = vantage_contributions(&sets);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].vantage, "A");
+        assert_eq!(
+            rows.iter().map(|r| r.interfaces).collect::<Vec<_>>(),
+            vec![2, 2, 1]
+        );
+        assert_eq!(
+            rows.iter().map(|r| r.exclusive).collect::<Vec<_>>(),
+            vec![1, 1, 0]
+        );
+        assert!((rows[0].union_share - 2.0 / 3.0).abs() < 1e-9);
+
+        let jac = vantage_jaccard(&sets);
+        assert_eq!(jac[0][0], 1.0);
+        // A∩B = {b}, A∪B = {a,b,c}.
+        assert!((jac[0][1] - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(jac[0][1], jac[1][0]);
+        // B∩C = {b}, B∪C = {b,c}.
+        assert!((jac[1][2] - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -44,13 +44,16 @@ struct TraceMeta {
 #[derive(Clone, Debug, Default)]
 pub struct TraceSet {
     /// Campaign identity, carried through for reporting (shared, not
-    /// re-allocated per analysis).
+    /// re-allocated per analysis). For a merged set this is the
+    /// `+`-joined list of distinct source vantage names.
     pub vantage: Arc<str>,
     /// Target-set name.
     pub target_set: Arc<str>,
     /// Records dropped because the quoted destination failed the target
     /// checksum (middlebox rewriting detected): their "target" is not
     /// an address we probed, so including them would fabricate traces.
+    /// Additive under [`merge`](Self::merge) — a union of campaigns
+    /// saw the sum of their tampered records.
     pub rewritten_dropped: u64,
     /// Interned responder/interface addresses shared by all stages.
     interner: AddrInterner,
@@ -64,11 +67,25 @@ pub struct TraceSet {
     /// All Destination Unreachable cells `(ttl, responder_id)`,
     /// contiguous per trace, record order within a trace.
     unreach: Vec<(u8, u32)>,
+    /// Vantage-provenance table: the distinct source vantage names a
+    /// merged set was assembled from. Empty for a single-campaign set
+    /// (every trace then comes from [`vantage`](Self::vantage)).
+    sources: Vec<Arc<str>>,
+    /// Per-trace provenance column, parallel to `targets`: index into
+    /// `sources`. Empty when `sources` is empty.
+    prov: Vec<u32>,
 }
 
 /// Bit-for-bit equality of the flat stores, *including* interner id
 /// assignment — the pinned contract between the batch classify pass
-/// and the streaming [`crate::builder::TraceSetBuilder`].
+/// and the streaming [`crate::builder::TraceSetBuilder`], and between
+/// the multi-vantage streaming and batch merge paths.
+///
+/// The vantage-provenance columns (`sources`/`prov`) are reporting
+/// metadata, not observations, and are deliberately excluded: a merged
+/// set and a `from_log` of the equivalent concatenated log must compare
+/// equal even though only the former knows which vantage earned which
+/// trace.
 impl PartialEq for TraceSet {
     fn eq(&self, other: &Self) -> bool {
         self.vantage == other.vantage
@@ -228,6 +245,8 @@ pub(crate) fn assemble(rows: ClassifiedRows, vantage: Arc<str>, target_set: Arc<
         metas,
         hops,
         unreach,
+        sources: Vec::new(),
+        prov: Vec::new(),
     }
 }
 
@@ -381,6 +400,305 @@ impl TraceSet {
         fresh
     }
 
+    /// The distinct source vantage names of this set, materialized:
+    /// a single-campaign set reports `[vantage]`, a merged set its
+    /// provenance table (first-contribution order).
+    pub fn sources(&self) -> Vec<Arc<str>> {
+        if self.sources.is_empty() {
+            vec![self.vantage.clone()]
+        } else {
+            self.sources.clone()
+        }
+    }
+
+    /// Unique *interface* address words of this set — the distinct
+    /// responders referenced by Time-Exceeded hop cells (the paper's
+    /// "Rtr Int Addrs"; Destination Unreachable responders are in the
+    /// interner but are not interfaces in this sense) — sorted
+    /// ascending. One flat pass over the hop column plus a per-id
+    /// bitmap; no address re-hashing.
+    pub fn interface_words(&self) -> Vec<u128> {
+        let mut seen = vec![false; self.interner.len()];
+        for &(_, id) in &self.hops {
+            seen[id as usize] = true;
+        }
+        let mut out: Vec<u128> = self
+            .interner
+            .words()
+            .iter()
+            .zip(&seen)
+            .filter(|&(_, &s)| s)
+            .map(|(&w, _)| w)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// [`interface_words`](Self::interface_words) as addresses.
+    pub fn interface_addrs(&self) -> Vec<Ipv6Addr> {
+        self.interface_words()
+            .into_iter()
+            .map(Ipv6Addr::from)
+            .collect()
+    }
+
+    /// Unions two columnar sets into one — the cross-vantage merge.
+    ///
+    /// * **Interner union with id remapping**: the result's interner
+    ///   keeps `self`'s ids verbatim and appends `other`'s unseen
+    ///   addresses in `other`'s id order, so the merged set's interner
+    ///   is the *full* union of both campaigns' discovered responders —
+    ///   including responders whose traces lose the dedup below. Union
+    ///   discovery yield is therefore never undercounted.
+    /// * **First-wins per-target trace dedup**: where both sets probed
+    ///   the same target, `self`'s whole trace (hops, unreachables,
+    ///   `reached_at`) is kept and `other`'s is dropped from the trace
+    ///   columns. `merge_all` folds left, so earlier operands win —
+    ///   deterministic for the multi-vantage drivers, which merge in
+    ///   vantage order.
+    /// * **Provenance**: every trace in the result carries the vantage
+    ///   it came from ([`TraceView::vantage`]); the provenance table is
+    ///   the name-deduplicated concatenation of both sides' sources.
+    /// * `rewritten_dropped` adds; the `vantage`/`target_set` names
+    ///   join with `+` when they differ.
+    ///
+    /// Merging is commutative and associative *up to canonical form*
+    /// ([`canonical`](Self::canonical)) whenever the operands' target
+    /// sets are disjoint or agree on shared traces; with conflicting
+    /// shared targets the first operand's trace wins by design. Merging
+    /// a set with itself returns the same observations (`a.merge(&a) ==
+    /// a` when `rewritten_dropped` is zero; the tamper counter is
+    /// additive).
+    pub fn merge(&self, other: &TraceSet) -> TraceSet {
+        // Interner union: self's ids are stable; other's ids remap.
+        let mut interner = self.interner.clone();
+        let id_remap: Vec<u32> = other
+            .interner
+            .words()
+            .iter()
+            .map(|&w| interner.intern(Ipv6Addr::from(w)))
+            .collect();
+
+        // Provenance tables, deduplicated by name. A traceless side
+        // contributes no provenance entry (nothing in the result can
+        // point at it — keeps `TraceSet::default()` from planting a
+        // phantom nameless vantage in the table); its prov remap is
+        // then never indexed.
+        let mut sources = if self.is_empty() {
+            Vec::new()
+        } else {
+            self.sources()
+        };
+        let src_remap: Vec<u32> = if other.is_empty() {
+            Vec::new()
+        } else {
+            other
+                .sources()
+                .iter()
+                .map(|name| match sources.iter().position(|s| s == name) {
+                    Some(i) => i as u32,
+                    None => {
+                        sources.push(name.clone());
+                        (sources.len() - 1) as u32
+                    }
+                })
+                .collect()
+        };
+
+        let mut out = TraceSet {
+            vantage: join_names(&self.vantage, &other.vantage),
+            target_set: join_names(&self.target_set, &other.target_set),
+            rewritten_dropped: self.rewritten_dropped + other.rewritten_dropped,
+            interner,
+            targets: Vec::with_capacity(self.targets.len() + other.targets.len()),
+            metas: Vec::with_capacity(self.targets.len() + other.targets.len()),
+            hops: Vec::with_capacity(self.hops.len() + other.hops.len()),
+            unreach: Vec::with_capacity(self.unreach.len() + other.unreach.len()),
+            sources,
+            prov: Vec::with_capacity(self.targets.len() + other.targets.len()),
+        };
+
+        // Sorted two-pointer walk over both target columns.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.targets.len() || j < other.targets.len() {
+            let sw = self.targets.get(i).map(|&t| u128::from(t));
+            let ow = other.targets.get(j).map(|&t| u128::from(t));
+            match (sw, ow) {
+                (Some(s), Some(o)) if s == o => {
+                    // First wins: self's trace, other's dropped (its
+                    // responders stay in the interner regardless).
+                    out.push_merged_trace(self, i, None, &src_remap);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(s), Some(o)) if s < o => {
+                    out.push_merged_trace(self, i, None, &src_remap);
+                    i += 1;
+                }
+                (Some(_), None) => {
+                    out.push_merged_trace(self, i, None, &src_remap);
+                    i += 1;
+                }
+                _ => {
+                    out.push_merged_trace(other, j, Some(&id_remap), &src_remap);
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Appends `src`'s trace at `idx` to `self`'s columns. `id_remap`
+    /// is `Some` for the *other* operand (whose interner ids and
+    /// provenance indices must be translated), `None` for the first.
+    fn push_merged_trace(
+        &mut self,
+        src: &TraceSet,
+        idx: usize,
+        id_remap: Option<&[u32]>,
+        src_remap: &[u32],
+    ) {
+        let m = src.metas[idx];
+        let hop_off = self.hops.len() as u32;
+        for &(ttl, id) in &src.hops[m.hop_off as usize..(m.hop_off + m.hop_len) as usize] {
+            self.hops
+                .push((ttl, id_remap.map_or(id, |r| r[id as usize])));
+        }
+        let unreach_off = self.unreach.len() as u32;
+        for &(ttl, id) in
+            &src.unreach[m.unreach_off as usize..(m.unreach_off + m.unreach_len) as usize]
+        {
+            self.unreach
+                .push((ttl, id_remap.map_or(id, |r| r[id as usize])));
+        }
+        self.targets.push(src.targets[idx]);
+        self.metas.push(TraceMeta {
+            hop_off,
+            hop_len: self.hops.len() as u32 - hop_off,
+            unreach_off,
+            unreach_len: self.unreach.len() as u32 - unreach_off,
+            reached_at: m.reached_at,
+        });
+        // A single-campaign source has an empty prov column: all its
+        // traces come from its sources()[0].
+        let p = src.prov.get(idx).copied().unwrap_or(0);
+        self.prov.push(if id_remap.is_some() {
+            src_remap[p as usize]
+        } else {
+            p
+        });
+    }
+
+    /// Union of many sets, equivalent to the left fold
+    /// `a.merge(b).merge(c)…` — earlier sets win trace dedup. Returns
+    /// an empty default set for an empty iterator.
+    ///
+    /// [`merge`](Self::merge) is associative bit-for-bit (the
+    /// surviving trace per target is the leftmost owner's under any
+    /// grouping, interner ids append in first-appearance order, and
+    /// the identity-name join deduplicates), so this reduces
+    /// *pairwise* — adjacent pairs, then pairs of pairs — copying each
+    /// set's columns O(log k) times instead of the left fold's O(k).
+    /// An adaptive run folding hundreds of per-campaign sets through
+    /// it stays near-linear; the associativity is pinned by the
+    /// `merge_props` property suite.
+    pub fn merge_all<'a>(sets: impl IntoIterator<Item = &'a TraceSet>) -> TraceSet {
+        let refs: Vec<&TraceSet> = sets.into_iter().collect();
+        match refs.len() {
+            0 => TraceSet::default(),
+            1 => refs[0].clone(),
+            _ => {
+                let mut level: Vec<TraceSet> = refs
+                    .chunks(2)
+                    .map(|c| {
+                        if c.len() == 2 {
+                            c[0].merge(c[1])
+                        } else {
+                            c[0].clone()
+                        }
+                    })
+                    .collect();
+                while level.len() > 1 {
+                    level = level
+                        .chunks(2)
+                        .map(|c| {
+                            if c.len() == 2 {
+                                c[0].merge(&c[1])
+                            } else {
+                                c[0].clone()
+                            }
+                        })
+                        .collect();
+                }
+                level.pop().expect("non-empty reduction")
+            }
+        }
+    }
+
+    /// The canonically re-interned form of this set: interner ids are
+    /// reassigned by first use in a deterministic walk (traces in
+    /// target order, each trace's hop cells then unreachable cells),
+    /// with addresses referenced by no surviving cell — dedup losers,
+    /// and whole traces lost to merge dedup — appended afterwards in
+    /// ascending address order.
+    ///
+    /// Two sets holding the same observations through different
+    /// assembly histories (different merge orders; a merge of split
+    /// logs vs `from_log` of their concatenation) differ only in id
+    /// assignment; their canonical forms compare bit-identical under
+    /// `PartialEq`. The trace columns, targets, and counters are
+    /// untouched apart from the id rewrite.
+    pub fn canonical(&self) -> TraceSet {
+        const UNMAPPED: u32 = u32::MAX;
+        let mut interner = AddrInterner::with_capacity(self.interner.len());
+        let mut remap = vec![UNMAPPED; self.interner.len()];
+        let mut hops = Vec::with_capacity(self.hops.len());
+        let mut unreach = Vec::with_capacity(self.unreach.len());
+        for m in &self.metas {
+            for &(ttl, id) in &self.hops[m.hop_off as usize..(m.hop_off + m.hop_len) as usize] {
+                let slot = &mut remap[id as usize];
+                if *slot == UNMAPPED {
+                    *slot = interner.intern(self.interner.resolve(id));
+                }
+                hops.push((ttl, *slot));
+            }
+            for &(ttl, id) in
+                &self.unreach[m.unreach_off as usize..(m.unreach_off + m.unreach_len) as usize]
+            {
+                let slot = &mut remap[id as usize];
+                if *slot == UNMAPPED {
+                    *slot = interner.intern(self.interner.resolve(id));
+                }
+                unreach.push((ttl, *slot));
+            }
+        }
+        // Unreferenced remainder in a history-free order.
+        let mut rest: Vec<u128> = self
+            .interner
+            .words()
+            .iter()
+            .zip(&remap)
+            .filter(|&(_, &r)| r == UNMAPPED)
+            .map(|(&w, _)| w)
+            .collect();
+        rest.sort_unstable();
+        for w in rest {
+            interner.intern(Ipv6Addr::from(w));
+        }
+        TraceSet {
+            vantage: self.vantage.clone(),
+            target_set: self.target_set.clone(),
+            rewritten_dropped: self.rewritten_dropped,
+            interner,
+            targets: self.targets.clone(),
+            metas: self.metas.clone(),
+            hops,
+            unreach,
+            sources: self.sources.clone(),
+            prov: self.prov.clone(),
+        }
+    }
+
     /// Iterates traces in target order — a slice walk, no re-sort.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = TraceView<'_>> + Clone {
         (0..self.targets.len()).map(move |idx| TraceView { set: self, idx })
@@ -399,6 +717,34 @@ impl TraceSet {
             .binary_search_by_key(&w, |&t| u128::from(t))
             .ok()
             .map(|idx| TraceView { set: self, idx })
+    }
+}
+
+/// Joins two campaign-identity names for a merged set: the
+/// `+`-separated union of both sides' *distinct* components in
+/// first-appearance order — `merge_all` over the three vantages yields
+/// `"EU-NET+US-EDU-1+US-EDU-2"`, and re-merging sets that share
+/// components (an adaptive run folding the same vantages round after
+/// round) never repeats one or grows the name unboundedly. An empty
+/// side (the `Default` identity) contributes nothing.
+fn join_names(a: &Arc<str>, b: &Arc<str>) -> Arc<str> {
+    if a == b || b.is_empty() {
+        return a.clone();
+    }
+    if a.is_empty() {
+        return b.clone();
+    }
+    let parts: Vec<&str> = a.split('+').collect();
+    let fresh: Vec<&str> = b.split('+').filter(|p| !parts.contains(p)).collect();
+    if fresh.is_empty() {
+        a.clone()
+    } else {
+        let mut out = String::from(&**a);
+        for p in fresh {
+            out.push('+');
+            out.push_str(p);
+        }
+        out.into()
     }
 }
 
@@ -431,6 +777,17 @@ impl<'a> TraceView<'a> {
     #[inline]
     pub fn reached_at(&self) -> Option<u8> {
         self.meta().reached_at
+    }
+
+    /// The vantage this trace was observed from: the per-trace
+    /// provenance of a merged set, or the set-wide campaign vantage for
+    /// a single-campaign set.
+    #[inline]
+    pub fn vantage(&self) -> &'a Arc<str> {
+        match self.set.prov.get(self.idx) {
+            Some(&p) => &self.set.sources[p as usize],
+            None => &self.set.vantage,
+        }
     }
 
     /// The raw hop cells `(ttl, iface_id)`, ttl ascending. Ids resolve
@@ -713,6 +1070,248 @@ mod tests {
         assert_eq!(ts.interner().len(), 1);
         let ids: Vec<u32> = ts.iter().map(|t| t.hop_cells()[0].1).collect();
         assert_eq!(ids, vec![0, 0]);
+    }
+
+    fn log_named(vantage: &str, records: Vec<ResponseRecord>) -> ProbeLog {
+        ProbeLog {
+            vantage: vantage.into(),
+            target_set: "merge-test".into(),
+            records,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merge_unions_disjoint_targets_and_interners() {
+        let a = TraceSet::from_log(&log_named(
+            "V-A",
+            vec![rec(
+                "2001:db8::9",
+                "::a",
+                ResponseKind::TimeExceeded,
+                Some(1),
+            )],
+        ));
+        let b = TraceSet::from_log(&log_named(
+            "V-B",
+            vec![
+                rec("2001:db8::1", "::b", ResponseKind::TimeExceeded, Some(2)),
+                rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(3)),
+            ],
+        ));
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(&*m.vantage, "V-A+V-B");
+        assert_eq!(&*m.target_set, "merge-test");
+        // Targets sorted; ::1 (from b) precedes ::9 (from a).
+        let t1 = m.view_at(0);
+        assert_eq!(t1.target(), "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(&**t1.vantage(), "V-B");
+        assert_eq!(
+            t1.hops().collect::<Vec<_>>(),
+            vec![
+                (2, "::b".parse::<Ipv6Addr>().unwrap()),
+                (3, "::a".parse::<Ipv6Addr>().unwrap())
+            ]
+        );
+        let t9 = m.view_at(1);
+        assert_eq!(&**t9.vantage(), "V-A");
+        // Interner: a's ids first (::a = 0), b's new words after
+        // (::b = 1); b's ::a remapped onto a's id.
+        assert_eq!(m.interner().len(), 2);
+        assert_eq!(m.interner().resolve(0), "::a".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(m.interner().resolve(1), "::b".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(m.sources().len(), 2);
+    }
+
+    #[test]
+    fn merge_first_wins_on_shared_targets_but_interner_keeps_both() {
+        let a = TraceSet::from_log(&log_named(
+            "V-A",
+            vec![rec(
+                "2001:db8::1",
+                "::a",
+                ResponseKind::TimeExceeded,
+                Some(1),
+            )],
+        ));
+        let b = TraceSet::from_log(&log_named(
+            "V-B",
+            vec![rec(
+                "2001:db8::1",
+                "::b",
+                ResponseKind::TimeExceeded,
+                Some(2),
+            )],
+        ));
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 1);
+        let t = m.view_at(0);
+        // a's trace wins wholesale...
+        assert_eq!(
+            t.hops().collect::<Vec<_>>(),
+            vec![(1, "::a".parse::<Ipv6Addr>().unwrap())]
+        );
+        assert_eq!(&**t.vantage(), "V-A");
+        // ...but b's responder still counts toward union discovery.
+        assert_eq!(m.interner().len(), 2);
+        // The hop-referenced interfaces exclude the dedup loser.
+        assert_eq!(
+            m.interface_addrs(),
+            vec!["::a".parse::<Ipv6Addr>().unwrap()]
+        );
+        // Reversed merge order flips the winner.
+        let r = b.merge(&a);
+        assert_eq!(
+            r.view_at(0).hops().collect::<Vec<_>>(),
+            vec![(2, "::b".parse::<Ipv6Addr>().unwrap())]
+        );
+    }
+
+    #[test]
+    fn merge_is_idempotent_on_observations_and_sums_drops() {
+        let mut records = vec![
+            rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(1)),
+            rec("2001:db8::2", "::b", ResponseKind::TimeExceeded, Some(2)),
+            rec(
+                "2001:db8::1",
+                "2001:db8::1",
+                ResponseKind::EchoReply,
+                Some(3),
+            ),
+        ];
+        let a = TraceSet::from_log(&log_named("V", records.clone()));
+        assert_eq!(a.merge(&a), a, "self-merge must be a no-op");
+        assert_eq!(&*a.merge(&a).vantage, "V");
+
+        // The tamper counter is additive by design.
+        records[0].target_cksum_ok = false;
+        let d = TraceSet::from_log(&log_named("V", records));
+        assert_eq!(d.rewritten_dropped, 1);
+        assert_eq!(d.merge(&d).rewritten_dropped, 2);
+    }
+
+    #[test]
+    fn canonical_reassigns_ids_in_walk_order() {
+        // Build a set whose interner order (record order) differs from
+        // trace-walk order: target ::9's record comes first, but ::1
+        // sorts first.
+        let ts = TraceSet::from_log(&log_named(
+            "V",
+            vec![
+                rec("2001:db8::9", "::b", ResponseKind::TimeExceeded, Some(1)),
+                rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(1)),
+            ],
+        ));
+        assert_eq!(ts.interner().resolve(0), "::b".parse::<Ipv6Addr>().unwrap());
+        let c = ts.canonical();
+        // Walk order visits ::1's trace first, so ::a takes id 0.
+        assert_eq!(c.interner().resolve(0), "::a".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(c.interner().resolve(1), "::b".parse::<Ipv6Addr>().unwrap());
+        // Same observations either way.
+        for (t, u) in ts.iter().zip(c.iter()) {
+            assert_eq!(t.target(), u.target());
+            assert_eq!(t.hops().collect::<Vec<_>>(), u.hops().collect::<Vec<_>>());
+        }
+        // Canonicalizing is itself idempotent.
+        assert_eq!(c.canonical(), c);
+    }
+
+    #[test]
+    fn merge_all_folds_left_and_handles_empty() {
+        assert!(TraceSet::merge_all(std::iter::empty::<&TraceSet>()).is_empty());
+        let a = TraceSet::from_log(&log_named(
+            "A",
+            vec![rec(
+                "2001:db8::1",
+                "::a",
+                ResponseKind::TimeExceeded,
+                Some(1),
+            )],
+        ));
+        let b = TraceSet::from_log(&log_named(
+            "B",
+            vec![rec(
+                "2001:db8::2",
+                "::b",
+                ResponseKind::TimeExceeded,
+                Some(1),
+            )],
+        ));
+        let c = TraceSet::from_log(&log_named(
+            "C",
+            vec![rec(
+                "2001:db8::3",
+                "::c",
+                ResponseKind::TimeExceeded,
+                Some(1),
+            )],
+        ));
+        let m = TraceSet::merge_all([&a, &b, &c]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(&*m.vantage, "A+B+C");
+        assert_eq!(m, a.merge(&b).merge(&c));
+        let names: Vec<String> = m.iter().map(|t| t.vantage().to_string()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn merging_with_an_empty_set_leaves_no_phantom_provenance() {
+        let b = TraceSet::from_log(&log_named(
+            "V-B",
+            vec![rec(
+                "2001:db8::1",
+                "::a",
+                ResponseKind::TimeExceeded,
+                Some(1),
+            )],
+        ));
+        for m in [TraceSet::default().merge(&b), b.merge(&TraceSet::default())] {
+            assert_eq!(m, b, "empty side must not change observations");
+            assert_eq!(&*m.vantage, "V-B");
+            let sources = m.sources();
+            assert_eq!(sources.len(), 1, "no phantom nameless vantage");
+            assert_eq!(&*sources[0], "V-B");
+            assert_eq!(&**m.view_at(0).vantage(), "V-B");
+        }
+    }
+
+    #[test]
+    fn merge_all_pairwise_reduction_equals_left_fold() {
+        // Five sets (odd count exercises the carried chunk), with
+        // repeated vantage names and overlapping targets so dedup,
+        // provenance and name joining are all live.
+        let sets: Vec<TraceSet> = (0..5)
+            .map(|i| {
+                TraceSet::from_log(&log_named(
+                    if i % 2 == 0 { "V-A" } else { "V-B" },
+                    vec![
+                        rec(
+                            &format!("2001:db8::{}", i + 1),
+                            &format!("::{}", i + 1),
+                            ResponseKind::TimeExceeded,
+                            Some(1),
+                        ),
+                        rec("2001:db8::77", "::aa", ResponseKind::TimeExceeded, Some(2)),
+                    ],
+                ))
+            })
+            .collect();
+        let fold = sets[1..]
+            .iter()
+            .fold(sets[0].clone(), |acc, s| acc.merge(s));
+        let pairwise = TraceSet::merge_all(&sets);
+        assert_eq!(pairwise, fold);
+        // Bit-identical including raw interner ids (PartialEq covers
+        // the words; spot-check an id too).
+        assert_eq!(pairwise.interner().words(), fold.interner().words());
+        // Repeated vantage names never duplicate in the joined
+        // identity or the provenance table.
+        assert_eq!(&*pairwise.vantage, "V-A+V-B");
+        assert_eq!(pairwise.sources().len(), 2);
+        // The shared target's trace belongs to the first set.
+        let shared = pairwise.get("2001:db8::77".parse().unwrap()).unwrap();
+        assert_eq!(&**shared.vantage(), "V-A");
     }
 
     #[test]

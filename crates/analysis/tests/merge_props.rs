@@ -1,0 +1,172 @@
+//! Property + differential suite pinning [`TraceSet::merge`].
+//!
+//! The central contract: take any fuzzed record stream, receive-sort
+//! it (what a batch prober's log looks like), and split it across `k`
+//! vantages **by target** — the multi-vantage shape, where each
+//! vantage's log holds whole traces. Then
+//!
+//! * `merge_all` over the per-vantage sets is **bit-identical** to
+//!   `from_log` of the full concatenated log, after canonical
+//!   re-interning of both sides (id assignment is the only thing the
+//!   two assembly histories may disagree on);
+//! * merging is commutative and associative up to canonical form;
+//! * merging a set with itself changes nothing.
+//!
+//! The algebraic properties hold *because* the per-vantage sets carry
+//! whole traces: `merge`'s first-wins trace dedup only bites on
+//! conflicting shared targets, where the multi-vantage drivers resolve
+//! by vantage order (pinned by unit tests in `analysis::traces`).
+
+use analysis::TraceSet;
+use proptest::prelude::*;
+use std::net::Ipv6Addr;
+use v6packet::icmp6::DestUnreachCode;
+use yarrp6::{ProbeLog, ResponseKind, ResponseRecord};
+
+/// Decodes one synthetic record from two drawn words, covering every
+/// response class the classify pass distinguishes: Time Exceeded,
+/// Destination Unreachable codes, Echo Reply, TCP, checksum failures,
+/// missing TTLs, and the degenerate ttl 0.
+fn synth_record(w: u64, recv_us: u64, allow_tamper: bool) -> ResponseRecord {
+    let target = Ipv6Addr::from((0x2001_0db8_u128 << 96) | (w & 0x1f) as u128);
+    let responder = Ipv6Addr::from((0x2001_0db8_ffff_u128 << 80) | ((w >> 5) & 0xf) as u128);
+    let kind = match (w >> 9) % 8 {
+        0..=2 => ResponseKind::TimeExceeded,
+        3 => ResponseKind::DestUnreachable(DestUnreachCode::NoRoute),
+        4 => ResponseKind::DestUnreachable(DestUnreachCode::AdminProhibited),
+        5 => ResponseKind::DestUnreachable(DestUnreachCode::PortUnreachable),
+        6 => ResponseKind::EchoReply,
+        _ => ResponseKind::Tcp,
+    };
+    let probe_ttl = match (w >> 12) % 10 {
+        0 => None,
+        _ => Some(((w >> 16) % 20) as u8),
+    };
+    ResponseRecord {
+        target,
+        responder,
+        kind,
+        probe_ttl,
+        rtt_us: Some(w % 10_000),
+        recv_us,
+        target_cksum_ok: !allow_tamper || !(w >> 21).is_multiple_of(10),
+    }
+}
+
+fn log_of(records: Vec<ResponseRecord>) -> ProbeLog {
+    ProbeLog {
+        vantage: "V".into(),
+        target_set: "S".into(),
+        records,
+        ..Default::default()
+    }
+}
+
+/// Receive-sorts the fuzz draws into the batch-log shape, then
+/// partitions the records across `k` per-vantage logs **by target**
+/// (hash of the target word), preserving the global receive order
+/// inside each partition — each vantage holds whole traces, the shape
+/// `merge` is specified over.
+fn sorted_and_split(
+    draws: &[(u64, u64)],
+    k: usize,
+    allow_tamper: bool,
+) -> (ProbeLog, Vec<ProbeLog>) {
+    let records: Vec<ResponseRecord> = draws
+        .iter()
+        .map(|&(w, recv)| synth_record(w, recv, allow_tamper))
+        .collect();
+    let mut full = log_of(records);
+    full.sort_by_recv();
+    let mut parts: Vec<Vec<ResponseRecord>> = vec![Vec::new(); k];
+    for r in &full.records {
+        let word = u128::from(r.target);
+        let slot = (word ^ (word >> 7)) as usize % k;
+        parts[slot].push(*r);
+    }
+    let chunks = parts.into_iter().map(log_of).collect();
+    (full, chunks)
+}
+
+proptest! {
+    /// The differential contract: per-vantage sets merged in vantage
+    /// order are bit-identical (after canonical re-intern) to the
+    /// batch `from_log` of the receive-sorted concatenated log —
+    /// targets, metas, hop/unreachable columns, interner contents, and
+    /// the tamper counter all included.
+    #[test]
+    fn split_logs_merge_bit_identical_to_concatenated_from_log(
+        draws in prop::collection::vec((any::<u64>(), 0u64..50_000), 0..500),
+        k in 2usize..5,
+    ) {
+        let (full, chunks) = sorted_and_split(&draws, k, true);
+        let want = TraceSet::from_log(&full).canonical();
+        let sets: Vec<TraceSet> = chunks.iter().map(TraceSet::from_log).collect();
+        let merged = TraceSet::merge_all(&sets).canonical();
+        prop_assert!(merged == want, "merge of {k}-way split != from_log of concatenation");
+    }
+
+    /// Commutativity and associativity up to canonical form: any
+    /// merge order over the per-vantage sets produces the same set.
+    #[test]
+    fn merge_is_commutative_and_associative_up_to_canonical(
+        draws in prop::collection::vec((any::<u64>(), 0u64..20_000), 0..300),
+        rot in 0usize..3,
+    ) {
+        let (_, chunks) = sorted_and_split(&draws, 3, true);
+        let s: Vec<TraceSet> = chunks.iter().map(TraceSet::from_log).collect();
+        // Left fold in a rotated order.
+        let order = [&s[rot % 3], &s[(rot + 1) % 3], &s[(rot + 2) % 3]];
+        let rotated = TraceSet::merge_all(order).canonical();
+        let reference = TraceSet::merge_all(&s).canonical();
+        prop_assert!(rotated == reference, "rotation {rot} diverged");
+        // Right-associated grouping.
+        let right = s[0].merge(&s[1].merge(&s[2])).canonical();
+        prop_assert!(right == reference, "right association diverged");
+        // Full reversal.
+        let reversed = s[2].merge(&s[1]).merge(&s[0]).canonical();
+        prop_assert!(reversed == reference, "reversal diverged");
+    }
+
+    /// Idempotence: merging a set with itself is a no-op on every
+    /// observation column (the tamper counter is additive by design,
+    /// so the generator draws no tampered records here).
+    #[test]
+    fn merge_is_idempotent(
+        draws in prop::collection::vec((any::<u64>(), 0u64..20_000), 0..300),
+    ) {
+        let records: Vec<ResponseRecord> =
+            draws.iter().map(|&(w, recv)| synth_record(w, recv, false)).collect();
+        let mut log = log_of(records);
+        log.sort_by_recv();
+        let a = TraceSet::from_log(&log);
+        prop_assert!(a.merge(&a) == a, "self-merge must be a no-op");
+    }
+
+    /// The canonical form is a fixed point: canonicalizing twice equals
+    /// canonicalizing once, and canonicalization never changes the
+    /// observations a view reports.
+    #[test]
+    fn canonical_is_a_fixed_point_preserving_observations(
+        draws in prop::collection::vec((any::<u64>(), 0u64..20_000), 0..300),
+    ) {
+        let records: Vec<ResponseRecord> =
+            draws.iter().map(|&(w, recv)| synth_record(w, recv, true)).collect();
+        let mut log = log_of(records);
+        log.sort_by_recv();
+        let a = TraceSet::from_log(&log);
+        let c = a.canonical();
+        prop_assert!(c.canonical() == c, "canonical must be idempotent");
+        prop_assert_eq!(a.len(), c.len());
+        prop_assert_eq!(a.interner().len(), c.interner().len());
+        for (x, y) in a.iter().zip(c.iter()) {
+            prop_assert_eq!(x.target(), y.target());
+            prop_assert_eq!(x.reached_at(), y.reached_at());
+            prop_assert_eq!(x.hops().collect::<Vec<_>>(), y.hops().collect::<Vec<_>>());
+            prop_assert_eq!(
+                x.unreachable().collect::<Vec<_>>(),
+                y.unreachable().collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -281,6 +281,98 @@ where
         .collect()
 }
 
+/// A finished multi-vantage sweep: one streamed campaign per vantage
+/// (in input vantage order) over the *same* target set, plus the
+/// engines' accounting merged across all of them. The per-vantage
+/// campaigns are engine-isolated (fresh token buckets each, as the
+/// paper ran its vantages independently), so serial and parallel
+/// execution produce identical sweeps.
+#[derive(Clone, Debug)]
+pub struct VantageSweep<T> {
+    /// Per-vantage streamed campaigns, in `vantages` order.
+    pub runs: Vec<StreamedCampaign<T>>,
+    /// [`EngineStats`] merged over every vantage's engine.
+    pub stats: EngineStats,
+}
+
+/// Builds the per-vantage campaign specs of a sweep: every vantage
+/// probes the same set with the same prober config.
+fn vantage_specs<'a>(
+    vantages: &[u8],
+    set: &'a TargetSet,
+    cfg: &YarrpConfig,
+) -> Vec<CampaignSpec<'a>> {
+    vantages
+        .iter()
+        .map(|&v| CampaignSpec {
+            vantage_idx: v,
+            set,
+            cfg: *cfg,
+        })
+        .collect()
+}
+
+fn sweep_from<T>(runs: Vec<StreamedCampaign<T>>) -> VantageSweep<T> {
+    let stats = EngineStats::merged(runs.iter().map(|r| &r.engine_stats));
+    VantageSweep { runs, stats }
+}
+
+/// Runs one streaming campaign per vantage over the same target set,
+/// one vantage after another (each campaign still overlaps its prober
+/// thread with its consumer). `make_consumer` is called once per
+/// vantage with `(position, vantage index)`.
+///
+/// The cross-vantage merge itself lives downstream (the consumers'
+/// outputs are whatever `T` is); `analysis::stream_multi_vantage`
+/// installs trace builders and folds the finished sets with
+/// `TraceSet::merge_all`.
+pub fn run_multi_vantage_streaming<T, C, F>(
+    topo: &Arc<Topology>,
+    vantages: &[u8],
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    make_consumer: F,
+) -> VantageSweep<T>
+where
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, u8) -> C,
+{
+    let specs = vantage_specs(vantages, set, cfg);
+    sweep_from(run_campaigns_serial_streaming(
+        topo,
+        &specs,
+        stream,
+        |i, spec| make_consumer(i, spec.vantage_idx),
+    ))
+}
+
+/// The concurrent variant of [`run_multi_vantage_streaming`]: one
+/// prober+consumer pair per vantage on the work-queue pool, results
+/// still in input vantage order — bit-identical to the serial driver
+/// because each vantage runs against its own fresh engine.
+pub fn run_multi_vantage_streaming_parallel<T, C, F>(
+    topo: &Arc<Topology>,
+    vantages: &[u8],
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    make_consumer: F,
+) -> VantageSweep<T>
+where
+    T: Send,
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, u8) -> C + Sync,
+{
+    let specs = vantage_specs(vantages, set, cfg);
+    sweep_from(run_campaigns_parallel_streaming(
+        topo,
+        &specs,
+        stream,
+        |i, spec| make_consumer(i, spec.vantage_idx),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +501,38 @@ mod tests {
             assert_eq!(collected, b.log.records);
             assert_eq!(s.engine_stats, b.engine_stats);
         }
+    }
+
+    #[test]
+    fn multi_vantage_sweep_matches_per_vantage_campaigns() {
+        let (topo, set) = fixture();
+        let cfg = YarrpConfig::default();
+        let stream = StreamConfig::default();
+        let collect = |_: usize, _: u8| {
+            |records: RecordStream| {
+                let mut all = Vec::new();
+                records.for_each_chunk(|c| all.extend_from_slice(c));
+                all
+            }
+        };
+        let vantages = [0u8, 1, 2];
+        let serial = run_multi_vantage_streaming(&topo, &vantages, &set, &cfg, &stream, collect);
+        let parallel =
+            run_multi_vantage_streaming_parallel(&topo, &vantages, &set, &cfg, &stream, collect);
+        assert_eq!(serial.runs.len(), 3);
+        assert_eq!(serial.stats, parallel.stats);
+        let mut want_stats = EngineStats::default();
+        for (v, (s, p)) in serial.runs.iter().zip(&parallel.runs).enumerate() {
+            assert_eq!(s.output, p.output, "vantage {v}");
+            assert_eq!(s.engine_stats, p.engine_stats, "vantage {v}");
+            // Each vantage's run is exactly the single-campaign run.
+            let batch = run_campaign(&topo, v as u8, &set, &cfg);
+            let mut sorted = s.output.clone();
+            sorted.sort_by_key(|r| r.recv_us);
+            assert_eq!(sorted, batch.log.records, "vantage {v}");
+            want_stats.merge(&batch.engine_stats);
+        }
+        assert_eq!(serial.stats, want_stats, "merged sweep accounting");
     }
 
     #[test]

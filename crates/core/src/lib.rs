@@ -38,7 +38,8 @@ pub mod yarrp;
 
 pub use campaign::{
     run_campaign, run_campaign_streaming, run_campaigns_parallel_streaming,
-    run_campaigns_serial_streaming, CampaignResult, StreamedCampaign,
+    run_campaigns_serial_streaming, run_multi_vantage_streaming,
+    run_multi_vantage_streaming_parallel, CampaignResult, StreamedCampaign, VantageSweep,
 };
 pub use record::{ProbeLog, ResponseKind, ResponseRecord};
 pub use sink::{RecordSink, RecordStream, StreamConfig};

@@ -1,0 +1,83 @@
+//! Per-vantage silent hops: every `(vantage, TTL)` entry in
+//! `TopologyConfig::vantage_silent_hops` must suppress Time-Exceeded
+//! answers at exactly that TTL for exactly that vantage — and leave
+//! the same TTL visible from every other vantage. (The original field
+//! was a single `Option<(u8, u8)>`, which in practice only ever
+//! silenced vantage 0; the list form models each vantage's own
+//! on-prem dead hop.)
+
+use simnet::config::TopologyConfig;
+use simnet::generate::generate;
+use simnet::{Engine, Topology};
+use std::collections::BTreeSet;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+use yarrp6::yarrp::{self, YarrpConfig};
+use yarrp6::ResponseKind;
+
+fn fixture(silent: Vec<(u8, u8)>) -> (Arc<Topology>, Vec<Ipv6Addr>) {
+    let mut cfg = TopologyConfig::tiny(901);
+    cfg.vantage_silent_hops = silent;
+    let topo = Arc::new(generate(cfg));
+    let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(300).collect();
+    (topo, addrs)
+}
+
+/// The set of TTLs that produced at least one Time-Exceeded record.
+fn te_ttls(topo: &Arc<Topology>, vantage: u8, addrs: &[Ipv6Addr]) -> BTreeSet<u8> {
+    let log = yarrp::run(
+        &mut Engine::new(topo.clone()),
+        vantage,
+        addrs,
+        &YarrpConfig::default(),
+    );
+    log.records
+        .iter()
+        .filter(|r| r.kind == ResponseKind::TimeExceeded)
+        .filter_map(|r| r.probe_ttl)
+        .collect()
+}
+
+#[test]
+fn each_silent_hop_gaps_its_own_vantage_only() {
+    // Distinct silent TTLs per vantage, including two for vantage 0.
+    let silent = vec![(0u8, 5u8), (0, 7), (1, 3), (2, 4)];
+    let (topo, addrs) = fixture(silent.clone());
+    let per_vantage: Vec<BTreeSet<u8>> = (0..3).map(|v| te_ttls(&topo, v, &addrs)).collect();
+
+    for &(sv, sttl) in &silent {
+        // The configured vantage has a gap at exactly that TTL...
+        assert!(
+            !per_vantage[sv as usize].contains(&sttl),
+            "vantage {sv} must be silent at ttl {sttl}, saw {:?}",
+            per_vantage[sv as usize]
+        );
+        // ...and every other vantage still hears that TTL (the gap is
+        // per-vantage, not topological).
+        for v in 0..3u8 {
+            if v != sv && !silent.contains(&(v, sttl)) {
+                assert!(
+                    per_vantage[v as usize].contains(&sttl),
+                    "vantage {v} should see ttl {sttl}: {:?}",
+                    per_vantage[v as usize]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn silent_hops_are_counted_and_removable() {
+    // With no silent hops configured, every early TTL answers.
+    let (open_topo, addrs) = fixture(Vec::new());
+    let open = te_ttls(&open_topo, 0, &addrs);
+    for ttl in [3u8, 4, 5, 7] {
+        assert!(open.contains(&ttl), "open topology missing ttl {ttl}");
+    }
+
+    // Engine accounting attributes the suppression to silent_router.
+    let (topo, addrs) = fixture(vec![(0, 5)]);
+    let mut engine = Engine::new(topo.clone());
+    yarrp::run(&mut engine, 0, &addrs, &YarrpConfig::default());
+    assert!(engine.stats.silent_router > 0);
+}

@@ -107,10 +107,12 @@ pub struct TopologyConfig {
     /// Probability (per mille) that a non-client host is firewalled
     /// silent.
     pub host_fw_milli: u32,
-    /// A `(vantage index, TTL)` whose hop never answers — mirrors the
-    /// unresponsive hop 5 near the paper's vantage that shaped its
-    /// Table 6 fill-mode results.
-    pub vantage_silent_hop: Option<(u8, u8)>,
+    /// `(vantage index, TTL)` pairs whose hop never answers probes from
+    /// that vantage — mirrors the unresponsive hop 5 near the paper's
+    /// vantage that shaped its Table 6 fill-mode results. One entry per
+    /// vantage that has such a hop; a vantage may appear more than once
+    /// (several silent TTLs).
+    pub vantage_silent_hops: Vec<(u8, u8)>,
     /// Fraction (per mille) of stub ASes fronted by a middlebox that
     /// rewrites probe destination addresses (NPTv6-style). The quoted
     /// packet inside ICMPv6 errors then carries the *rewritten*
@@ -164,7 +166,7 @@ impl TopologyConfig {
             noroute_du_milli: 500,
             client_silent_milli: 900,
             host_fw_milli: 150,
-            vantage_silent_hop: Some((0, 5)),
+            vantage_silent_hops: vec![(0, 5)],
             middlebox_milli: 20,
         }
     }

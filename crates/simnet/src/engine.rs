@@ -395,7 +395,12 @@ impl Engine {
 
         if ttl <= hops_len {
             // Expires in transit at hops[ttl-1].
-            if self.topo.config.vantage_silent_hop == Some((vidx, hdr.hop_limit)) {
+            if self
+                .topo
+                .config
+                .vantage_silent_hops
+                .contains(&(vidx, hdr.hop_limit))
+            {
                 self.stats.silent_router += 1;
                 return false;
             }

@@ -30,6 +30,21 @@ pub use pipeline::{feedback_targets, TargetCatalog};
 pub use synthesize::IidStrategy;
 pub use transform::zn;
 
+/// Evenly stride-samples `n` items out of `items`, spanning the whole
+/// slice — on a sorted target list this keeps a truncated round or
+/// allocation spread across the address space instead of starving the
+/// high end. When `n >= items.len()` the slice is returned whole. For
+/// `n <= items.len()` the picked indices `i * len / n` are strictly
+/// increasing (consecutive picks differ by `len / n >= 1`), so no item
+/// repeats.
+pub fn stride_sample<T: Copy>(items: &[T], n: usize) -> Vec<T> {
+    if n >= items.len() {
+        items.to_vec()
+    } else {
+        (0..n).map(|i| items[i * items.len() / n]).collect()
+    }
+}
+
 /// A named, deduplicated, sorted set of probe targets.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TargetSet {
@@ -266,5 +281,22 @@ mod tests {
         let comb = TargetSet::union("u", &[&s, &interleaver]);
         let within = s.dpl_cdf_within(&comb);
         assert!(within.median().unwrap() >= alone.median().unwrap());
+    }
+
+    #[test]
+    fn stride_sample_spans_without_repeats() {
+        let items: Vec<u32> = (0..100).collect();
+        for n in [1usize, 3, 37, 99, 100, 250] {
+            let picked = stride_sample(&items, n);
+            assert_eq!(picked.len(), n.min(100));
+            // Strictly increasing — no repeats, order preserved.
+            assert!(picked.windows(2).all(|w| w[0] < w[1]), "n = {n}");
+            // Spans the whole range: first pick at the bottom, last at
+            // the top-stride index (n-1)·len/n.
+            assert_eq!(picked[0], 0);
+            let m = n.min(100);
+            assert_eq!(*picked.last().unwrap(), ((m - 1) * 100 / m) as u32);
+        }
+        assert!(stride_sample(&items[..0], 5).is_empty());
     }
 }

@@ -24,6 +24,15 @@
 //!        └────────── targets (round n+1) ◄────────────┘
 //! ```
 //!
+//! Rounds are **multi-vantage**: every configured vantage probes each
+//! round under one global seen-set, and with
+//! [`AdaptiveConfig::vantage_budgeting`] the loop tracks each
+//! vantage's marginal yield (new interfaces per probe, EWMA-smoothed
+//! with an exploration floor) and reallocates the next round's
+//! target-probe budget toward the vantages that are still earning —
+//! the paper's vantage-diversity observation turned into a feedback
+//! controller.
+//!
 //! Two drivers share one deterministic loop body:
 //! [`run_adaptive`] runs each round's campaigns serially,
 //! [`run_adaptive_parallel`] runs them on the work-queue pool
@@ -49,7 +58,7 @@ use simnet::{EngineStats, Topology};
 use std::collections::BTreeSet;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
-use targets::{feedback_targets, IidStrategy, TargetSet};
+use targets::{feedback_targets, stride_sample, IidStrategy, TargetSet};
 use v6addr::Ipv6Prefix;
 use yarrp6::addrset::AddrSet;
 use yarrp6::campaign::CampaignSpec;
@@ -62,9 +71,27 @@ pub struct AdaptiveConfig {
     pub yarrp: YarrpConfig,
     /// Bounded-channel configuration for the streaming campaigns.
     pub stream: StreamConfig,
-    /// Vantage indices probing each round (every vantage probes every
-    /// round target).
+    /// Vantage indices probing each round. With uniform budgeting
+    /// every vantage probes every round target; with
+    /// [`vantage_budgeting`](Self::vantage_budgeting) each vantage
+    /// probes its allocated slice.
     pub vantages: Vec<u8>,
+    /// Vantage-aware budget allocation: when `true`, the round's
+    /// per-vantage target allocations follow each vantage's tracked
+    /// marginal yield (new interfaces per probe, EWMA-smoothed), so
+    /// probes shift toward productive vantages across rounds. When
+    /// `false` (the default) every vantage probes the full round list —
+    /// the original uniform behavior, bit-identical to earlier
+    /// releases.
+    pub vantage_budgeting: bool,
+    /// Floor share of the per-round allocation any single vantage
+    /// keeps under vantage budgeting (exploration: a vantage that went
+    /// quiet can still prove itself again). Clamped to `1/len(vantages)`.
+    pub vantage_floor_share: f64,
+    /// EWMA smoothing for the per-vantage yield weights: the fraction
+    /// of the previous weight retained each round (0 = follow the last
+    /// round only, 1 = never move).
+    pub vantage_smoothing: f64,
     /// Global probe budget: once the engines' cumulative probe count
     /// reaches it, no further round starts, and each round's target
     /// list is pre-truncated so its nominal cost
@@ -103,6 +130,9 @@ impl Default for AdaptiveConfig {
             yarrp: YarrpConfig::default(),
             stream: StreamConfig::default(),
             vantages: vec![0],
+            vantage_budgeting: false,
+            vantage_floor_share: 0.10,
+            vantage_smoothing: 0.5,
             probe_budget: 1_000_000,
             round_targets: 4_096,
             shards: 1,
@@ -131,8 +161,29 @@ pub enum StopReason {
     MaxRounds,
 }
 
-/// One round's accounting.
+/// One vantage's slice of a round.
 #[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VantageRound {
+    /// Vantage index.
+    pub vantage: u8,
+    /// Targets allocated to this vantage this round.
+    pub targets: u64,
+    /// Probes this vantage's campaigns injected.
+    pub probes: u64,
+    /// Interfaces this vantage discovered that were unknown at round
+    /// start. Two vantages finding the same new interface both get
+    /// credit here (this measures vantage productivity, not the
+    /// round's deduplicated total — that is
+    /// [`RoundReport::new_interfaces`]).
+    pub new_interfaces: u64,
+    /// The share of the next round's allocation this vantage earned
+    /// (post-smoothing, post-floor). Uniform `1/k` when vantage
+    /// budgeting is off.
+    pub next_share: f64,
+}
+
+/// One round's accounting.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: usize,
@@ -153,6 +204,8 @@ pub struct RoundReport {
     pub rl_dropped_default: u64,
     /// Bucket-audited suppression split: aggressive-class limiters.
     pub rl_dropped_aggressive: u64,
+    /// Per-vantage accounting, in [`AdaptiveConfig::vantages`] order.
+    pub per_vantage: Vec<VantageRound>,
 }
 
 /// The finished loop: everything the rounds earned, plus the pinned
@@ -188,6 +241,16 @@ impl AdaptiveResult {
     pub fn probes(&self) -> u64 {
         self.stats.probes
     }
+
+    /// The cross-vantage, cross-round union of every campaign's trace
+    /// set ([`TraceSet::merge_all`] in execution order — rounds in
+    /// order, vantage-major within a round), with per-trace vantage
+    /// provenance. The merged interner is the loop's full discovery
+    /// union; the trace columns keep the earliest campaign's trace per
+    /// target.
+    pub fn merged_traces(&self) -> TraceSet {
+        TraceSet::merge_all(&self.traces)
+    }
 }
 
 /// Runs the adaptive loop with each round's campaigns executed
@@ -220,6 +283,17 @@ fn run(
 ) -> AdaptiveResult {
     assert!(!cfg.vantages.is_empty(), "at least one vantage required");
     let shards = cfg.shards.max(1);
+    let k = cfg.vantages.len();
+    // Per-vantage yield weights: an EWMA-smoothed distribution (sums
+    // to 1), updated from marginal yield when vantage budgeting is on;
+    // uniform (and untouched) otherwise. The *allocation share* of a
+    // vantage is `floor + (1 - k·floor) · weight` — an affine map that
+    // keeps every vantage at or above the exploration floor exactly
+    // while still summing to 1 (flooring-then-renormalizing would push
+    // quiet vantages back below the floor).
+    let mut vweights = vec![1.0 / k as f64; k];
+    let floor = cfg.vantage_floor_share.clamp(0.0, 1.0 / k as f64);
+    let share_of = move |w: f64| floor + (1.0 - k as f64 * floor) * w;
     let resolver = cfg.path_div.map(|_| {
         AsnResolver::new(
             topo.bgp.clone(),
@@ -269,13 +343,7 @@ fn run(
             .filter(|&a| !probed.contains(a))
             .collect();
         let cap = cfg.round_targets.min(budget_cap);
-        let targets: Vec<Ipv6Addr> = if unprobed.len() <= cap {
-            unprobed
-        } else {
-            (0..cap)
-                .map(|i| unprobed[i * unprobed.len() / cap])
-                .collect()
-        };
+        let targets = stride_sample(&unprobed, cap);
         if targets.is_empty() {
             break StopReason::NoTargets;
         }
@@ -283,36 +351,72 @@ fn run(
             probed.insert(t);
         }
 
+        // Per-vantage allocation of the round's `k × |targets|`
+        // target-probe budget: uniform budgeting gives every vantage
+        // the full list; vantage budgeting splits it by the tracked
+        // yield weights (total held constant, so the two modes spend
+        // comparably per round).
+        let alloc: Vec<usize> = if cfg.vantage_budgeting && k > 1 {
+            vweights
+                .iter()
+                .map(|&w| {
+                    ((share_of(w) * (k * targets.len()) as f64).round() as usize)
+                        .clamp(1, targets.len())
+                })
+                .collect()
+        } else {
+            vec![targets.len(); k]
+        };
+
         // Round-robin sharding keeps each shard spread across the
         // address space (and the permutation within a campaign does the
-        // rest of the burst-avoidance).
-        let shard_sets: Vec<TargetSet> = (0..shards)
-            .map(|s| {
-                let name: Arc<str> = if shards == 1 {
-                    format!("adaptive-r{round}").into()
-                } else {
-                    format!("adaptive-r{round}-s{s}").into()
-                };
-                TargetSet::new(
-                    name,
-                    targets
-                        .iter()
-                        .copied()
-                        .enumerate()
-                        .filter(|(i, _)| i % shards == s)
-                        .map(|(_, a)| a),
-                )
-            })
-            .collect();
+        // rest of the burst-avoidance). Under vantage budgeting each
+        // vantage first stride-samples its allocated slice of the round
+        // list, so a shrunken allocation still spans the whole space;
+        // with uniform allocations (the default mode, and any round
+        // where every share rounds to the full list) all vantages share
+        // one set of shard sets instead of building k identical copies.
+        let make_shards = |vtargets: &[Ipv6Addr]| -> Vec<TargetSet> {
+            (0..shards)
+                .map(|s| {
+                    let name: Arc<str> = if shards == 1 {
+                        format!("adaptive-r{round}").into()
+                    } else {
+                        format!("adaptive-r{round}-s{s}").into()
+                    };
+                    TargetSet::new(
+                        name,
+                        vtargets
+                            .iter()
+                            .copied()
+                            .enumerate()
+                            .filter(|(i, _)| i % shards == s)
+                            .map(|(_, a)| a),
+                    )
+                })
+                .collect()
+        };
+        let uniform = alloc.iter().all(|&n| n >= targets.len());
+        let vantage_sets: Vec<Vec<TargetSet>> = if uniform {
+            vec![make_shards(&targets)]
+        } else {
+            alloc
+                .iter()
+                .map(|&n| make_shards(&stride_sample(&targets, n)))
+                .collect()
+        };
         let specs: Vec<CampaignSpec<'_>> = cfg
             .vantages
             .iter()
-            .flat_map(|&v| {
-                shard_sets.iter().map(move |set| CampaignSpec {
-                    vantage_idx: v,
-                    set,
-                    cfg: cfg.yarrp,
-                })
+            .enumerate()
+            .flat_map(|(vi, &v)| {
+                vantage_sets[if uniform { 0 } else { vi }]
+                    .iter()
+                    .map(move |set| CampaignSpec {
+                        vantage_idx: v,
+                        set,
+                        cfg: cfg.yarrp,
+                    })
             })
             .collect();
 
@@ -321,6 +425,38 @@ fn run(
         } else {
             stream_campaigns_serial(topo, &specs, &cfg.stream)
         };
+
+        // Per-vantage yield attribution, *before* the global seen-set
+        // absorbs the round: crediting against the unmutated round-
+        // start state means shared finds credit every vantage that
+        // made them, without order bias — and without cloning the
+        // (ever-growing) seen-set each round.
+        let mut per_v: Vec<VantageRound> = cfg
+            .vantages
+            .iter()
+            .zip(&alloc)
+            .map(|(&v, &n)| VantageRound {
+                vantage: v,
+                targets: n as u64,
+                probes: 0,
+                new_interfaces: 0,
+                next_share: 0.0,
+            })
+            .collect();
+        let mut vfresh = AddrSet::new();
+        for (i, (ts, es)) in results.iter().enumerate() {
+            let vi = i / shards;
+            if i % shards == 0 {
+                vfresh = AddrSet::new();
+            }
+            for &w in ts.interner().words() {
+                let a = Ipv6Addr::from(w);
+                if !seen.contains(a) && vfresh.insert(a) {
+                    per_v[vi].new_interfaces += 1;
+                }
+            }
+            per_v[vi].probes += es.probes;
+        }
 
         // Mine the round: discovery deltas against the global seen-set,
         // inferred subnets, merged engine accounting.
@@ -351,6 +487,27 @@ fn run(
         stats.merge(&round_stats);
         consumed += round_stats.probes;
 
+        // Budget allocator update: shift the next round's allocation
+        // toward the vantages that earned their probes this round. The
+        // EWMA blends two distributions, so the weights stay a
+        // distribution without renormalizing.
+        if cfg.vantage_budgeting && k > 1 {
+            let yields: Vec<f64> = per_v
+                .iter()
+                .map(|p| p.new_interfaces as f64 / p.probes.max(1) as f64)
+                .collect();
+            let total: f64 = yields.iter().sum();
+            if total > 0.0 {
+                let keep = cfg.vantage_smoothing.clamp(0.0, 1.0);
+                for (w, y) in vweights.iter_mut().zip(&yields) {
+                    *w = keep * *w + (1.0 - keep) * (y / total);
+                }
+            }
+        }
+        for (p, &w) in per_v.iter_mut().zip(&vweights) {
+            p.next_share = share_of(w);
+        }
+
         let yield_per_kprobe = 1000.0 * new_ifaces as f64 / round_stats.probes.max(1) as f64;
         rounds.push(RoundReport {
             round,
@@ -362,6 +519,7 @@ fn run(
             rate_limited: round_stats.rate_limited,
             rl_dropped_default: round_stats.rl_dropped_default,
             rl_dropped_aggressive: round_stats.rl_dropped_aggressive,
+            per_vantage: per_v,
         });
         round_targets_log.push(targets);
 

@@ -60,12 +60,14 @@ pub use yarrp6 as probe;
 pub mod prelude {
     pub use crate::adaptive::{
         run_adaptive, run_adaptive_parallel, AdaptiveConfig, AdaptiveResult, RoundReport,
-        StopReason,
+        StopReason, VantageRound,
     };
     pub use analysis::{
         discover_by_path_div, ia_hack, stream_campaign, stream_campaigns_parallel,
-        stream_campaigns_serial, AsnResolver, CandidateSubnet, PathDivParams, TraceSet,
-        TraceSetBuilder, TraceView,
+        stream_campaigns_serial, stream_multi_vantage, stream_multi_vantage_parallel,
+        vantage_contributions, vantage_jaccard, vantage_union_count, AsnResolver, CandidateSubnet,
+        MultiVantageCampaign, PathDivParams, TraceSet, TraceSetBuilder, TraceView,
+        VantageContribution,
     };
     pub use seeds::sources::SeedCatalog;
     pub use seeds::{SeedEntry, SeedList};

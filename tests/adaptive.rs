@@ -127,6 +127,127 @@ fn parallel_matches_serial() {
     }
 }
 
+fn budgeting_cfg() -> AdaptiveConfig {
+    AdaptiveConfig {
+        vantages: vec![0, 1, 2],
+        vantage_budgeting: true,
+        vantage_floor_share: 0.05,
+        vantage_smoothing: 0.25,
+        probe_budget: 200_000,
+        round_targets: 250,
+        shards: 2,
+        max_rounds: 3,
+        min_yield_per_kprobes: 0.0,
+        feedback: FeedbackParams {
+            sixgen_budget: 512,
+            ..FeedbackParams::default()
+        },
+        ..AdaptiveConfig::default()
+    }
+}
+
+#[test]
+fn vantage_budgeting_is_deterministic_and_parallel_matches_serial() {
+    let (topo, set) = fixture();
+    let cfg = budgeting_cfg();
+    let a = run_adaptive(&topo, &set, &cfg);
+    let b = run_adaptive(&topo, &set, &cfg);
+    let p = run_adaptive_parallel(&topo, &set, &cfg);
+    assert_eq!(a.round_targets, b.round_targets);
+    assert_eq!(a.round_targets, p.round_targets);
+    for ((x, y), z) in a.rounds.iter().zip(&b.rounds).zip(&p.rounds) {
+        assert_eq!(x, y, "budgeting rounds must be deterministic");
+        assert_eq!(x, z, "parallel budgeting must match serial");
+    }
+    for (x, z) in a.traces.iter().zip(&p.traces) {
+        assert_eq!(x, z);
+    }
+    assert_eq!(a.stats, p.stats);
+}
+
+#[test]
+fn vantage_budgeting_shifts_allocation_toward_yield() {
+    let (topo, set) = fixture();
+    let res = run_adaptive(&topo, &set, &budgeting_cfg());
+    assert!(res.rounds.len() >= 2, "need at least two rounds");
+    let k = 3usize;
+    for r in &res.rounds {
+        assert_eq!(r.per_vantage.len(), k);
+        // The exploration floor keeps every vantage probing.
+        for pv in &r.per_vantage {
+            assert!(pv.targets >= 1, "vantage {} starved", pv.vantage);
+            assert!(pv.probes > 0, "vantage {} sent nothing", pv.vantage);
+        }
+        // Shares are a distribution.
+        let share_sum: f64 = r.per_vantage.iter().map(|p| p.next_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares must normalize");
+        // Round budget stays within the uniform round's total.
+        let total: u64 = r.per_vantage.iter().map(|p| p.targets).sum();
+        assert!(total <= (k as u64) * r.targets + k as u64);
+    }
+    // Round 0 allocates uniformly; afterwards, the vantage with the
+    // best round-0 marginal yield never gets fewer targets than the
+    // worst one.
+    let r0 = &res.rounds[0];
+    assert!(r0.per_vantage.iter().all(|p| p.targets == r0.targets));
+    let yield_of = |p: &VantageRound| p.new_interfaces as f64 / p.probes.max(1) as f64;
+    let best = (0..k).max_by(|&a, &b| {
+        yield_of(&r0.per_vantage[a])
+            .partial_cmp(&yield_of(&r0.per_vantage[b]))
+            .unwrap()
+    });
+    let worst = (0..k).min_by(|&a, &b| {
+        yield_of(&r0.per_vantage[a])
+            .partial_cmp(&yield_of(&r0.per_vantage[b]))
+            .unwrap()
+    });
+    let (best, worst) = (best.unwrap(), worst.unwrap());
+    if yield_of(&r0.per_vantage[best]) > yield_of(&r0.per_vantage[worst]) {
+        let r1 = &res.rounds[1];
+        assert!(
+            r1.per_vantage[best].targets >= r1.per_vantage[worst].targets,
+            "allocation must not move against marginal yield"
+        );
+        assert!(
+            r0.per_vantage[best].next_share >= r0.per_vantage[worst].next_share,
+            "shares must order by yield"
+        );
+    }
+}
+
+#[test]
+fn uniform_rounds_report_uniform_vantage_stats() {
+    let (topo, set) = fixture();
+    let res = run_adaptive(&topo, &set, &cfg());
+    for r in &res.rounds {
+        assert_eq!(r.per_vantage.len(), 2);
+        for pv in &r.per_vantage {
+            // Budgeting off: every vantage probes the full round list
+            // at the uniform share.
+            assert_eq!(pv.targets, r.targets);
+            assert!((pv.next_share - 0.5).abs() < 1e-9);
+        }
+        // Per-vantage probe accounting covers the whole round.
+        let total: u64 = r.per_vantage.iter().map(|p| p.probes).sum();
+        assert_eq!(total, r.probes);
+    }
+}
+
+#[test]
+fn merged_traces_union_all_discoveries() {
+    let (topo, set) = fixture();
+    let res = run_adaptive(&topo, &set, &cfg());
+    let merged = res.merged_traces();
+    // Every interface the loop counted is in the merged union's
+    // interner, and vice versa.
+    assert_eq!(merged.interner().len(), res.unique_interfaces());
+    for a in res.interfaces.iter() {
+        assert!(merged.interner().lookup(a).is_some());
+    }
+    // Provenance spans the vantages that probed.
+    assert!(!merged.sources().is_empty());
+}
+
 #[test]
 fn feedback_rounds_discover_beyond_round_zero() {
     let (topo, set) = fixture();
