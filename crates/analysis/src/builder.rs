@@ -35,7 +35,9 @@ use targets::TargetSet;
 use v6packet::icmp6::DestUnreachCode;
 use yarrp6::campaign::{
     run_campaign_streaming, run_campaigns_parallel_streaming, run_campaigns_serial_streaming,
-    run_multi_vantage_streaming, run_multi_vantage_streaming_parallel, CampaignSpec, VantageSweep,
+    run_campaigns_supervised_parallel, run_campaigns_supervised_serial,
+    run_multi_vantage_streaming, run_multi_vantage_streaming_parallel, CampaignSpec, RetryPolicy,
+    SupervisedCampaign, VantageSweep,
 };
 use yarrp6::sink::{RecordStream, StreamConfig};
 use yarrp6::{ResponseKind, ResponseRecord, YarrpConfig};
@@ -274,6 +276,45 @@ pub fn stream_campaigns_serial(
         .into_iter()
         .map(|r| (r.output, r.engine_stats))
         .collect()
+}
+
+/// Runs many streaming campaigns under the campaign supervisor
+/// (`yarrp6::campaign::run_campaign_supervised`): each campaign feeds
+/// a fresh per-attempt [`TraceSetBuilder`], failed or blacked-out
+/// attempts are retried with deterministic virtual-time backoff
+/// starting at `start_us`, and exhausted retries come back as a
+/// degraded [`SupervisedCampaign`] instead of a panic — so a
+/// multi-round orchestrator keeps every surviving vantage's trace set
+/// when one vantage dies. `parallel` picks the work-queue pool over
+/// the serial driver; the two are bit-identical (supervision clocks
+/// are virtual, campaigns engine-isolated).
+pub fn stream_campaigns_supervised(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+    policy: &RetryPolicy,
+    start_us: u64,
+    parallel: bool,
+) -> Vec<SupervisedCampaign<TraceSet>> {
+    if parallel {
+        run_campaigns_supervised_parallel(
+            topo,
+            specs,
+            stream,
+            policy,
+            start_us,
+            builder_consumer(topo),
+        )
+    } else {
+        run_campaigns_supervised_serial(
+            topo,
+            specs,
+            stream,
+            policy,
+            start_us,
+            builder_consumer(topo),
+        )
+    }
 }
 
 /// A finished multi-vantage streaming campaign: the per-vantage

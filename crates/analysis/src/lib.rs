@@ -30,18 +30,21 @@ pub mod export;
 pub mod intern;
 pub mod metrics;
 pub mod reference;
+pub mod snapshot;
 pub mod subnets;
 pub mod traces;
 pub mod validate;
 
 pub use builder::{
-    stream_campaign, stream_campaigns_parallel, stream_campaigns_serial, stream_multi_vantage,
-    stream_multi_vantage_parallel, MultiVantageCampaign, TraceSetBuilder,
+    stream_campaign, stream_campaigns_parallel, stream_campaigns_serial,
+    stream_campaigns_supervised, stream_multi_vantage, stream_multi_vantage_parallel,
+    MultiVantageCampaign, TraceSetBuilder,
 };
 pub use intern::AddrInterner;
 pub use metrics::{
     discovery_curve, hop_responsiveness, vantage_contributions, vantage_jaccard,
     vantage_union_count, CampaignMetrics, VantageContribution,
 };
+pub use snapshot::{read_trace_set, write_trace_set, SnapReader, SnapWriter, SnapshotError};
 pub use subnets::{discover_by_path_div, ia_hack, CandidateSubnet, PathDivParams};
 pub use traces::{AsnResolver, TraceSet, TraceView};

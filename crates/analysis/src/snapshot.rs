@@ -1,0 +1,445 @@
+//! Hand-rolled binary snapshots of the columnar stores — the
+//! serialization seam under the adaptive loop's checkpoint/resume.
+//!
+//! The repo's serde is a no-op shim (derives expand to markers), so
+//! durable state is written by hand: a [`SnapWriter`] appends
+//! fixed-width little-endian primitives and length-prefixed strings to
+//! a byte vector, a [`SnapReader`] reads them back with explicit
+//! [`SnapshotError`]s instead of panics. The encoding has no varints,
+//! no alignment, no framing beyond what the caller writes — two
+//! encodes of equal values are byte-identical, which is what lets the
+//! checkpoint tests compare snapshots with `==`.
+//!
+//! [`write_trace_set`] / [`read_trace_set`] snapshot a
+//! [`TraceSet`] *bit-identically*: the interner is stored as its word
+//! column in id order and rebuilt by re-interning in that order (ids
+//! are first-insertion-order stable, so every hop cell's `u32` id
+//! resolves to the same address after a round-trip), and the
+//! provenance columns ride along so merges after a resume behave
+//! exactly as they would have in the uninterrupted run.
+
+use crate::intern::AddrInterner;
+use crate::traces::{TraceMeta, TraceSet};
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+/// Why a snapshot failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer ended before the value it promised.
+    Truncated,
+    /// The leading magic/version did not match this build's format.
+    BadMagic,
+    /// A decoded value was structurally impossible (an out-of-range
+    /// index, a length that overflows the buffer); the payload names
+    /// the field.
+    BadValue(&'static str),
+    /// A string field held invalid UTF-8.
+    Utf8,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "snapshot magic/version mismatch"),
+            SnapshotError::BadValue(what) => write!(f, "snapshot field out of range: {what}"),
+            SnapshotError::Utf8 => write!(f, "snapshot string is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Appends fixed-width little-endian values to a growing byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far, borrowed.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u128`.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits — exact, so EWMA
+    /// weights survive a round-trip to the last ulp.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Reads [`SnapWriter`]-encoded values back out of a byte slice.
+#[derive(Clone, Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, SnapshotError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its raw bits.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool; anything but 0/1 is a [`SnapshotError::BadValue`].
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::BadValue("bool")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| SnapshotError::Utf8)
+    }
+}
+
+/// Serializes a [`TraceSet`] — columns verbatim, interner as its word
+/// list in id order. Inverse of [`read_trace_set`].
+pub fn write_trace_set(w: &mut SnapWriter, ts: &TraceSet) {
+    w.str(&ts.vantage);
+    w.str(&ts.target_set);
+    w.u64(ts.rewritten_dropped);
+    let words = ts.interner.words();
+    w.u32(words.len() as u32);
+    for &word in words {
+        w.u128(word);
+    }
+    w.u32(ts.targets.len() as u32);
+    for &t in &ts.targets {
+        w.u128(u128::from(t));
+    }
+    for m in &ts.metas {
+        w.u32(m.hop_off);
+        w.u32(m.hop_len);
+        w.u32(m.unreach_off);
+        w.u32(m.unreach_len);
+        match m.reached_at {
+            Some(at) => {
+                w.u8(1);
+                w.u8(at);
+            }
+            None => w.u8(0),
+        }
+    }
+    w.u32(ts.hops.len() as u32);
+    for &(ttl, id) in &ts.hops {
+        w.u8(ttl);
+        w.u32(id);
+    }
+    w.u32(ts.unreach.len() as u32);
+    for &(ttl, id) in &ts.unreach {
+        w.u8(ttl);
+        w.u32(id);
+    }
+    w.u32(ts.sources.len() as u32);
+    for s in &ts.sources {
+        w.str(s);
+    }
+    w.u32(ts.prov.len() as u32);
+    for &p in &ts.prov {
+        w.u32(p);
+    }
+}
+
+/// Deserializes a [`TraceSet`] written by [`write_trace_set`]. The
+/// interner is rebuilt by re-interning the stored word list in order —
+/// ids are insertion-order stable, so the result is bit-identical to
+/// the original (`PartialEq`, interner ids, provenance and all).
+pub fn read_trace_set(r: &mut SnapReader<'_>) -> Result<TraceSet, SnapshotError> {
+    let vantage: Arc<str> = r.str()?.into();
+    let target_set: Arc<str> = r.str()?.into();
+    let rewritten_dropped = r.u64()?;
+    let n_words = r.u32()? as usize;
+    let mut interner = AddrInterner::with_capacity(n_words);
+    for _ in 0..n_words {
+        interner.intern(Ipv6Addr::from(r.u128()?));
+    }
+    if interner.len() != n_words {
+        return Err(SnapshotError::BadValue("duplicate interner word"));
+    }
+    let n_targets = r.u32()? as usize;
+    let mut targets = Vec::with_capacity(n_targets);
+    for _ in 0..n_targets {
+        targets.push(Ipv6Addr::from(r.u128()?));
+    }
+    let mut metas = Vec::with_capacity(n_targets);
+    for _ in 0..n_targets {
+        let hop_off = r.u32()?;
+        let hop_len = r.u32()?;
+        let unreach_off = r.u32()?;
+        let unreach_len = r.u32()?;
+        let reached_at = match r.u8()? {
+            0 => None,
+            1 => Some(r.u8()?),
+            _ => return Err(SnapshotError::BadValue("reached_at tag")),
+        };
+        metas.push(TraceMeta {
+            hop_off,
+            hop_len,
+            unreach_off,
+            unreach_len,
+            reached_at,
+        });
+    }
+    let n_hops = r.u32()? as usize;
+    let mut hops = Vec::with_capacity(n_hops);
+    for _ in 0..n_hops {
+        let ttl = r.u8()?;
+        let id = r.u32()?;
+        if id as usize >= n_words {
+            return Err(SnapshotError::BadValue("hop interner id"));
+        }
+        hops.push((ttl, id));
+    }
+    let n_unreach = r.u32()? as usize;
+    let mut unreach = Vec::with_capacity(n_unreach);
+    for _ in 0..n_unreach {
+        let ttl = r.u8()?;
+        let id = r.u32()?;
+        if id as usize >= n_words {
+            return Err(SnapshotError::BadValue("unreach interner id"));
+        }
+        unreach.push((ttl, id));
+    }
+    let n_sources = r.u32()? as usize;
+    let mut sources: Vec<Arc<str>> = Vec::with_capacity(n_sources);
+    for _ in 0..n_sources {
+        sources.push(r.str()?.into());
+    }
+    let n_prov = r.u32()? as usize;
+    let mut prov = Vec::with_capacity(n_prov);
+    for _ in 0..n_prov {
+        let p = r.u32()?;
+        if p as usize >= n_sources {
+            return Err(SnapshotError::BadValue("provenance index"));
+        }
+        prov.push(p);
+    }
+    Ok(TraceSet {
+        vantage,
+        target_set,
+        rewritten_dropped,
+        interner,
+        targets,
+        metas,
+        hops,
+        unreach,
+        sources,
+        prov,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yarrp6::{ProbeLog, ResponseKind, ResponseRecord};
+
+    fn rec(target: &str, responder: &str, kind: ResponseKind, ttl: Option<u8>) -> ResponseRecord {
+        ResponseRecord {
+            target: target.parse().unwrap(),
+            responder: responder.parse().unwrap(),
+            kind,
+            probe_ttl: ttl,
+            rtt_us: Some(1),
+            recv_us: 0,
+            target_cksum_ok: true,
+        }
+    }
+
+    fn sample() -> TraceSet {
+        let a = TraceSet::from_log(&ProbeLog {
+            vantage: "V-A".into(),
+            target_set: "snap".into(),
+            records: vec![
+                rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(1)),
+                rec("2001:db8::1", "::b", ResponseKind::TimeExceeded, Some(2)),
+                rec(
+                    "2001:db8::1",
+                    "2001:db8::1",
+                    ResponseKind::EchoReply,
+                    Some(3),
+                ),
+            ],
+            ..Default::default()
+        });
+        let b = TraceSet::from_log(&ProbeLog {
+            vantage: "V-B".into(),
+            target_set: "snap".into(),
+            records: vec![rec(
+                "2001:db8::9",
+                "::c",
+                ResponseKind::TimeExceeded,
+                Some(4),
+            )],
+            ..Default::default()
+        });
+        a.merge(&b)
+    }
+
+    #[test]
+    fn trace_set_round_trips_bit_identically() {
+        let ts = sample();
+        let mut w = SnapWriter::new();
+        write_trace_set(&mut w, &ts);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = read_trace_set(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(back, ts);
+        assert_eq!(back.interner().words(), ts.interner().words());
+        assert_eq!(back.sources(), ts.sources());
+        for (x, y) in back.iter().zip(ts.iter()) {
+            assert_eq!(x.vantage(), y.vantage());
+            assert_eq!(x.hop_cells(), y.hop_cells());
+            assert_eq!(x.unreachable_cells(), y.unreachable_cells());
+        }
+        // Byte-determinism: re-encoding the decoded set is identical.
+        let mut w2 = SnapWriter::new();
+        write_trace_set(&mut w2, &back);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncation_is_an_error_at_every_length() {
+        let ts = sample();
+        let mut w = SnapWriter::new();
+        write_trace_set(&mut w, &ts);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(
+                read_trace_set(&mut r).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_ids_are_rejected() {
+        // An empty-interner set whose hop column references id 0.
+        let mut w = SnapWriter::new();
+        w.str("v");
+        w.str("t");
+        w.u64(0);
+        w.u32(0); // no interner words
+        w.u32(0); // no targets
+        w.u32(1); // one hop cell
+        w.u8(1);
+        w.u32(0); // id 0 — out of range
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(
+            read_trace_set(&mut r),
+            Err(SnapshotError::BadValue("hop interner id"))
+        );
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 3);
+        w.u128(0x0123_4567_89ab_cdef_u128 << 64 | 42);
+        w.f64(0.1 + 0.2);
+        w.bool(true);
+        w.str("κλίμα");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.u128().unwrap(), 0x0123_4567_89ab_cdef_u128 << 64 | 42);
+        assert_eq!(r.f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "κλίμα");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), Err(SnapshotError::Truncated));
+    }
+}

@@ -32,12 +32,12 @@ use yarrp6::{ProbeLog, ResponseKind};
 
 /// Per-trace metadata: ranges into the shared hop/unreachable columns.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-struct TraceMeta {
-    hop_off: u32,
-    hop_len: u32,
-    unreach_off: u32,
-    unreach_len: u32,
-    reached_at: Option<u8>,
+pub(crate) struct TraceMeta {
+    pub(crate) hop_off: u32,
+    pub(crate) hop_len: u32,
+    pub(crate) unreach_off: u32,
+    pub(crate) unreach_len: u32,
+    pub(crate) reached_at: Option<u8>,
 }
 
 /// All traces of one campaign in columnar form, sorted by target.
@@ -56,24 +56,24 @@ pub struct TraceSet {
     /// saw the sum of their tampered records.
     pub rewritten_dropped: u64,
     /// Interned responder/interface addresses shared by all stages.
-    interner: AddrInterner,
+    pub(crate) interner: AddrInterner,
     /// Probed destinations, ascending by address word.
-    targets: Vec<Ipv6Addr>,
+    pub(crate) targets: Vec<Ipv6Addr>,
     /// Parallel to `targets`.
-    metas: Vec<TraceMeta>,
+    pub(crate) metas: Vec<TraceMeta>,
     /// All hop cells `(ttl, iface_id)`, contiguous per trace, ttl
     /// ascending within a trace.
-    hops: Vec<(u8, u32)>,
+    pub(crate) hops: Vec<(u8, u32)>,
     /// All Destination Unreachable cells `(ttl, responder_id)`,
     /// contiguous per trace, record order within a trace.
-    unreach: Vec<(u8, u32)>,
+    pub(crate) unreach: Vec<(u8, u32)>,
     /// Vantage-provenance table: the distinct source vantage names a
     /// merged set was assembled from. Empty for a single-campaign set
     /// (every trace then comes from [`vantage`](Self::vantage)).
-    sources: Vec<Arc<str>>,
+    pub(crate) sources: Vec<Arc<str>>,
     /// Per-trace provenance column, parallel to `targets`: index into
     /// `sources`. Empty when `sources` is empty.
-    prov: Vec<u32>,
+    pub(crate) prov: Vec<u32>,
 }
 
 /// Bit-for-bit equality of the flat stores, *including* interner id

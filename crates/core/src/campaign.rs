@@ -16,12 +16,27 @@
 //! They are generic over the consumer; `analysis::stream_campaign`
 //! feeds an incremental trace builder and returns the finished
 //! `TraceSet` directly.
+//!
+//! ## Fault tolerance
+//!
+//! Every driver has a `try_` form returning [`CampaignError`] instead
+//! of panicking: a prober-thread panic, a consumer panic, a
+//! disconnected record stream or a lost pool worker each map to a
+//! variant tagged with the failed campaign, so a multi-campaign run
+//! keeps its completed results. On top of the `try_` layer,
+//! [`run_campaign_supervised`] retries a failed or blacked-out campaign
+//! with bounded exponential backoff — *in virtual time*, so a retry
+//! deterministically lands later on the fault schedule's clock (see
+//! [`simnet::fault`]) and a transient outage heals without any wall
+//! clock involved. Exhausted retries return a [`SupervisedCampaign`]
+//! tagged `degraded` with the error preserved, never a panic.
 
 use crate::record::ProbeLog;
 use crate::sink::{RecordStream, StreamConfig};
 use crate::yarrp::{self, YarrpConfig};
 use simnet::{Engine, EngineStats, Topology};
 use std::net::Ipv6Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use targets::TargetSet;
@@ -34,6 +49,92 @@ pub struct CampaignResult {
     pub log: ProbeLog,
     /// The simulator's view.
     pub engine_stats: EngineStats,
+}
+
+/// Why a campaign failed — every variant names the campaign it came
+/// from, so a multi-campaign driver can keep its completed results and
+/// report exactly which `(vantage, target set)` went down.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The prober thread panicked; `message` carries the panic payload.
+    ProberPanic {
+        /// Vantage the campaign probed from.
+        vantage_idx: u8,
+        /// Name of the target set being probed.
+        target_set: Arc<str>,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The streaming consumer panicked while draining the record
+    /// stream; `message` carries the panic payload.
+    ConsumerPanic {
+        /// Vantage the campaign probed from.
+        vantage_idx: u8,
+        /// Name of the target set being probed.
+        target_set: Arc<str>,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The streaming consumer dropped its [`RecordStream`] before the
+    /// prober finished: records were lost, the output is incomplete.
+    SinkDisconnected {
+        /// Vantage the campaign probed from.
+        vantage_idx: u8,
+        /// Name of the target set being probed.
+        target_set: Arc<str>,
+    },
+    /// A pool worker died without reporting this campaign's result.
+    WorkerLost {
+        /// Index of the campaign into the driver's spec list.
+        campaign: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::ProberPanic {
+                vantage_idx,
+                target_set,
+                message,
+            } => write!(
+                f,
+                "prober thread panicked (vantage {vantage_idx}, set {target_set}): {message}"
+            ),
+            CampaignError::ConsumerPanic {
+                vantage_idx,
+                target_set,
+                message,
+            } => write!(
+                f,
+                "record consumer panicked (vantage {vantage_idx}, set {target_set}): {message}"
+            ),
+            CampaignError::SinkDisconnected {
+                vantage_idx,
+                target_set,
+            } => write!(
+                f,
+                "record stream disconnected mid-campaign (vantage {vantage_idx}, set {target_set})"
+            ),
+            CampaignError::WorkerLost { campaign } => {
+                write!(f, "worker pool lost campaign #{campaign} without a result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Stringifies a panic payload (the `Box<dyn Any>` from a failed join
+/// or [`catch_unwind`]) for [`CampaignError`] messages.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Shared body of the batch campaign runners: fresh engine, one Yarrp6
@@ -99,6 +200,9 @@ pub struct StreamedCampaign<T> {
 /// emission order — the order a [`ProbeLog`] would hold them *before*
 /// its final [`ProbeLog::sort_by_recv`]; an order-sensitive consumer
 /// (like `analysis`'s trace builder) accounts for that itself.
+///
+/// Panics on campaign failure; [`try_run_campaign_streaming`] is the
+/// non-panicking form.
 pub fn run_campaign_streaming<T>(
     topo: &Arc<Topology>,
     vantage_idx: u8,
@@ -107,23 +211,70 @@ pub fn run_campaign_streaming<T>(
     stream: &StreamConfig,
     consume: impl FnOnce(RecordStream) -> T,
 ) -> StreamedCampaign<T> {
+    try_run_campaign_streaming(topo, vantage_idx, set, cfg, stream, consume)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The non-panicking [`run_campaign_streaming`]: a prober-thread panic
+/// or a consumer that dropped its stream mid-campaign comes back as a
+/// [`CampaignError`] tagged with this campaign's vantage and set.
+pub fn try_run_campaign_streaming<T>(
+    topo: &Arc<Topology>,
+    vantage_idx: u8,
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    consume: impl FnOnce(RecordStream) -> T,
+) -> Result<StreamedCampaign<T>, CampaignError> {
+    try_run_campaign_streaming_at(topo, vantage_idx, set, cfg, stream, 0, consume)
+}
+
+/// [`try_run_campaign_streaming`] with the campaign's start time on the
+/// fault schedule's virtual clock: the engine evaluates its
+/// [`simnet::FaultSchedule`] at `probe send time + start_us`
+/// ([`Engine::set_fault_offset`]), so campaigns launched "later" by the
+/// supervisor (retries, later adaptive rounds) deterministically see
+/// later parts of scheduled outages. With `start_us == 0` (or an empty
+/// schedule) this is exactly [`try_run_campaign_streaming`].
+pub fn try_run_campaign_streaming_at<T>(
+    topo: &Arc<Topology>,
+    vantage_idx: u8,
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    start_us: u64,
+    consume: impl FnOnce(RecordStream) -> T,
+) -> Result<StreamedCampaign<T>, CampaignError> {
     let (sink, records) = RecordStream::channel(stream);
     std::thread::scope(|s| {
         let prober = s.spawn(move || {
             let mut engine = Engine::new(topo.clone());
+            engine.set_fault_offset(start_us);
             let mut sink = sink;
             let mut log =
                 yarrp::run_with_sink(&mut engine, vantage_idx, &set.addrs, cfg, &mut sink);
-            sink.finish();
+            let sink_ok = sink.finish().is_ok();
             log.target_set = set.name.clone();
-            (log, engine.stats)
+            (log, engine.stats, sink_ok)
         });
         let output = consume(records);
-        let (log, engine_stats) = prober.join().expect("prober thread panicked");
-        StreamedCampaign {
-            output,
-            log,
-            engine_stats,
+        // Joining explicitly (instead of letting the scope re-panic)
+        // turns a poisoned prober into a value the caller can route.
+        match prober.join() {
+            Ok((log, engine_stats, true)) => Ok(StreamedCampaign {
+                output,
+                log,
+                engine_stats,
+            }),
+            Ok((_, _, false)) => Err(CampaignError::SinkDisconnected {
+                vantage_idx,
+                target_set: set.name.clone(),
+            }),
+            Err(payload) => Err(CampaignError::ProberPanic {
+                vantage_idx,
+                target_set: set.name.clone(),
+                message: panic_message(payload),
+            }),
         }
     })
 }
@@ -144,10 +295,26 @@ pub struct CampaignSpec<'a> {
 /// campaign indices from a shared atomic counter. Unlike a wave-join,
 /// no worker ever idles behind a slow campaign in its wave: the pool
 /// stays busy until the queue drains.
+///
+/// Panics on the first failed campaign; [`try_run_campaigns_parallel`]
+/// is the non-panicking form.
 pub fn run_campaigns_parallel(
     topo: &Arc<Topology>,
     specs: &[CampaignSpec<'_>],
 ) -> Vec<CampaignResult> {
+    try_run_campaigns_parallel(topo, specs)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// The non-panicking [`run_campaigns_parallel`]: each slot holds either
+/// the finished campaign or the [`CampaignError`] that took it down —
+/// one poisoned campaign no longer aborts its siblings.
+pub fn try_run_campaigns_parallel(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+) -> Vec<Result<CampaignResult, CampaignError>> {
     if specs.is_empty() {
         return Vec::new();
     }
@@ -156,7 +323,7 @@ pub fn run_campaigns_parallel(
         .unwrap_or(4)
         .min(specs.len());
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, CampaignResult)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<CampaignResult, CampaignError>)>();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -164,7 +331,14 @@ pub fn run_campaigns_parallel(
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
-                let res = run_campaign(topo, spec.vantage_idx, spec.set, &spec.cfg);
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    run_campaign(topo, spec.vantage_idx, spec.set, &spec.cfg)
+                }))
+                .map_err(|payload| CampaignError::ProberPanic {
+                    vantage_idx: spec.vantage_idx,
+                    target_set: spec.set.name.clone(),
+                    message: panic_message(payload),
+                });
                 if tx.send((i, res)).is_err() {
                     break;
                 }
@@ -172,12 +346,14 @@ pub fn run_campaigns_parallel(
         }
     });
     drop(tx);
-    let mut out: Vec<Option<CampaignResult>> = (0..specs.len()).map(|_| None).collect();
+    let mut out: Vec<Option<Result<CampaignResult, CampaignError>>> =
+        (0..specs.len()).map(|_| None).collect();
     for (i, r) in rx {
         out[i] = Some(r);
     }
     out.into_iter()
-        .map(|r| r.expect("worker completed every claimed campaign"))
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or(Err(CampaignError::WorkerLost { campaign: i })))
         .collect()
 }
 
@@ -188,6 +364,9 @@ pub fn run_campaigns_parallel(
 /// by `make_consumer`). Campaign results are deterministic and
 /// engine-isolated, so the two drivers produce bit-identical results;
 /// the adaptive discovery loop pins that equivalence in its tests.
+///
+/// Panics on the first failed campaign;
+/// [`try_run_campaigns_serial_streaming`] is the non-panicking form.
 pub fn run_campaigns_serial_streaming<T, C, F>(
     topo: &Arc<Topology>,
     specs: &[CampaignSpec<'_>],
@@ -198,19 +377,47 @@ where
     C: FnOnce(RecordStream) -> T,
     F: Fn(usize, &CampaignSpec<'_>) -> C,
 {
+    try_run_campaigns_serial_streaming(topo, specs, stream, make_consumer)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// The non-panicking [`run_campaigns_serial_streaming`]: per-slot
+/// `Result`s, with prober panics, consumer panics and stream
+/// disconnects all captured as [`CampaignError`]s.
+pub fn try_run_campaigns_serial_streaming<T, C, F>(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+    make_consumer: F,
+) -> Vec<Result<StreamedCampaign<T>, CampaignError>>
+where
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, &CampaignSpec<'_>) -> C,
+{
     specs
         .iter()
         .enumerate()
         .map(|(i, spec)| {
-            let consumer = make_consumer(i, spec);
-            run_campaign_streaming(
-                topo,
-                spec.vantage_idx,
-                spec.set,
-                &spec.cfg,
-                stream,
-                consumer,
-            )
+            catch_unwind(AssertUnwindSafe(|| {
+                let consumer = make_consumer(i, spec);
+                try_run_campaign_streaming(
+                    topo,
+                    spec.vantage_idx,
+                    spec.set,
+                    &spec.cfg,
+                    stream,
+                    consumer,
+                )
+            }))
+            .unwrap_or_else(|payload| {
+                Err(CampaignError::ConsumerPanic {
+                    vantage_idx: spec.vantage_idx,
+                    target_set: spec.set.name.clone(),
+                    message: panic_message(payload),
+                })
+            })
         })
         .collect()
 }
@@ -228,12 +435,37 @@ where
 /// `make_consumer` is called on the worker thread once per campaign
 /// (with the campaign's index into `specs`) to create that campaign's
 /// consumer — e.g. a fresh incremental trace builder.
+///
+/// Panics on the first failed campaign;
+/// [`try_run_campaigns_parallel_streaming`] is the non-panicking form.
 pub fn run_campaigns_parallel_streaming<T, C, F>(
     topo: &Arc<Topology>,
     specs: &[CampaignSpec<'_>],
     stream: &StreamConfig,
     make_consumer: F,
 ) -> Vec<StreamedCampaign<T>>
+where
+    T: Send,
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, &CampaignSpec<'_>) -> C + Sync,
+{
+    try_run_campaigns_parallel_streaming(topo, specs, stream, make_consumer)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// The non-panicking [`run_campaigns_parallel_streaming`]: per-slot
+/// `Result`s in input order. A campaign failure (prober panic, consumer
+/// panic, stream disconnect) fills its own slot with the error; a
+/// worker thread dying outright marks its unreported campaigns
+/// [`CampaignError::WorkerLost`]. Completed campaigns are always kept.
+pub fn try_run_campaigns_parallel_streaming<T, C, F>(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+    make_consumer: F,
+) -> Vec<Result<StreamedCampaign<T>, CampaignError>>
 where
     T: Send,
     C: FnOnce(RecordStream) -> T,
@@ -247,7 +479,7 @@ where
         .unwrap_or(4)
         .min(specs.len());
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, StreamedCampaign<T>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<StreamedCampaign<T>, CampaignError>)>();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -256,14 +488,284 @@ where
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
-                let consumer = make_consumer(i, spec);
-                let res = run_campaign_streaming(
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    let consumer = make_consumer(i, spec);
+                    try_run_campaign_streaming(
+                        topo,
+                        spec.vantage_idx,
+                        spec.set,
+                        &spec.cfg,
+                        stream,
+                        consumer,
+                    )
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(CampaignError::ConsumerPanic {
+                        vantage_idx: spec.vantage_idx,
+                        target_set: spec.set.name.clone(),
+                        message: panic_message(payload),
+                    })
+                });
+                if tx.send((i, res)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<Result<StreamedCampaign<T>, CampaignError>>> =
+        (0..specs.len()).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or(Err(CampaignError::WorkerLost { campaign: i })))
+        .collect()
+}
+
+/// Retry policy of the campaign supervisor
+/// ([`run_campaign_supervised`]): bounded exponential backoff on the
+/// virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts
+    /// total).
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) is
+    /// `base_backoff_us << k` — exponential, in virtual microseconds.
+    pub base_backoff_us: u64,
+    /// Also retry *blackouts*: attempts that completed without error
+    /// but whose engine charged injected-fault drops and produced zero
+    /// responses (the signature of probing into an outage window). The
+    /// retry starts later on the fault clock, so a transient outage
+    /// heals by itself.
+    pub retry_blackout: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff_us: 250_000,
+            retry_blackout: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (0-based): exponential, capped at
+    /// `base << 20` so the virtual clock cannot overflow.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        self.base_backoff_us.saturating_mul(1u64 << attempt.min(20))
+    }
+
+    /// Total attempts the supervisor makes (`max_retries + 1`).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries.saturating_add(1)
+    }
+}
+
+/// The outcome of one supervised campaign ([`run_campaign_supervised`]):
+/// the last attempt's result (if any attempt completed), the error that
+/// exhausted the retries (if none did), and accounting that covers
+/// *every* attempt — retries inject real probes, so their cost must be
+/// visible to budget keepers.
+#[derive(Clone, Debug)]
+pub struct SupervisedCampaign<T> {
+    /// Vantage the campaign probed from.
+    pub vantage_idx: u8,
+    /// The final completed attempt, or `None` when every attempt failed
+    /// hard (panic/disconnect).
+    pub result: Option<StreamedCampaign<T>>,
+    /// The error that ended the last failed attempt, when `result` is
+    /// `None`.
+    pub error: Option<CampaignError>,
+    /// Engine accounting merged over **all completed attempts** —
+    /// blacked-out attempts burn probes too.
+    pub stats: EngineStats,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Virtual time the whole supervised campaign occupied: every
+    /// attempt's duration plus every backoff. The supervisor's global
+    /// clock advances by this.
+    pub elapsed_us: u64,
+    /// The campaign ended degraded: every retry failed hard, or the
+    /// final attempt was still a blackout (faults charged, zero
+    /// responses).
+    pub degraded: bool,
+}
+
+impl<T> SupervisedCampaign<T> {
+    /// The final attempt's output, when one completed.
+    pub fn output(&self) -> Option<&T> {
+        self.result.as_ref().map(|r| &r.output)
+    }
+}
+
+/// Runs one streaming campaign under supervision: failed attempts
+/// (prober panic, consumer panic, stream disconnect) and blacked-out
+/// attempts (injected-fault drops, zero responses) are retried with
+/// exponential backoff on the **virtual** clock, each attempt starting
+/// where the previous one's virtual time (plus backoff) ended — so
+/// against a [`simnet::FaultSchedule`] the retry sequence is exactly
+/// reproducible. `make_consumer` is called once per attempt with the
+/// attempt index (a fresh consumer per attempt; partial output from a
+/// failed attempt is discarded). After `policy.max_attempts()` the
+/// campaign comes back `degraded` instead of panicking.
+///
+/// `start_us` is this campaign's start on the supervisor's global
+/// virtual clock (0 when campaigns are not sequenced across rounds).
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_supervised<T, C, F>(
+    topo: &Arc<Topology>,
+    vantage_idx: u8,
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    policy: &RetryPolicy,
+    start_us: u64,
+    make_consumer: F,
+) -> SupervisedCampaign<T>
+where
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(u32) -> C,
+{
+    let max_attempts = policy.max_attempts().max(1);
+    let mut stats = EngineStats::default();
+    let mut clock = start_us;
+    let mut attempt = 0u32;
+    loop {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let consume = make_consumer(attempt);
+            try_run_campaign_streaming_at(topo, vantage_idx, set, cfg, stream, clock, consume)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(CampaignError::ConsumerPanic {
+                vantage_idx,
+                target_set: set.name.clone(),
+                message: panic_message(payload),
+            })
+        });
+        attempt += 1;
+        match res {
+            Ok(run) => {
+                stats.merge(&run.engine_stats);
+                clock = clock.saturating_add(run.log.duration_us);
+                let blackout =
+                    run.engine_stats.fault_dropped_total() > 0 && run.engine_stats.responses() == 0;
+                if blackout && policy.retry_blackout && attempt < max_attempts {
+                    clock = clock.saturating_add(policy.backoff_us(attempt - 1));
+                    continue;
+                }
+                return SupervisedCampaign {
+                    vantage_idx,
+                    result: Some(run),
+                    error: None,
+                    stats,
+                    attempts: attempt,
+                    elapsed_us: clock - start_us,
+                    degraded: blackout,
+                };
+            }
+            Err(e) => {
+                if attempt < max_attempts {
+                    clock = clock.saturating_add(policy.backoff_us(attempt - 1));
+                    continue;
+                }
+                return SupervisedCampaign {
+                    vantage_idx,
+                    result: None,
+                    error: Some(e),
+                    stats,
+                    attempts: attempt,
+                    elapsed_us: clock - start_us,
+                    degraded: true,
+                };
+            }
+        }
+    }
+}
+
+/// Runs many supervised campaigns one after another, every campaign
+/// starting at the same `start_us` on the global virtual clock (they
+/// model concurrent vantage campaigns of one round). Never panics;
+/// per-campaign outcomes carry their own errors.
+pub fn run_campaigns_supervised_serial<T, C, F>(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+    policy: &RetryPolicy,
+    start_us: u64,
+    make_consumer: F,
+) -> Vec<SupervisedCampaign<T>>
+where
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, &CampaignSpec<'_>) -> C,
+{
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            run_campaign_supervised(
+                topo,
+                spec.vantage_idx,
+                spec.set,
+                &spec.cfg,
+                stream,
+                policy,
+                start_us,
+                |_attempt| make_consumer(i, spec),
+            )
+        })
+        .collect()
+}
+
+/// The work-queue counterpart of [`run_campaigns_supervised_serial`]:
+/// supervised campaigns on the parallel pool, results in input order,
+/// bit-identical to the serial driver (campaigns are engine-isolated
+/// and every attempt's virtual clock is derived from `start_us`, not
+/// from wall time). A worker dying outright yields a degraded
+/// [`CampaignError::WorkerLost`] slot instead of a panic.
+pub fn run_campaigns_supervised_parallel<T, C, F>(
+    topo: &Arc<Topology>,
+    specs: &[CampaignSpec<'_>],
+    stream: &StreamConfig,
+    policy: &RetryPolicy,
+    start_us: u64,
+    make_consumer: F,
+) -> Vec<SupervisedCampaign<T>>
+where
+    T: Send,
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, &CampaignSpec<'_>) -> C + Sync,
+{
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(specs.len());
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, SupervisedCampaign<T>)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let make_consumer = &make_consumer;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let res = run_campaign_supervised(
                     topo,
                     spec.vantage_idx,
                     spec.set,
                     &spec.cfg,
                     stream,
-                    consumer,
+                    policy,
+                    start_us,
+                    |_attempt| make_consumer(i, spec),
                 );
                 if tx.send((i, res)).is_err() {
                     break;
@@ -272,12 +774,24 @@ where
         }
     });
     drop(tx);
-    let mut out: Vec<Option<StreamedCampaign<T>>> = (0..specs.len()).map(|_| None).collect();
+    let mut out: Vec<Option<SupervisedCampaign<T>>> = (0..specs.len()).map(|_| None).collect();
     for (i, r) in rx {
         out[i] = Some(r);
     }
     out.into_iter()
-        .map(|r| r.expect("worker completed every claimed campaign"))
+        .zip(specs)
+        .enumerate()
+        .map(|(i, (r, spec))| {
+            r.unwrap_or(SupervisedCampaign {
+                vantage_idx: spec.vantage_idx,
+                result: None,
+                error: Some(CampaignError::WorkerLost { campaign: i }),
+                stats: EngineStats::default(),
+                attempts: 0,
+                elapsed_us: 0,
+                degraded: true,
+            })
+        })
         .collect()
 }
 
@@ -326,6 +840,9 @@ fn sweep_from<T>(runs: Vec<StreamedCampaign<T>>) -> VantageSweep<T> {
 /// outputs are whatever `T` is); `analysis::stream_multi_vantage`
 /// installs trace builders and folds the finished sets with
 /// `TraceSet::merge_all`.
+///
+/// Panics on the first failed campaign;
+/// [`try_run_multi_vantage_streaming`] is the non-panicking form.
 pub fn run_multi_vantage_streaming<T, C, F>(
     topo: &Arc<Topology>,
     vantages: &[u8],
@@ -338,19 +855,42 @@ where
     C: FnOnce(RecordStream) -> T,
     F: Fn(usize, u8) -> C,
 {
+    try_run_multi_vantage_streaming(topo, vantages, set, cfg, stream, make_consumer)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The non-panicking [`run_multi_vantage_streaming`]: the first failed
+/// vantage campaign comes back as its [`CampaignError`].
+pub fn try_run_multi_vantage_streaming<T, C, F>(
+    topo: &Arc<Topology>,
+    vantages: &[u8],
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    make_consumer: F,
+) -> Result<VantageSweep<T>, CampaignError>
+where
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, u8) -> C,
+{
     let specs = vantage_specs(vantages, set, cfg);
-    sweep_from(run_campaigns_serial_streaming(
-        topo,
-        &specs,
-        stream,
-        |i, spec| make_consumer(i, spec.vantage_idx),
-    ))
+    let runs: Result<Vec<_>, _> =
+        try_run_campaigns_serial_streaming(topo, &specs, stream, |i, spec| {
+            make_consumer(i, spec.vantage_idx)
+        })
+        .into_iter()
+        .collect();
+    Ok(sweep_from(runs?))
 }
 
 /// The concurrent variant of [`run_multi_vantage_streaming`]: one
 /// prober+consumer pair per vantage on the work-queue pool, results
 /// still in input vantage order — bit-identical to the serial driver
 /// because each vantage runs against its own fresh engine.
+///
+/// Panics on the first failed campaign;
+/// [`try_run_multi_vantage_streaming_parallel`] is the non-panicking
+/// form.
 pub fn run_multi_vantage_streaming_parallel<T, C, F>(
     topo: &Arc<Topology>,
     vantages: &[u8],
@@ -364,13 +904,33 @@ where
     C: FnOnce(RecordStream) -> T,
     F: Fn(usize, u8) -> C + Sync,
 {
+    try_run_multi_vantage_streaming_parallel(topo, vantages, set, cfg, stream, make_consumer)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The non-panicking [`run_multi_vantage_streaming_parallel`]: the
+/// first failed vantage campaign comes back as its [`CampaignError`].
+pub fn try_run_multi_vantage_streaming_parallel<T, C, F>(
+    topo: &Arc<Topology>,
+    vantages: &[u8],
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    make_consumer: F,
+) -> Result<VantageSweep<T>, CampaignError>
+where
+    T: Send,
+    C: FnOnce(RecordStream) -> T,
+    F: Fn(usize, u8) -> C + Sync,
+{
     let specs = vantage_specs(vantages, set, cfg);
-    sweep_from(run_campaigns_parallel_streaming(
-        topo,
-        &specs,
-        stream,
-        |i, spec| make_consumer(i, spec.vantage_idx),
-    ))
+    let runs: Result<Vec<_>, _> =
+        try_run_campaigns_parallel_streaming(topo, &specs, stream, |i, spec| {
+            make_consumer(i, spec.vantage_idx)
+        })
+        .into_iter()
+        .collect();
+    Ok(sweep_from(runs?))
 }
 
 #[cfg(test)]
@@ -378,6 +938,7 @@ mod tests {
     use super::*;
     use simnet::config::TopologyConfig;
     use simnet::generate::generate;
+    use simnet::FaultSchedule;
 
     fn fixture() -> (Arc<Topology>, TargetSet) {
         let topo = Arc::new(generate(TopologyConfig::tiny(42)));
@@ -543,5 +1104,253 @@ mod tests {
         let c = run_campaign(&topo, 2, &set, &cfg);
         // US-EDU-2's longer on-prem path shows up in its discoveries.
         assert_ne!(a.log.interface_addrs(), c.log.interface_addrs());
+    }
+
+    #[test]
+    fn prober_panic_is_a_campaign_error_not_a_crash() {
+        let (topo, set) = fixture();
+        // max_ttl 0 trips the prober's config assert on its thread.
+        let bad = YarrpConfig {
+            max_ttl: 0,
+            fill_max_ttl: 0,
+            ..YarrpConfig::default()
+        };
+        let res = try_run_campaign_streaming(&topo, 0, &set, &bad, &StreamConfig::default(), |r| {
+            r.for_each_chunk(|_| {})
+        });
+        match res {
+            Err(CampaignError::ProberPanic {
+                vantage_idx,
+                target_set,
+                message,
+            }) => {
+                assert_eq!(vantage_idx, 0);
+                assert_eq!(&*target_set, "test-set");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected ProberPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_stream_is_a_sink_disconnect_error() {
+        let (topo, set) = fixture();
+        let stream = StreamConfig {
+            chunk_records: 1, // every record forces a send
+            channel_chunks: 1,
+        };
+        let res =
+            try_run_campaign_streaming(&topo, 0, &set, &YarrpConfig::default(), &stream, drop);
+        assert_eq!(
+            res.err(),
+            Some(CampaignError::SinkDisconnected {
+                vantage_idx: 0,
+                target_set: set.name.clone(),
+            })
+        );
+    }
+
+    #[test]
+    fn try_parallel_keeps_completed_campaigns_around_failures() {
+        let (topo, set) = fixture();
+        let good = YarrpConfig::default();
+        let bad = YarrpConfig {
+            max_ttl: 0,
+            fill_max_ttl: 0,
+            ..good
+        };
+        let specs = vec![
+            CampaignSpec {
+                vantage_idx: 0,
+                set: &set,
+                cfg: good,
+            },
+            CampaignSpec {
+                vantage_idx: 1,
+                set: &set,
+                cfg: bad,
+            },
+            CampaignSpec {
+                vantage_idx: 2,
+                set: &set,
+                cfg: good,
+            },
+        ];
+        let out = try_run_campaigns_parallel(&topo, &specs);
+        assert!(out[0].is_ok());
+        assert!(matches!(
+            out[1],
+            Err(CampaignError::ProberPanic { vantage_idx: 1, .. })
+        ));
+        assert!(out[2].is_ok());
+        // Streamed form captures the same failure per slot.
+        let streamed = try_run_campaigns_parallel_streaming(
+            &topo,
+            &specs,
+            &StreamConfig::default(),
+            |_, _| |r: RecordStream| r.for_each_chunk(|_| {}),
+        );
+        assert!(streamed[0].is_ok());
+        assert!(streamed[1].is_err());
+        assert!(streamed[2].is_ok());
+    }
+
+    #[test]
+    fn supervisor_passthrough_matches_plain_streaming_when_clean() {
+        let (topo, set) = fixture();
+        let cfg = YarrpConfig::default();
+        let stream = StreamConfig::default();
+        let collect = |records: RecordStream| {
+            let mut all = Vec::new();
+            records.for_each_chunk(|c| all.extend_from_slice(c));
+            all
+        };
+        let plain = run_campaign_streaming(&topo, 0, &set, &cfg, &stream, collect);
+        let sup = run_campaign_supervised(
+            &topo,
+            0,
+            &set,
+            &cfg,
+            &stream,
+            &RetryPolicy::default(),
+            0,
+            |_| collect,
+        );
+        assert_eq!(sup.attempts, 1);
+        assert!(!sup.degraded);
+        assert!(sup.error.is_none());
+        let run = sup.result.expect("clean campaign completes");
+        assert_eq!(run.output, plain.output);
+        assert_eq!(run.engine_stats, plain.engine_stats);
+        assert_eq!(sup.stats, plain.engine_stats);
+        assert_eq!(sup.elapsed_us, run.log.duration_us);
+    }
+
+    #[test]
+    fn supervisor_retries_heal_a_transient_outage() {
+        let topo_cfg = TopologyConfig::tiny(42);
+        let clean_topo = Arc::new(generate(topo_cfg.clone()));
+        let addrs: Vec<Ipv6Addr> = clean_topo.hosts().map(|(a, _)| a).take(40).collect();
+        let set = TargetSet::new("test-set", addrs);
+        let yarrp = YarrpConfig {
+            fill_mode: false,
+            max_ttl: 8,
+            ..YarrpConfig::default()
+        };
+        // 40 targets × 8 TTLs at 1k pps = 320 ms of campaign. Outage
+        // covers attempt 0 entirely; with a 500 ms backoff, attempt 1
+        // starts past the window and completes clean.
+        let mut faulty_cfg = topo_cfg;
+        faulty_cfg.faults = FaultSchedule::default().with_vantage_outage(0, 0, 700_000);
+        let faulty_topo = Arc::new(generate(faulty_cfg));
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_backoff_us: 500_000,
+            retry_blackout: true,
+        };
+        let stream = StreamConfig::default();
+        let collect = |records: RecordStream| {
+            let mut n = 0usize;
+            records.for_each_chunk(|c| n += c.len());
+            n
+        };
+        let sup =
+            run_campaign_supervised(&faulty_topo, 0, &set, &yarrp, &stream, &policy, 0, |_| {
+                collect
+            });
+        assert_eq!(sup.attempts, 2, "blackout attempt then clean retry");
+        assert!(!sup.degraded);
+        let run = sup.result.expect("retry completes");
+        assert!(run.engine_stats.responses() > 0);
+        assert_eq!(run.engine_stats.fault_dropped_total(), 0);
+        // The blacked-out attempt's probes still show in the merged
+        // accounting.
+        assert_eq!(sup.stats.fault_vantage_outage, run.engine_stats.probes);
+        // The healed retry equals the fault-free campaign bit for bit.
+        let clean = run_campaign_streaming(&clean_topo, 0, &set, &yarrp, &stream, collect);
+        assert_eq!(run.output, clean.output);
+        assert_eq!(run.engine_stats, clean.engine_stats);
+        // Deterministic: the same supervised campaign replays exactly.
+        let again =
+            run_campaign_supervised(&faulty_topo, 0, &set, &yarrp, &stream, &policy, 0, |_| {
+                collect
+            });
+        assert_eq!(again.attempts, sup.attempts);
+        assert_eq!(again.stats, sup.stats);
+        assert_eq!(again.elapsed_us, sup.elapsed_us);
+    }
+
+    #[test]
+    fn supervisor_reports_degraded_after_exhausted_retries() {
+        let mut topo_cfg = TopologyConfig::tiny(42);
+        // A permanent outage: every attempt blacks out.
+        topo_cfg.faults = FaultSchedule::default().with_vantage_outage(0, 0, u64::MAX);
+        let topo = Arc::new(generate(topo_cfg));
+        let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(20).collect();
+        let set = TargetSet::new("test-set", addrs);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        };
+        let sup = run_campaign_supervised(
+            &topo,
+            0,
+            &set,
+            &YarrpConfig::default(),
+            &StreamConfig::default(),
+            &policy,
+            0,
+            |_| |r: RecordStream| r.for_each_chunk(|_| {}),
+        );
+        assert_eq!(sup.attempts, 2);
+        assert!(sup.degraded, "permanent outage must end degraded");
+        assert!(sup.result.is_some(), "blackout still yields the attempt");
+        assert!(sup.error.is_none());
+        assert_eq!(sup.stats.responses(), 0);
+        assert_eq!(sup.stats.fault_vantage_outage, sup.stats.probes);
+    }
+
+    #[test]
+    fn supervised_parallel_matches_serial() {
+        let mut topo_cfg = TopologyConfig::tiny(42);
+        topo_cfg.faults = FaultSchedule::default().with_vantage_outage(1, 0, 400_000);
+        let topo = Arc::new(generate(topo_cfg));
+        let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(30).collect();
+        let set = TargetSet::new("test-set", addrs);
+        let yarrp = YarrpConfig {
+            fill_mode: false,
+            max_ttl: 8,
+            ..YarrpConfig::default()
+        };
+        let specs: Vec<CampaignSpec> = (0..3u8)
+            .map(|v| CampaignSpec {
+                vantage_idx: v,
+                set: &set,
+                cfg: yarrp,
+            })
+            .collect();
+        let stream = StreamConfig::default();
+        let policy = RetryPolicy::default();
+        let collect = |_: usize, _: &CampaignSpec<'_>| {
+            |records: RecordStream| {
+                let mut all = Vec::new();
+                records.for_each_chunk(|c| all.extend_from_slice(c));
+                all
+            }
+        };
+        let serial = run_campaigns_supervised_serial(&topo, &specs, &stream, &policy, 0, collect);
+        let parallel =
+            run_campaigns_supervised_parallel(&topo, &specs, &stream, &policy, 0, collect);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.attempts, p.attempts);
+            assert_eq!(s.stats, p.stats);
+            assert_eq!(s.degraded, p.degraded);
+            assert_eq!(s.elapsed_us, p.elapsed_us);
+            assert_eq!(
+                s.result.as_ref().map(|r| &r.output),
+                p.result.as_ref().map(|r| &r.output)
+            );
+        }
     }
 }

@@ -25,7 +25,10 @@
 //!   a bounded channel to a concurrent consumer);
 //! * [`campaign`] — drivers that bind probers to vantages and target
 //!   sets: serially, in parallel, and streaming (probe → analyze
-//!   without materializing the log).
+//!   without materializing the log), plus the fault-tolerant layer:
+//!   `try_` drivers returning [`CampaignError`] and a supervisor that
+//!   retries failed or blacked-out campaigns with deterministic
+//!   virtual-time backoff.
 
 pub mod addrset;
 pub mod campaign;
@@ -37,12 +40,17 @@ pub mod sink;
 pub mod yarrp;
 
 pub use campaign::{
-    run_campaign, run_campaign_streaming, run_campaigns_parallel_streaming,
-    run_campaigns_serial_streaming, run_multi_vantage_streaming,
-    run_multi_vantage_streaming_parallel, CampaignResult, StreamedCampaign, VantageSweep,
+    run_campaign, run_campaign_streaming, run_campaign_supervised,
+    run_campaigns_parallel_streaming, run_campaigns_serial_streaming,
+    run_campaigns_supervised_parallel, run_campaigns_supervised_serial,
+    run_multi_vantage_streaming, run_multi_vantage_streaming_parallel, try_run_campaign_streaming,
+    try_run_campaign_streaming_at, try_run_campaigns_parallel,
+    try_run_campaigns_parallel_streaming, try_run_campaigns_serial_streaming,
+    try_run_multi_vantage_streaming, try_run_multi_vantage_streaming_parallel, CampaignError,
+    CampaignResult, RetryPolicy, StreamedCampaign, SupervisedCampaign, VantageSweep,
 };
 pub use record::{ProbeLog, ResponseKind, ResponseRecord};
-pub use sink::{RecordSink, RecordStream, StreamConfig};
+pub use sink::{RecordSink, RecordStream, SinkDisconnected, StreamConfig};
 pub use yarrp::YarrpConfig;
 
 // Re-export the probe protocol enum: it is part of this crate's API.

@@ -76,6 +76,26 @@ impl StreamConfig {
     }
 }
 
+/// The consumer end of a streaming pipeline disappeared (its
+/// [`RecordStream`] was dropped) before the prober finished: at least
+/// one record chunk could not be delivered. Surfaced by
+/// [`ChunkSender::finish`] so the campaign driver can report a
+/// `SinkDisconnected` campaign error instead of silently losing
+/// records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkDisconnected;
+
+impl std::fmt::Display for SinkDisconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "record stream consumer disconnected before the prober finished"
+        )
+    }
+}
+
+impl std::error::Error for SinkDisconnected {}
+
 /// The streaming sink: batches records into chunks and sends them over
 /// a bounded channel. Created by [`RecordStream::channel`].
 pub struct ChunkSender {
@@ -84,6 +104,10 @@ pub struct ChunkSender {
     spare: mpsc::Receiver<Vec<ResponseRecord>>,
     buf: Vec<ResponseRecord>,
     chunk_records: usize,
+    /// Set when a chunk send failed because the consumer dropped its
+    /// [`RecordStream`]; sticky — later records are discarded cheaply
+    /// and [`ChunkSender::finish`] reports the loss.
+    disconnected: bool,
 }
 
 impl RecordSink for ChunkSender {
@@ -99,22 +123,43 @@ impl RecordSink for ChunkSender {
 impl ChunkSender {
     /// Sends the current partial chunk, swapping in a recycled buffer
     /// when the consumer has returned one. A send error means the
-    /// consumer is gone; the record stream is then silently discarded
-    /// so the prober can finish and surface the join error instead.
+    /// consumer dropped its stream; the sender goes sticky-disconnected
+    /// — remaining records are discarded cheaply so the prober can run
+    /// to completion, and [`ChunkSender::finish`] reports the loss.
     fn flush(&mut self) {
+        if self.disconnected {
+            self.buf.clear();
+            return;
+        }
         if self.buf.is_empty() {
             return;
         }
         let mut next = self.spare.try_recv().unwrap_or_default();
         next.clear();
         let full = std::mem::replace(&mut self.buf, next);
-        let _ = self.tx.send(full);
+        if self.tx.send(full).is_err() {
+            self.disconnected = true;
+        }
+    }
+
+    /// Has the consumer dropped its [`RecordStream`] mid-stream? Once
+    /// true, records handed to this sink are discarded.
+    pub fn is_disconnected(&self) -> bool {
+        self.disconnected
     }
 
     /// Flushes the trailing partial chunk and closes the stream; the
-    /// consumer's iteration ends once the channel drains.
-    pub fn finish(mut self) {
+    /// consumer's iteration ends once the channel drains. Returns
+    /// [`SinkDisconnected`] when the consumer vanished before the
+    /// prober finished (records were lost) — a clean error path where
+    /// an unchecked send would have poisoned the prober thread.
+    pub fn finish(mut self) -> Result<(), SinkDisconnected> {
         self.flush();
+        if self.disconnected {
+            Err(SinkDisconnected)
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -136,6 +181,7 @@ impl RecordStream {
                 spare,
                 buf: Vec::with_capacity(cfg.chunk_records.max(1)),
                 chunk_records: cfg.chunk_records.max(1),
+                disconnected: false,
             },
             RecordStream { rx, spare_tx },
         )
@@ -193,7 +239,7 @@ mod tests {
         for i in 0..n {
             sink.record(rec(i));
         }
-        sink.finish();
+        sink.finish().unwrap();
         let (got, chunks) = consumer.join().unwrap();
         assert_eq!(got, (0..n).map(rec).collect::<Vec<_>>());
         assert_eq!(chunks, n.div_ceil(8) as usize);
@@ -214,8 +260,46 @@ mod tests {
         for i in 0..5 {
             sink.record(rec(i));
         }
-        sink.finish();
+        sink.finish().unwrap();
         assert_eq!(consumer.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn dropped_consumer_is_a_clean_error_not_a_panic() {
+        let cfg = StreamConfig {
+            chunk_records: 4,
+            channel_chunks: 1,
+        };
+        let (mut sink, stream) = RecordStream::channel(&cfg);
+        drop(stream);
+        // Filling chunks against a dead consumer must not panic or
+        // block; the sender goes sticky-disconnected and keeps eating
+        // records.
+        for i in 0..64 {
+            sink.record(rec(i));
+        }
+        assert!(sink.is_disconnected());
+        assert_eq!(sink.finish(), Err(SinkDisconnected));
+    }
+
+    #[test]
+    fn consumer_that_drains_everything_yields_clean_finish() {
+        let cfg = StreamConfig {
+            chunk_records: 4,
+            channel_chunks: 1,
+        };
+        let (mut sink, stream) = RecordStream::channel(&cfg);
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0usize;
+            stream.for_each_chunk(|c| got += c.len());
+            got
+        });
+        for i in 0..10 {
+            sink.record(rec(i));
+        }
+        assert!(!sink.is_disconnected());
+        assert!(sink.finish().is_ok());
+        assert_eq!(consumer.join().unwrap(), 10);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Topology generation parameters and scale presets.
 
+use crate::fault::FaultSchedule;
 use serde::{Deserialize, Serialize};
 
 /// Named scale presets. The paper's Internet had ~56k routed prefixes and
@@ -119,6 +120,12 @@ pub struct TopologyConfig {
     /// destination — exactly the tampering Yarrp6's target checksum (in
     /// the source port / ICMPv6 identifier) exists to detect.
     pub middlebox_milli: u32,
+    /// Scheduled faults on the virtual clock: vantage outage windows,
+    /// link blackhole/flap events and mid-campaign responder
+    /// disappearances (see [`crate::fault`]). Empty by default — the
+    /// engine's hot path then skips fault evaluation entirely, keeping
+    /// fault-free campaigns bit-identical to earlier releases.
+    pub faults: FaultSchedule,
 }
 
 impl TopologyConfig {
@@ -168,6 +175,7 @@ impl TopologyConfig {
             host_fw_milli: 150,
             vantage_silent_hops: vec![(0, 5)],
             middlebox_milli: 20,
+            faults: FaultSchedule::default(),
         }
     }
 

@@ -92,6 +92,17 @@ pub struct EngineStats {
     pub frag_echo_replies: u64,
     /// Quotations whose destination a middlebox rewrote.
     pub rewritten_quotes: u64,
+    /// Probes dropped at the source because their vantage was inside an
+    /// injected outage window ([`crate::fault::VantageOutage`]).
+    pub fault_vantage_outage: u64,
+    /// Probes dropped in transit on an injected link blackhole
+    /// ([`crate::fault::LinkFault`] with `flap_period_us == 0`).
+    pub fault_link_blackhole: u64,
+    /// Probes dropped in a down half-cycle of an injected link flap.
+    pub fault_link_flap: u64,
+    /// Responses suppressed because the responder was scheduled to
+    /// disappear mid-campaign ([`crate::fault::ResponderDown`]).
+    pub fault_responder_down: u64,
 }
 
 impl EngineStats {
@@ -119,6 +130,10 @@ impl EngineStats {
             dest_silent,
             frag_echo_replies,
             rewritten_quotes,
+            fault_vantage_outage,
+            fault_link_blackhole,
+            fault_link_flap,
+            fault_responder_down,
         } = other;
         self.probes += probes;
         self.malformed += malformed;
@@ -139,6 +154,10 @@ impl EngineStats {
         self.dest_silent += dest_silent;
         self.frag_echo_replies += frag_echo_replies;
         self.rewritten_quotes += rewritten_quotes;
+        self.fault_vantage_outage += fault_vantage_outage;
+        self.fault_link_blackhole += fault_link_blackhole;
+        self.fault_link_flap += fault_link_flap;
+        self.fault_responder_down += fault_responder_down;
     }
 
     /// The accumulated counters of many campaigns (field-wise sum).
@@ -172,6 +191,18 @@ impl EngineStats {
     pub fn rl_dropped_by_class(&self) -> (u64, u64) {
         (self.rl_dropped_default, self.rl_dropped_aggressive)
     }
+
+    /// All packets an injected [`FaultSchedule`](crate::fault::FaultSchedule)
+    /// cost this campaign, across every fault class. A campaign whose
+    /// probes all vanished into a vantage outage shows
+    /// `fault_vantage_outage == probes` and zero [`responses`](Self::responses)
+    /// — the blackout signature the campaign supervisor retries on.
+    pub fn fault_dropped_total(&self) -> u64 {
+        self.fault_vantage_outage
+            + self.fault_link_blackhole
+            + self.fault_link_flap
+            + self.fault_responder_down
+    }
 }
 
 /// The simulation engine for one probing campaign.
@@ -189,6 +220,15 @@ pub struct Engine {
     /// counter shared by all of a router's interfaces (the speedtrap
     /// alias signal). Seeded per router so counters are unsynchronized.
     frag_counters: Vec<u32>,
+    /// Scheduled faults, copied from the topology config.
+    faults: crate::fault::FaultSchedule,
+    /// `!faults.is_empty()`, cached so the per-probe hot path pays one
+    /// branch when no faults are scheduled.
+    has_faults: bool,
+    /// Added to every probe's `now_us` when evaluating the fault
+    /// schedule — the campaign's start time on the supervisor's global
+    /// virtual clock (see [`Engine::set_fault_offset`]).
+    fault_offset_us: u64,
     /// Outcome counters.
     pub stats: EngineStats,
 }
@@ -210,14 +250,35 @@ impl Engine {
         let frag_counters = (0..topo.routers.len())
             .map(|i| flow::mix64(i as u64 ^ 0xf4a6) as u32)
             .collect();
+        let faults = topo.config.faults.clone();
+        let has_faults = !faults.is_empty();
         Engine {
             topo,
             buckets,
             path_cache: PathCache::new(),
             paths: Vec::new(),
             frag_counters,
+            faults,
+            has_faults,
+            fault_offset_us: 0,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Sets the campaign's start time on the fault schedule's clock:
+    /// the schedule is evaluated at `probe send time + offset`. Probers
+    /// run every campaign from virtual time 0; the campaign supervisor
+    /// sets this so a retried (or later-round) campaign experiences the
+    /// *remainder* of an outage window rather than replaying it —
+    /// deterministic backoff in virtual time. Irrelevant (and unused)
+    /// when the schedule is empty.
+    pub fn set_fault_offset(&mut self, offset_us: u64) {
+        self.fault_offset_us = offset_us;
+    }
+
+    /// The configured fault-clock offset (see [`Self::set_fault_offset`]).
+    pub fn fault_offset(&self) -> u64 {
+        self.fault_offset_us
     }
 
     /// The topology under test.
@@ -321,6 +382,16 @@ impl Engine {
             return false;
         };
 
+        // An injected vantage outage eats the probe at the source.
+        if self.has_faults
+            && self
+                .faults
+                .vantage_down(vidx, now_us.saturating_add(self.fault_offset_us))
+        {
+            self.stats.fault_vantage_outage += 1;
+            return false;
+        }
+
         // Flow key from the transport header.
         let body = &wire[ip6::HEADER_LEN.min(wire.len())..];
         let (sport, dport) = match hdr.next_header {
@@ -357,6 +428,32 @@ impl Engine {
             let p = &self.paths[pidx];
             (p.len(), p.firewall_hop, p.dest)
         };
+
+        // Injected link faults drop the probe at the first traversed
+        // hop whose inbound link is down — checked before loss and
+        // firewall draws because a dead link precedes both.
+        if self.has_faults {
+            let fnow = now_us.saturating_add(self.fault_offset_us);
+            let traversed = ttl.min(hops_len);
+            let mut hit = None;
+            for &h in &self.paths[pidx].hops[..traversed] {
+                if let Some(kind) = self.faults.link_down(h, fnow) {
+                    hit = Some(kind);
+                    break;
+                }
+            }
+            match hit {
+                Some(crate::fault::LinkFaultKind::Blackhole) => {
+                    self.stats.fault_link_blackhole += 1;
+                    return false;
+                }
+                Some(crate::fault::LinkFaultKind::Flap) => {
+                    self.stats.fault_link_flap += 1;
+                    return false;
+                }
+                None => {}
+            }
+        }
 
         // Transit loss applies to every probe (hash-keyed, deterministic).
         let dst_fold = (dst_word as u64) ^ ((dst_word >> 64) as u64).rotate_left(32);
@@ -457,6 +554,14 @@ impl Engine {
             let info = &self.topo.routers[rid.0 as usize];
             if !info.responsive {
                 self.stats.silent_router += 1;
+                return false;
+            }
+            if self.has_faults
+                && self
+                    .faults
+                    .responder_down(rid, now_us.saturating_add(self.fault_offset_us))
+            {
+                self.stats.fault_responder_down += 1;
                 return false;
             }
             if !is_icmp {
@@ -683,6 +788,17 @@ impl Engine {
             self.stats.silent_router += 1;
             return false;
         }
+        // A responder scheduled to disappear forwards but never answers
+        // (its Time Exceeded / Destination Unreachable callers then add
+        // their undifferentiated miss counters, like any silent hop).
+        if self.has_faults
+            && self
+                .faults
+                .responder_down(router, now_us.saturating_add(self.fault_offset_us))
+        {
+            self.stats.fault_responder_down += 1;
+            return false;
+        }
         if !self.buckets[router.0 as usize].try_consume(now_us) {
             // Charge the drop to the bucket's limiter class here, at the
             // one site where a token bucket actually suppresses; the
@@ -802,6 +918,33 @@ mod tests {
         );
         assert_eq!(EngineStats::merged([&e1.stats, &e2.stats]), merged);
         assert_eq!(EngineStats::merged([]), EngineStats::default());
+
+        // The injected-fault counters ride through merge like any other
+        // field (the exhaustive destructure above enforces presence;
+        // this pins the arithmetic and the class total).
+        let faulty = EngineStats {
+            fault_vantage_outage: 1,
+            fault_link_blackhole: 2,
+            fault_link_flap: 3,
+            fault_responder_down: 4,
+            ..EngineStats::default()
+        };
+        let mut twice = faulty;
+        twice.merge(&faulty);
+        assert_eq!(twice.fault_vantage_outage, 2);
+        assert_eq!(twice.fault_link_blackhole, 4);
+        assert_eq!(twice.fault_link_flap, 6);
+        assert_eq!(twice.fault_responder_down, 8);
+        assert_eq!(
+            twice.fault_dropped_total(),
+            2 * faulty.fault_dropped_total()
+        );
+        assert_eq!(faulty.fault_dropped_total(), 10);
+        assert_eq!(
+            merged.fault_dropped_total(),
+            0,
+            "clean runs charge no faults"
+        );
     }
 
     #[test]
@@ -986,6 +1129,134 @@ mod tests {
             accounted,
             s.probes
         );
+    }
+
+    #[test]
+    fn vantage_outage_eats_probes_inside_the_window() {
+        let mut cfg = TopologyConfig::tiny(42);
+        cfg.faults = crate::fault::FaultSchedule::default().with_vantage_outage(0, 10_000, 50_000);
+        let mut e = Engine::new(Arc::new(generate(cfg)));
+        let (host, _) = e.topology().hosts().next().unwrap();
+        // Before the window: hop 1 answers as usual.
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 0)
+            .is_some());
+        // Inside: dropped at the source, charged to the outage counter.
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 20_000)
+            .is_none());
+        assert_eq!(e.stats.fault_vantage_outage, 1);
+        // After: answers again (fresh tokens accrued meanwhile).
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 60_000)
+            .is_some());
+        // Other vantages are untouched throughout.
+        let v1 = e.topology().vantages[1].addr;
+        let s = ProbeSpec {
+            src: v1,
+            target: host,
+            protocol: Protocol::Icmp6,
+            ttl: 1,
+            instance: 1,
+            elapsed_us: 0,
+        };
+        assert!(e.inject(&s.build(), 20_000).is_some());
+        assert_eq!(e.stats.fault_vantage_outage, 1);
+    }
+
+    #[test]
+    fn fault_offset_shifts_the_schedule_clock() {
+        let mut cfg = TopologyConfig::tiny(42);
+        cfg.faults = crate::fault::FaultSchedule::default().with_vantage_outage(0, 0, 100_000);
+        let mut e = Engine::new(Arc::new(generate(cfg)));
+        let (host, _) = e.topology().hosts().next().unwrap();
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 0)
+            .is_none());
+        assert_eq!(e.stats.fault_vantage_outage, 1);
+        // A retried campaign starting at +100ms on the supervisor's
+        // clock sees the window already over.
+        e.reset();
+        e.set_fault_offset(100_000);
+        assert_eq!(e.fault_offset(), 100_000);
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 0)
+            .is_some());
+        assert_eq!(e.stats.fault_vantage_outage, 0);
+    }
+
+    #[test]
+    fn link_blackhole_and_flap_drop_transit_probes() {
+        let base = TopologyConfig::tiny(42);
+        let clean = Engine::new(Arc::new(generate(base.clone())));
+        let first = clean.topology().vantages[0].onprem[0];
+
+        let mut cfg = base.clone();
+        cfg.faults = crate::fault::FaultSchedule::default().with_link_blackhole(first, 0, u64::MAX);
+        let mut e = Engine::new(Arc::new(generate(cfg)));
+        let (host, _) = e.topology().hosts().next().unwrap();
+        // Every probe from vantage 0 crosses its first on-prem hop.
+        for ttl in 1..=4u8 {
+            assert!(e
+                .inject(
+                    &spec(&e, host, ttl, Protocol::Icmp6).build(),
+                    ttl as u64 * 1_000
+                )
+                .is_none());
+        }
+        assert_eq!(e.stats.fault_link_blackhole, 4);
+        assert_eq!(e.stats.responses(), 0);
+
+        let mut cfg = base;
+        cfg.faults =
+            crate::fault::FaultSchedule::default().with_link_flap(first, 0, u64::MAX, 10_000);
+        let mut e = Engine::new(Arc::new(generate(cfg)));
+        // Down half-cycle [0,10ms): dropped; up half-cycle [10,20ms):
+        // delivered.
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 5_000)
+            .is_none());
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 15_000)
+            .is_some());
+        assert_eq!(e.stats.fault_link_flap, 1);
+    }
+
+    #[test]
+    fn responder_disappearance_silences_but_keeps_forwarding() {
+        let base = TopologyConfig::tiny(42);
+        let clean = Engine::new(Arc::new(generate(base.clone())));
+        let first = clean.topology().vantages[0].onprem[0];
+
+        let mut cfg = base;
+        cfg.faults = crate::fault::FaultSchedule::default().with_responder_down(first, 50_000);
+        let mut e = Engine::new(Arc::new(generate(cfg)));
+        let (host, _) = e.topology().hosts().next().unwrap();
+        // Before the disappearance the hop answers.
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 0)
+            .is_some());
+        // After it: TTL-1 probes get nothing from the dead hop…
+        assert!(e
+            .inject(&spec(&e, host, 1, Protocol::Icmp6).build(), 60_000)
+            .is_none());
+        assert!(e.stats.fault_responder_down >= 1);
+        // …but deeper probes still pass through it (it forwards).
+        assert!(e
+            .inject(&spec(&e, host, 2, Protocol::Icmp6).build(), 70_000)
+            .is_some());
+        // Faulted-run bookkeeping still covers every probe.
+        let s = e.stats;
+        let accounted = s.responses()
+            + s.lost
+            + s.rate_limited
+            + s.silent_router
+            + s.dest_silent
+            + s.malformed
+            + s.fault_vantage_outage
+            + s.fault_link_blackhole
+            + s.fault_link_flap;
+        assert!(accounted >= s.probes);
     }
 
     #[test]

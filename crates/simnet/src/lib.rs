@@ -28,6 +28,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod flow;
 pub mod generate;
 pub mod pathcache;
@@ -37,4 +38,5 @@ pub mod topology;
 
 pub use config::{Scale, TopologyConfig};
 pub use engine::{Delivery, Engine, EngineStats};
+pub use fault::{FaultSchedule, LinkFault, LinkFaultKind, ResponderDown, VantageOutage};
 pub use topology::{RouterId, Topology, VantageId};

@@ -35,21 +35,46 @@
 //!
 //! Two drivers share one deterministic loop body:
 //! [`run_adaptive`] runs each round's campaigns serially,
-//! [`run_adaptive_parallel`] runs them on the work-queue pool
-//! ([`analysis::stream_campaigns_parallel`]). Campaigns are
-//! engine-isolated and results return in input order, so the two
-//! produce bit-identical results — pinned by the `adaptive` test
-//! suite, alongside a golden test that a one-round run equals a plain
-//! [`analysis::stream_campaign`].
+//! [`run_adaptive_parallel`] runs them on the work-queue pool.
+//! Campaigns are engine-isolated and results return in input order, so
+//! the two produce bit-identical results — pinned by the `adaptive`
+//! test suite, alongside a golden test that a one-round run equals a
+//! plain [`analysis::stream_campaign`].
+//!
+//! ## Fault tolerance
+//!
+//! Every round runs under the campaign supervisor
+//! ([`analysis::stream_campaigns_supervised`]): a campaign that
+//! panics, loses its record stream or probes into a scheduled blackout
+//! ([`simnet::FaultSchedule`]) is retried with exponential backoff on
+//! the loop's **virtual clock** — each round's campaigns start at the
+//! accumulated virtual time of all earlier rounds, so retries and
+//! later rounds deterministically land later on the fault schedule.
+//! A vantage whose campaigns all come back degraded in one round is
+//! declared **dead**: the budgeter reallocates its share across the
+//! survivors, its [`VantageRound`] entries report
+//! [`degraded`](VantageRound::degraded), and the loop continues
+//! instead of aborting (stopping with
+//! [`StopReason::AllVantagesDown`] only when nobody is left).
+//!
+//! ## Checkpoint/resume
+//!
+//! [`run_adaptive_checkpointed`] emits a [`Checkpoint`] at every round
+//! boundary — a compact hand-rolled snapshot of the whole loop state
+//! (interner-preserving trace sets, budget and EWMA state, the
+//! regenerated pool). [`resume_adaptive`] continues from any such
+//! checkpoint and produces results bit-identical to the uninterrupted
+//! run, pinned by the `checkpoint` test suite.
 //!
 //! This module lives in the umbrella crate because it is the one place
 //! the whole pipeline meets: it orchestrates `yarrp6` (probers),
 //! `analysis` (trace mining), `seeds`/`targets` (generation) and
 //! `simnet` (the network under test).
 
+use crate::checkpoint::{config_digest, Checkpoint, ResumeError};
 use analysis::{
-    discover_by_path_div, ia_hack, stream_campaigns_parallel, stream_campaigns_serial, AsnResolver,
-    PathDivParams, TraceSet,
+    discover_by_path_div, ia_hack, stream_campaigns_supervised, AsnResolver, PathDivParams,
+    TraceSet,
 };
 use seeds::feedback::{feedback_list, FeedbackParams};
 // The workspace's shared splitmix64, for per-round generation seeds.
@@ -61,7 +86,7 @@ use std::sync::Arc;
 use targets::{feedback_targets, stride_sample, IidStrategy, TargetSet};
 use v6addr::Ipv6Prefix;
 use yarrp6::addrset::AddrSet;
-use yarrp6::campaign::CampaignSpec;
+use yarrp6::campaign::{CampaignSpec, RetryPolicy};
 use yarrp6::{StreamConfig, YarrpConfig};
 
 /// Configuration of the adaptive discovery loop.
@@ -122,6 +147,12 @@ pub struct AdaptiveConfig {
     /// IA hack always runs; path divergence needs the public ASN view
     /// and costs more).
     pub path_div: Option<PathDivParams>,
+    /// Supervisor retry policy for failed or blacked-out campaigns:
+    /// bounded exponential backoff on the loop's virtual clock. The
+    /// default retries twice; set
+    /// [`RetryPolicy::max_retries`] to 0 to disable retrying (failures
+    /// then degrade immediately). Fault-free campaigns are unaffected.
+    pub retry: RetryPolicy,
 }
 
 impl Default for AdaptiveConfig {
@@ -144,6 +175,7 @@ impl Default for AdaptiveConfig {
             iid: IidStrategy::FixedIid,
             rng_seed: 0xada_917e,
             path_div: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -159,6 +191,9 @@ pub enum StopReason {
     NoTargets,
     /// The round cap was reached.
     MaxRounds,
+    /// Every configured vantage degraded (retry-exhausted failures or
+    /// permanent blackout); nobody is left to probe.
+    AllVantagesDown,
 }
 
 /// One vantage's slice of a round.
@@ -168,7 +203,8 @@ pub struct VantageRound {
     pub vantage: u8,
     /// Targets allocated to this vantage this round.
     pub targets: u64,
-    /// Probes this vantage's campaigns injected.
+    /// Probes this vantage's campaigns injected (all supervised
+    /// attempts — retries burn budget too).
     pub probes: u64,
     /// Interfaces this vantage discovered that were unknown at round
     /// start. Two vantages finding the same new interface both get
@@ -178,8 +214,20 @@ pub struct VantageRound {
     pub new_interfaces: u64,
     /// The share of the next round's allocation this vantage earned
     /// (post-smoothing, post-floor). Uniform `1/k` when vantage
-    /// budgeting is off.
+    /// budgeting is off; 0 for a dead vantage.
     pub next_share: f64,
+    /// At least one of this vantage's campaigns ended degraded this
+    /// round (exhausted retries or a final-blackout attempt). When
+    /// *every* campaign degraded the vantage is declared dead and
+    /// excluded from later rounds.
+    pub degraded: bool,
+    /// Most supervised attempts any of this vantage's campaigns needed
+    /// (1 = everything succeeded first try, 0 = the vantage ran no
+    /// campaigns this round).
+    pub attempts: u32,
+    /// Probes eaten by injected faults across this vantage's attempts
+    /// ([`EngineStats::fault_dropped_total`]).
+    pub fault_dropped: u64,
 }
 
 /// One round's accounting.
@@ -208,6 +256,18 @@ pub struct RoundReport {
     pub per_vantage: Vec<VantageRound>,
 }
 
+impl RoundReport {
+    /// The vantages that ended this round degraded (at least one
+    /// campaign exhausted its retries or stayed blacked out).
+    pub fn degraded_vantages(&self) -> Vec<u8> {
+        self.per_vantage
+            .iter()
+            .filter(|p| p.degraded)
+            .map(|p| p.vantage)
+            .collect()
+    }
+}
+
 /// The finished loop: everything the rounds earned, plus the pinned
 /// determinism surface (round-by-round target lists).
 #[derive(Clone, Debug)]
@@ -218,10 +278,12 @@ pub struct AdaptiveResult {
     /// seeded-determinism contract of the loop.
     pub round_targets: Vec<Vec<Ipv6Addr>>,
     /// Every campaign's trace set, rounds in order, vantage-major
-    /// within a round, shards within a vantage.
+    /// within a round, shards within a vantage. A campaign that failed
+    /// hard (exhausted supervisor retries without one completed
+    /// attempt) contributes no set.
     pub traces: Vec<TraceSet>,
-    /// Engine accounting accumulated over all campaigns via
-    /// [`EngineStats::merge`].
+    /// Engine accounting accumulated over all campaigns (every
+    /// supervised attempt) via [`EngineStats::merge`].
     pub stats: EngineStats,
     /// All discovered interfaces, in discovery order.
     pub interfaces: AddrSet,
@@ -253,6 +315,62 @@ impl AdaptiveResult {
     }
 }
 
+/// The loop's complete cross-round state — everything the next round
+/// reads. Captured at every round boundary by the checkpoint layer
+/// ([`Checkpoint`]); resuming from a snapshot of this state reproduces
+/// the uninterrupted run bit-identically.
+#[derive(Clone, Debug)]
+pub(crate) struct LoopState {
+    /// EWMA yield weights, one per configured vantage.
+    pub(crate) vweights: Vec<f64>,
+    /// Liveness mask, one per configured vantage; a vantage goes (and
+    /// stays) dead when every one of its campaigns degrades in a round.
+    pub(crate) alive: Vec<bool>,
+    /// Interfaces discovered so far, in discovery order.
+    pub(crate) seen: AddrSet,
+    /// Targets already probed (never re-paid).
+    pub(crate) probed: AddrSet,
+    /// Subnets inferred so far, in discovery order.
+    pub(crate) subnets: Vec<Ipv6Prefix>,
+    /// Finished round reports.
+    pub(crate) rounds: Vec<RoundReport>,
+    /// Each finished round's exact target list.
+    pub(crate) round_targets: Vec<Vec<Ipv6Addr>>,
+    /// Every completed campaign's trace set.
+    pub(crate) traces: Vec<TraceSet>,
+    /// Merged engine accounting.
+    pub(crate) stats: EngineStats,
+    /// Probes charged against the budget.
+    pub(crate) consumed: u64,
+    /// Consecutive rounds below the yield floor.
+    pub(crate) low_streak: usize,
+    /// The candidate pool the next round samples its targets from.
+    pub(crate) pool: Vec<Ipv6Addr>,
+    /// Accumulated virtual time: where the next round's campaigns
+    /// start on the fault schedule's clock.
+    pub(crate) vclock_us: u64,
+}
+
+impl LoopState {
+    fn fresh(initial: &TargetSet, k: usize) -> Self {
+        LoopState {
+            vweights: vec![1.0 / k as f64; k],
+            alive: vec![true; k],
+            seen: AddrSet::new(),
+            probed: AddrSet::new(),
+            subnets: Vec::new(),
+            rounds: Vec::new(),
+            round_targets: Vec::new(),
+            traces: Vec::new(),
+            stats: EngineStats::default(),
+            consumed: 0,
+            low_streak: 0,
+            pool: initial.addrs.clone(),
+            vclock_us: 0,
+        }
+    }
+}
+
 /// Runs the adaptive loop with each round's campaigns executed
 /// serially. See the module docs for the loop structure.
 pub fn run_adaptive(
@@ -260,7 +378,8 @@ pub fn run_adaptive(
     initial: &TargetSet,
     cfg: &AdaptiveConfig,
 ) -> AdaptiveResult {
-    run(topo, initial, cfg, false)
+    let st = LoopState::fresh(initial, cfg.vantages.len().max(1));
+    run_loop(topo, cfg, false, st, |_| {})
 }
 
 /// Runs the adaptive loop with each round's campaigns executed on the
@@ -272,28 +391,120 @@ pub fn run_adaptive_parallel(
     initial: &TargetSet,
     cfg: &AdaptiveConfig,
 ) -> AdaptiveResult {
-    run(topo, initial, cfg, true)
+    let st = LoopState::fresh(initial, cfg.vantages.len().max(1));
+    run_loop(topo, cfg, true, st, |_| {})
 }
 
-fn run(
+/// [`run_adaptive`] (or its parallel form) with a [`Checkpoint`]
+/// handed to `on_round` at **every round boundary** — after the
+/// round's mining, budget accounting and pool regeneration, i.e.
+/// exactly the state the next round starts from. Persist
+/// [`Checkpoint::to_bytes`] wherever durability lives; a process
+/// killed between rounds resumes with [`resume_adaptive`]
+/// bit-identically.
+pub fn run_adaptive_checkpointed(
     topo: &Arc<Topology>,
     initial: &TargetSet,
     cfg: &AdaptiveConfig,
     parallel: bool,
+    mut on_round: impl FnMut(&Checkpoint),
+) -> AdaptiveResult {
+    let digest = config_digest(topo, cfg);
+    let st = LoopState::fresh(initial, cfg.vantages.len().max(1));
+    run_loop(topo, cfg, parallel, st, |s| {
+        on_round(&Checkpoint::capture(digest, s))
+    })
+}
+
+/// Continues an adaptive run from a round-boundary [`Checkpoint`].
+/// The final [`AdaptiveResult`] — merged trace set, stats, reports —
+/// is bit-identical to the run that was never interrupted, provided
+/// `topo` and `cfg` are the ones the checkpoint was taken under
+/// (enforced by digest; a mismatch is a [`ResumeError`], not a corrupt
+/// result).
+pub fn resume_adaptive(
+    topo: &Arc<Topology>,
+    cfg: &AdaptiveConfig,
+    ckpt: &Checkpoint,
+    parallel: bool,
+) -> Result<AdaptiveResult, ResumeError> {
+    resume_adaptive_checkpointed(topo, cfg, ckpt, parallel, |_| {})
+}
+
+/// [`resume_adaptive`] that keeps checkpointing: `on_round` fires at
+/// every round boundary after the resume point.
+pub fn resume_adaptive_checkpointed(
+    topo: &Arc<Topology>,
+    cfg: &AdaptiveConfig,
+    ckpt: &Checkpoint,
+    parallel: bool,
+    mut on_round: impl FnMut(&Checkpoint),
+) -> Result<AdaptiveResult, ResumeError> {
+    let digest = config_digest(topo, cfg);
+    if digest != ckpt.digest() {
+        return Err(ResumeError::ConfigMismatch);
+    }
+    Ok(run_loop(topo, cfg, parallel, ckpt.state().clone(), |s| {
+        on_round(&Checkpoint::capture(digest, s))
+    }))
+}
+
+fn run_loop(
+    topo: &Arc<Topology>,
+    cfg: &AdaptiveConfig,
+    parallel: bool,
+    mut st: LoopState,
+    mut on_round: impl FnMut(&LoopState),
 ) -> AdaptiveResult {
     assert!(!cfg.vantages.is_empty(), "at least one vantage required");
     let shards = cfg.shards.max(1);
     let k = cfg.vantages.len();
+    assert_eq!(st.vweights.len(), k, "state/config vantage count mismatch");
     // Per-vantage yield weights: an EWMA-smoothed distribution (sums
     // to 1), updated from marginal yield when vantage budgeting is on;
     // uniform (and untouched) otherwise. The *allocation share* of a
     // vantage is `floor + (1 - k·floor) · weight` — an affine map that
     // keeps every vantage at or above the exploration floor exactly
     // while still summing to 1 (flooring-then-renormalizing would push
-    // quiet vantages back below the floor).
-    let mut vweights = vec![1.0 / k as f64; k];
+    // quiet vantages back below the floor). With dead vantages the
+    // surviving weights renormalize and the same affine map runs over
+    // the survivor count — a dead vantage's share flows to the living.
     let floor = cfg.vantage_floor_share.clamp(0.0, 1.0 / k as f64);
     let share_of = move |w: f64| floor + (1.0 - k as f64 * floor) * w;
+    let share_vec = |vweights: &[f64], alive: &[bool]| -> Vec<f64> {
+        let alive_k = alive.iter().filter(|&&a| a).count();
+        if alive_k == k {
+            // All alive: the original formula, untouched (bit-identical
+            // to fault-free releases — no renormalizing division).
+            return vweights.iter().map(|&w| share_of(w)).collect();
+        }
+        if alive_k == 0 {
+            return vec![0.0; k];
+        }
+        let wsum: f64 = vweights
+            .iter()
+            .zip(alive)
+            .filter(|&(_, &a)| a)
+            .map(|(&w, _)| w)
+            .sum();
+        let floor_a = cfg.vantage_floor_share.clamp(0.0, 1.0 / alive_k as f64);
+        vweights
+            .iter()
+            .zip(alive)
+            .map(|(&w, &a)| {
+                if !a {
+                    0.0
+                } else {
+                    let wn = if wsum > 0.0 {
+                        w / wsum
+                    } else {
+                        1.0 / alive_k as f64
+                    };
+                    floor_a + (1.0 - alive_k as f64 * floor_a) * wn
+                }
+            })
+            .collect()
+    };
     let resolver = cfg.path_div.map(|_| {
         AsnResolver::new(
             topo.bgp.clone(),
@@ -301,31 +512,31 @@ fn run(
             &topo.asn_equivalences,
         )
     });
-
-    // Global cross-round state.
-    let mut seen = AddrSet::new(); // discovered interfaces
-    let mut probed = AddrSet::new(); // targets already paid for
-    let mut subnet_set: BTreeSet<Ipv6Prefix> = BTreeSet::new();
-    let mut subnets: Vec<Ipv6Prefix> = Vec::new();
-
-    let mut rounds = Vec::new();
-    let mut round_targets_log = Vec::new();
-    let mut traces = Vec::new();
-    let mut stats = EngineStats::default();
-    let mut consumed = 0u64;
-    let mut low_streak = 0usize;
-
-    // Nominal per-target probe cost, used only to pre-truncate a
-    // round's list; the budget itself is enforced on actual injections.
-    let per_target = cfg.yarrp.max_ttl as u64 * cfg.vantages.len() as u64;
-    let mut pool: Vec<Ipv6Addr> = initial.addrs.clone();
+    // Rebuilt (not checkpointed) membership view of `st.subnets`.
+    let mut subnet_set: BTreeSet<Ipv6Prefix> = st.subnets.iter().copied().collect();
 
     let stop = loop {
-        let round = rounds.len();
+        let round = st.rounds.len();
+        // Every stop decision happens here at the loop top, from state
+        // alone — that is what makes the round-boundary checkpoint a
+        // complete resume point. Order matters and mirrors the original
+        // control flow: the yield-floor verdict of the previous round
+        // precedes the round cap.
+        if st.low_streak > 0 && st.low_streak >= cfg.patience {
+            break StopReason::YieldFloor;
+        }
         if round >= cfg.max_rounds {
             break StopReason::MaxRounds;
         }
-        let remaining = cfg.probe_budget.saturating_sub(consumed);
+        let alive_k = st.alive.iter().filter(|&&a| a).count();
+        if alive_k == 0 {
+            break StopReason::AllVantagesDown;
+        }
+        // Nominal per-target probe cost, used only to pre-truncate a
+        // round's list; the budget itself is enforced on actual
+        // injections. Dead vantages don't probe, so they don't count.
+        let per_target = cfg.yarrp.max_ttl as u64 * alive_k as u64;
+        let remaining = cfg.probe_budget.saturating_sub(st.consumed);
         let budget_cap = (remaining / per_target) as usize;
         if budget_cap == 0 {
             break StopReason::BudgetExhausted;
@@ -337,10 +548,11 @@ fn run(
         // whole (sorted) pool instead of starving high address space —
         // a lowest-first truncation would spend every round in the
         // same low slabs.
-        let unprobed: Vec<Ipv6Addr> = pool
+        let unprobed: Vec<Ipv6Addr> = st
+            .pool
             .iter()
             .copied()
-            .filter(|&a| !probed.contains(a))
+            .filter(|&a| !st.probed.contains(a))
             .collect();
         let cap = cfg.round_targets.min(budget_cap);
         let targets = stride_sample(&unprobed, cap);
@@ -348,24 +560,32 @@ fn run(
             break StopReason::NoTargets;
         }
         for &t in &targets {
-            probed.insert(t);
+            st.probed.insert(t);
         }
 
-        // Per-vantage allocation of the round's `k × |targets|`
-        // target-probe budget: uniform budgeting gives every vantage
-        // the full list; vantage budgeting splits it by the tracked
-        // yield weights (total held constant, so the two modes spend
-        // comparably per round).
+        // Per-vantage allocation of the round's `alive_k × |targets|`
+        // target-probe budget: uniform budgeting gives every living
+        // vantage the full list; vantage budgeting splits it by the
+        // tracked yield shares (dead vantages hold share 0).
         let alloc: Vec<usize> = if cfg.vantage_budgeting && k > 1 {
-            vweights
+            let shares = share_vec(&st.vweights, &st.alive);
+            shares
                 .iter()
-                .map(|&w| {
-                    ((share_of(w) * (k * targets.len()) as f64).round() as usize)
-                        .clamp(1, targets.len())
+                .zip(&st.alive)
+                .map(|(&s, &a)| {
+                    if !a {
+                        0
+                    } else {
+                        ((s * (alive_k * targets.len()) as f64).round() as usize)
+                            .clamp(1, targets.len())
+                    }
                 })
                 .collect()
         } else {
-            vec![targets.len(); k]
+            st.alive
+                .iter()
+                .map(|&a| if a { targets.len() } else { 0 })
+                .collect()
         };
 
         // Round-robin sharding keeps each shard spread across the
@@ -396,35 +616,48 @@ fn run(
                 })
                 .collect()
         };
-        let uniform = alloc.iter().all(|&n| n >= targets.len());
+        let uniform = alive_k == k && alloc.iter().all(|&n| n >= targets.len());
         let vantage_sets: Vec<Vec<TargetSet>> = if uniform {
             vec![make_shards(&targets)]
         } else {
             alloc
                 .iter()
-                .map(|&n| make_shards(&stride_sample(&targets, n)))
+                .map(|&n| {
+                    if n == 0 {
+                        Vec::new()
+                    } else {
+                        make_shards(&stride_sample(&targets, n))
+                    }
+                })
                 .collect()
         };
-        let specs: Vec<CampaignSpec<'_>> = cfg
-            .vantages
-            .iter()
-            .enumerate()
-            .flat_map(|(vi, &v)| {
-                vantage_sets[if uniform { 0 } else { vi }]
-                    .iter()
-                    .map(move |set| CampaignSpec {
-                        vantage_idx: v,
-                        set,
-                        cfg: cfg.yarrp,
-                    })
-            })
-            .collect();
+        // Specs plus a campaign → vantage-position map (dead vantages
+        // contribute no campaigns, so `i / shards` no longer works).
+        let mut specs: Vec<CampaignSpec<'_>> = Vec::new();
+        let mut spec_vi: Vec<usize> = Vec::new();
+        for (vi, &v) in cfg.vantages.iter().enumerate() {
+            for set in &vantage_sets[if uniform { 0 } else { vi }] {
+                specs.push(CampaignSpec {
+                    vantage_idx: v,
+                    set,
+                    cfg: cfg.yarrp,
+                });
+                spec_vi.push(vi);
+            }
+        }
 
-        let results = if parallel {
-            stream_campaigns_parallel(topo, &specs, &cfg.stream)
-        } else {
-            stream_campaigns_serial(topo, &specs, &cfg.stream)
-        };
+        // Supervised execution: campaigns start at the loop's virtual
+        // clock, failures and blackouts retry with deterministic
+        // backoff, exhausted retries come back degraded, never a panic.
+        let results = stream_campaigns_supervised(
+            topo,
+            &specs,
+            &cfg.stream,
+            &cfg.retry,
+            st.vclock_us,
+            parallel,
+        );
+        let round_elapsed = results.iter().map(|sc| sc.elapsed_us).max().unwrap_or(0);
 
         // Per-vantage yield attribution, *before* the global seen-set
         // absorbs the round: crediting against the unmutated round-
@@ -441,56 +674,93 @@ fn run(
                 probes: 0,
                 new_interfaces: 0,
                 next_share: 0.0,
+                degraded: false,
+                attempts: 0,
+                fault_dropped: 0,
             })
             .collect();
         let mut vfresh = AddrSet::new();
-        for (i, (ts, es)) in results.iter().enumerate() {
-            let vi = i / shards;
-            if i % shards == 0 {
+        let mut cur_vi = usize::MAX;
+        // A vantage survives the round if at least one of its campaigns
+        // came back non-degraded.
+        let mut v_ok = vec![false; k];
+        for (i, sc) in results.iter().enumerate() {
+            let vi = spec_vi[i];
+            if vi != cur_vi {
                 vfresh = AddrSet::new();
+                cur_vi = vi;
             }
-            for &w in ts.interner().words() {
-                let a = Ipv6Addr::from(w);
-                if !seen.contains(a) && vfresh.insert(a) {
-                    per_v[vi].new_interfaces += 1;
+            per_v[vi].probes += sc.stats.probes;
+            per_v[vi].attempts = per_v[vi].attempts.max(sc.attempts);
+            per_v[vi].fault_dropped += sc.stats.fault_dropped_total();
+            if sc.degraded {
+                per_v[vi].degraded = true;
+            } else {
+                v_ok[vi] = true;
+            }
+            if let Some(run) = &sc.result {
+                for &w in run.output.interner().words() {
+                    let a = Ipv6Addr::from(w);
+                    if !st.seen.contains(a) && vfresh.insert(a) {
+                        per_v[vi].new_interfaces += 1;
+                    }
                 }
             }
-            per_v[vi].probes += es.probes;
         }
 
         // Mine the round: discovery deltas against the global seen-set,
-        // inferred subnets, merged engine accounting.
+        // inferred subnets, merged engine accounting (every supervised
+        // attempt's probes count — retries burn real budget).
         let mut round_stats = EngineStats::default();
         let mut new_ifaces = 0u64;
         let mut new_subnets = 0u64;
-        for (i, (ts, es)) in results.into_iter().enumerate() {
-            new_ifaces += ts.discovery_delta(&mut seen).len() as u64;
+        for (i, sc) in results.into_iter().enumerate() {
+            round_stats.merge(&sc.stats);
+            let Some(run) = sc.result else {
+                continue; // hard failure: no trace set to mine
+            };
+            let ts = run.output;
+            new_ifaces += ts.discovery_delta(&mut st.seen).len() as u64;
             for cand in ia_hack(&ts) {
                 if subnet_set.insert(cand.prefix) {
-                    subnets.push(cand.prefix);
+                    st.subnets.push(cand.prefix);
                     new_subnets += 1;
                 }
             }
             if let (Some(params), Some(res)) = (&cfg.path_div, &resolver) {
-                let v = cfg.vantages[i / shards];
+                let v = cfg.vantages[spec_vi[i]];
                 let vasn = topo.ases[topo.vantages[v as usize].as_idx as usize].asn;
                 for cand in discover_by_path_div(&ts, res, vasn, params) {
                     if subnet_set.insert(cand.prefix) {
-                        subnets.push(cand.prefix);
+                        st.subnets.push(cand.prefix);
                         new_subnets += 1;
                     }
                 }
             }
-            round_stats.merge(&es);
-            traces.push(ts);
+            st.traces.push(ts);
         }
-        stats.merge(&round_stats);
-        consumed += round_stats.probes;
+        st.stats.merge(&round_stats);
+        st.consumed += round_stats.probes;
+        // All of a round's campaigns run concurrently in virtual time;
+        // the round occupies the slowest one's span (including retry
+        // backoffs), and the next round starts after it.
+        st.vclock_us = st.vclock_us.saturating_add(round_elapsed);
+
+        // Liveness: a vantage whose every campaign degraded is dead —
+        // its weight zeroes and later rounds exclude it. (A vantage
+        // with no campaigns this round keeps its state.)
+        for vi in 0..k {
+            if st.alive[vi] && per_v[vi].degraded && !v_ok[vi] {
+                st.alive[vi] = false;
+                st.vweights[vi] = 0.0;
+            }
+        }
 
         // Budget allocator update: shift the next round's allocation
         // toward the vantages that earned their probes this round. The
         // EWMA blends two distributions, so the weights stay a
-        // distribution without renormalizing.
+        // distribution without renormalizing. (Dead vantages yield 0
+        // and decay toward 0; the share map renormalizes survivors.)
         if cfg.vantage_budgeting && k > 1 {
             let yields: Vec<f64> = per_v
                 .iter()
@@ -499,17 +769,18 @@ fn run(
             let total: f64 = yields.iter().sum();
             if total > 0.0 {
                 let keep = cfg.vantage_smoothing.clamp(0.0, 1.0);
-                for (w, y) in vweights.iter_mut().zip(&yields) {
+                for (w, y) in st.vweights.iter_mut().zip(&yields) {
                     *w = keep * *w + (1.0 - keep) * (y / total);
                 }
             }
         }
-        for (p, &w) in per_v.iter_mut().zip(&vweights) {
-            p.next_share = share_of(w);
+        let next_shares = share_vec(&st.vweights, &st.alive);
+        for (p, &s) in per_v.iter_mut().zip(&next_shares) {
+            p.next_share = s;
         }
 
         let yield_per_kprobe = 1000.0 * new_ifaces as f64 / round_stats.probes.max(1) as f64;
-        rounds.push(RoundReport {
+        st.rounds.push(RoundReport {
             round,
             targets: targets.len() as u64,
             probes: round_stats.probes,
@@ -521,59 +792,63 @@ fn run(
             rl_dropped_aggressive: round_stats.rl_dropped_aggressive,
             per_vantage: per_v,
         });
-        round_targets_log.push(targets);
+        st.round_targets.push(targets);
 
-        // Stopping rule: marginal yield below the floor for `patience`
-        // consecutive rounds.
+        // Stopping rule bookkeeping: marginal yield below the floor
+        // for `patience` consecutive rounds (the break itself happens
+        // at the loop top, off checkpointable state).
         if yield_per_kprobe < cfg.min_yield_per_kprobes {
-            low_streak += 1;
-            if low_streak >= cfg.patience {
-                break StopReason::YieldFloor;
-            }
+            st.low_streak += 1;
         } else {
-            low_streak = 0;
+            st.low_streak = 0;
         }
 
-        // The next iteration stops before probing when the round cap
-        // or the budget is already spent — don't pay for (and then
-        // discard) another generation pass; the loop top breaks with
-        // the right reason.
-        if rounds.len() >= cfg.max_rounds || cfg.probe_budget.saturating_sub(consumed) < per_target
-        {
-            continue;
+        // Skip pool regeneration when the loop top is certain to stop —
+        // don't pay for (and then discard) a generation pass.
+        let alive_after = st.alive.iter().filter(|&&a| a).count();
+        let next_per_target = cfg.yarrp.max_ttl as u64 * alive_after.max(1) as u64;
+        let stopping = (st.low_streak > 0 && st.low_streak >= cfg.patience)
+            || st.rounds.len() >= cfg.max_rounds
+            || alive_after == 0
+            || cfg.probe_budget.saturating_sub(st.consumed) < next_per_target;
+        if !stopping {
+            // Feedback: regenerate the pool from *all* discoveries so
+            // far plus everything already probed — the paper's 6Gen
+            // basis ("targets probed plus interfaces discovered");
+            // cumulative input gives the generators their cluster mass,
+            // and the `probed` filter at the top keeps rounds from
+            // re-paying.
+            let discovered: Vec<Ipv6Addr> = st.seen.iter().collect();
+            let probed_targets: Vec<Ipv6Addr> = st.probed.iter().collect();
+            let fb = feedback_list(
+                format!("adaptive-fb-r{round}"),
+                &discovered,
+                &probed_targets,
+                &st.subnets,
+                &cfg.feedback,
+                mix(cfg.rng_seed ^ round as u64),
+            );
+            st.pool = feedback_targets(
+                format!("adaptive-r{}", round + 1),
+                &fb,
+                cfg.per_prefix_64s,
+                cfg.iid,
+            )
+            .addrs;
         }
-
-        // Feedback: regenerate the pool from *all* discoveries so far
-        // plus everything already probed — the paper's 6Gen basis
-        // ("targets probed plus interfaces discovered"); cumulative
-        // input gives the generators their cluster mass, and the
-        // `probed` filter at the top keeps rounds from re-paying.
-        let discovered: Vec<Ipv6Addr> = seen.iter().collect();
-        let probed_targets: Vec<Ipv6Addr> = probed.iter().collect();
-        let fb = feedback_list(
-            format!("adaptive-fb-r{round}"),
-            &discovered,
-            &probed_targets,
-            &subnets,
-            &cfg.feedback,
-            mix(cfg.rng_seed ^ round as u64),
-        );
-        pool = feedback_targets(
-            format!("adaptive-r{}", round + 1),
-            &fb,
-            cfg.per_prefix_64s,
-            cfg.iid,
-        )
-        .addrs;
+        // Round boundary: everything the next loop-top reads is now in
+        // `st` — the checkpoint the observer sees is a complete resume
+        // point.
+        on_round(&st);
     };
 
     AdaptiveResult {
-        rounds,
-        round_targets: round_targets_log,
-        traces,
-        stats,
-        interfaces: seen,
-        subnets,
+        rounds: st.rounds,
+        round_targets: st.round_targets,
+        traces: st.traces,
+        stats: st.stats,
+        interfaces: st.seen,
+        subnets: st.subnets,
         stop,
     }
 }
@@ -616,6 +891,14 @@ mod tests {
         for rt in &res.round_targets {
             for &t in rt {
                 assert!(all.insert(t), "target {t} probed twice");
+            }
+        }
+        // Fault-free: nothing degraded, everything first-try.
+        for r in &res.rounds {
+            assert!(r.degraded_vantages().is_empty());
+            for pv in &r.per_vantage {
+                assert_eq!(pv.attempts, 1);
+                assert_eq!(pv.fault_dropped, 0);
             }
         }
     }

@@ -1,0 +1,417 @@
+//! Round-boundary checkpoints for the adaptive loop: a compact,
+//! hand-rolled binary snapshot of the loop's complete cross-round
+//! state — the interner-preserving trace sets, the discovery and
+//! probed sets, the budgeter's EWMA weights and liveness mask, the
+//! regenerated target pool and the virtual clock.
+//!
+//! The format rides on [`analysis::snapshot`]'s fixed-width
+//! little-endian primitives: byte-deterministic (the same state always
+//! encodes to the same bytes) and versioned by a magic/version header.
+//! A checkpoint is only meaningful under the exact topology and
+//! configuration it was captured under, so it carries an FNV-1a digest
+//! of both; [`crate::adaptive::resume_adaptive`] refuses a mismatch
+//! with [`ResumeError::ConfigMismatch`] instead of producing a
+//! silently-divergent run.
+
+use crate::adaptive::{AdaptiveConfig, LoopState, RoundReport, VantageRound};
+use analysis::{read_trace_set, write_trace_set, SnapReader, SnapWriter, SnapshotError};
+use simnet::{EngineStats, Topology};
+use std::net::Ipv6Addr;
+use v6addr::Ipv6Prefix;
+use yarrp6::addrset::AddrSet;
+
+/// `"BHCK"` — beholder checkpoint.
+const MAGIC: u32 = 0x4248_434B;
+const VERSION: u32 = 1;
+
+/// Why a resume was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The checkpoint was captured under a different topology or
+    /// adaptive configuration than the one offered for the resume.
+    ConfigMismatch,
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::ConfigMismatch => {
+                write!(
+                    f,
+                    "checkpoint was captured under a different topology/config"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// A round-boundary snapshot of the adaptive loop, captured by
+/// [`crate::adaptive::run_adaptive_checkpointed`] after every finished
+/// round. Serialize with [`to_bytes`](Checkpoint::to_bytes), persist
+/// wherever durability lives, and continue a killed run with
+/// [`crate::adaptive::resume_adaptive`] — the resumed run's final
+/// result is bit-identical to the run that was never interrupted.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    digest: u64,
+    state: LoopState,
+}
+
+impl Checkpoint {
+    pub(crate) fn capture(digest: u64, state: &LoopState) -> Self {
+        Checkpoint {
+            digest,
+            state: state.clone(),
+        }
+    }
+
+    pub(crate) fn state(&self) -> &LoopState {
+        &self.state
+    }
+
+    /// FNV-1a digest of the topology configuration and the adaptive
+    /// configuration this checkpoint was captured under.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Rounds completed at capture time (the next round to run).
+    pub fn round(&self) -> usize {
+        self.state.rounds.len()
+    }
+
+    /// Probes charged against the budget so far.
+    pub fn consumed_probes(&self) -> u64 {
+        self.state.consumed
+    }
+
+    /// Interfaces discovered so far.
+    pub fn interfaces(&self) -> usize {
+        self.state.seen.len()
+    }
+
+    /// Serializes the checkpoint. Byte-deterministic: the same state
+    /// always produces the same bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u32(MAGIC);
+        w.u32(VERSION);
+        w.u64(self.digest);
+        let st = &self.state;
+        w.u32(st.vweights.len() as u32);
+        for &v in &st.vweights {
+            w.f64(v);
+        }
+        w.u32(st.alive.len() as u32);
+        for &a in &st.alive {
+            w.bool(a);
+        }
+        write_addr_set(&mut w, &st.seen);
+        write_addr_set(&mut w, &st.probed);
+        w.u32(st.subnets.len() as u32);
+        for p in &st.subnets {
+            w.u128(p.base_word());
+            w.u8(p.len());
+        }
+        w.u32(st.rounds.len() as u32);
+        for r in &st.rounds {
+            write_round(&mut w, r);
+        }
+        w.u32(st.round_targets.len() as u32);
+        for rt in &st.round_targets {
+            write_addrs(&mut w, rt);
+        }
+        w.u32(st.traces.len() as u32);
+        for ts in &st.traces {
+            write_trace_set(&mut w, ts);
+        }
+        write_stats(&mut w, &st.stats);
+        w.u64(st.consumed);
+        w.u64(st.low_streak as u64);
+        write_addrs(&mut w, &st.pool);
+        w.u64(st.vclock_us);
+        w.into_bytes()
+    }
+
+    /// Deserializes a checkpoint produced by
+    /// [`to_bytes`](Checkpoint::to_bytes). Truncated, corrupt or
+    /// foreign input is a [`SnapshotError`], never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, SnapshotError> {
+        let mut r = SnapReader::new(bytes);
+        if r.u32()? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if r.u32()? != VERSION {
+            return Err(SnapshotError::BadValue("unsupported checkpoint version"));
+        }
+        let digest = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut vweights = Vec::with_capacity(n);
+        for _ in 0..n {
+            vweights.push(r.f64()?);
+        }
+        let n = r.u32()? as usize;
+        let mut alive = Vec::with_capacity(n);
+        for _ in 0..n {
+            alive.push(r.bool()?);
+        }
+        if alive.len() != vweights.len() {
+            return Err(SnapshotError::BadValue("alive/weight length mismatch"));
+        }
+        let seen = read_addr_set(&mut r)?;
+        let probed = read_addr_set(&mut r)?;
+        let n = r.u32()? as usize;
+        let mut subnets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let word = r.u128()?;
+            let len = r.u8()?;
+            if len > 128 {
+                return Err(SnapshotError::BadValue("prefix length over 128"));
+            }
+            subnets.push(Ipv6Prefix::from_word(word, len));
+        }
+        let n = r.u32()? as usize;
+        let mut rounds = Vec::with_capacity(n);
+        for _ in 0..n {
+            rounds.push(read_round(&mut r)?);
+        }
+        let n = r.u32()? as usize;
+        let mut round_targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            round_targets.push(read_addrs(&mut r)?);
+        }
+        let n = r.u32()? as usize;
+        let mut traces = Vec::with_capacity(n);
+        for _ in 0..n {
+            traces.push(read_trace_set(&mut r)?);
+        }
+        let stats = read_stats(&mut r)?;
+        let consumed = r.u64()?;
+        let low_streak = r.u64()? as usize;
+        let pool = read_addrs(&mut r)?;
+        let vclock_us = r.u64()?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::BadValue("trailing bytes after checkpoint"));
+        }
+        Ok(Checkpoint {
+            digest,
+            state: LoopState {
+                vweights,
+                alive,
+                seen,
+                probed,
+                subnets,
+                rounds,
+                round_targets,
+                traces,
+                stats,
+                consumed,
+                low_streak,
+                pool,
+                vclock_us,
+            },
+        })
+    }
+}
+
+/// FNV-1a over the debug renderings of the topology configuration and
+/// the adaptive configuration — the resume compatibility key. Debug
+/// formatting is deterministic for these plain-data structs, and any
+/// semantic change to either (budget, vantages, fault schedule, retry
+/// policy, …) changes the digest.
+pub(crate) fn config_digest(topo: &Topology, cfg: &AdaptiveConfig) -> u64 {
+    let s = format!("{:?}|{:?}", topo.config, cfg);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+fn write_addrs(w: &mut SnapWriter, addrs: &[Ipv6Addr]) {
+    w.u32(addrs.len() as u32);
+    for &a in addrs {
+        w.u128(u128::from(a));
+    }
+}
+
+fn read_addrs(r: &mut SnapReader<'_>) -> Result<Vec<Ipv6Addr>, SnapshotError> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(Ipv6Addr::from(r.u128()?));
+    }
+    Ok(out)
+}
+
+/// Serialized in insertion order; rebuilding by re-inserting in that
+/// order reproduces the identical set (iteration order is the
+/// contract [`analysis::TraceSet::discovery_delta`] credit depends
+/// on).
+fn write_addr_set(w: &mut SnapWriter, set: &AddrSet) {
+    w.u32(set.len() as u32);
+    for a in set.iter() {
+        w.u128(u128::from(a));
+    }
+}
+
+fn read_addr_set(r: &mut SnapReader<'_>) -> Result<AddrSet, SnapshotError> {
+    let n = r.u32()? as usize;
+    let mut set = AddrSet::new();
+    for _ in 0..n {
+        if !set.insert(Ipv6Addr::from(r.u128()?)) {
+            return Err(SnapshotError::BadValue("duplicate address in set"));
+        }
+    }
+    Ok(set)
+}
+
+fn write_round(w: &mut SnapWriter, r: &RoundReport) {
+    w.u64(r.round as u64);
+    w.u64(r.targets);
+    w.u64(r.probes);
+    w.u64(r.new_interfaces);
+    w.u64(r.new_subnets);
+    w.f64(r.yield_per_kprobe);
+    w.u64(r.rate_limited);
+    w.u64(r.rl_dropped_default);
+    w.u64(r.rl_dropped_aggressive);
+    w.u32(r.per_vantage.len() as u32);
+    for p in &r.per_vantage {
+        w.u8(p.vantage);
+        w.u64(p.targets);
+        w.u64(p.probes);
+        w.u64(p.new_interfaces);
+        w.f64(p.next_share);
+        w.bool(p.degraded);
+        w.u32(p.attempts);
+        w.u64(p.fault_dropped);
+    }
+}
+
+fn read_round(r: &mut SnapReader<'_>) -> Result<RoundReport, SnapshotError> {
+    let round = r.u64()? as usize;
+    let targets = r.u64()?;
+    let probes = r.u64()?;
+    let new_interfaces = r.u64()?;
+    let new_subnets = r.u64()?;
+    let yield_per_kprobe = r.f64()?;
+    let rate_limited = r.u64()?;
+    let rl_dropped_default = r.u64()?;
+    let rl_dropped_aggressive = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut per_vantage = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        per_vantage.push(VantageRound {
+            vantage: r.u8()?,
+            targets: r.u64()?,
+            probes: r.u64()?,
+            new_interfaces: r.u64()?,
+            next_share: r.f64()?,
+            degraded: r.bool()?,
+            attempts: r.u32()?,
+            fault_dropped: r.u64()?,
+        });
+    }
+    Ok(RoundReport {
+        round,
+        targets,
+        probes,
+        new_interfaces,
+        new_subnets,
+        yield_per_kprobe,
+        rate_limited,
+        rl_dropped_default,
+        rl_dropped_aggressive,
+        per_vantage,
+    })
+}
+
+/// Exhaustive destructure: adding a field to [`EngineStats`] without
+/// versioning this encoding becomes a compile error, not silent data
+/// loss.
+fn write_stats(w: &mut SnapWriter, s: &EngineStats) {
+    let EngineStats {
+        probes,
+        malformed,
+        lost,
+        rate_limited,
+        rl_dropped_default,
+        rl_dropped_aggressive,
+        silent_router,
+        fw_dropped,
+        time_exceeded,
+        echo_replies,
+        tcp_responses,
+        du_no_route,
+        du_admin,
+        du_addr,
+        du_port,
+        du_reject,
+        dest_silent,
+        frag_echo_replies,
+        rewritten_quotes,
+        fault_vantage_outage,
+        fault_link_blackhole,
+        fault_link_flap,
+        fault_responder_down,
+    } = *s;
+    for v in [
+        probes,
+        malformed,
+        lost,
+        rate_limited,
+        rl_dropped_default,
+        rl_dropped_aggressive,
+        silent_router,
+        fw_dropped,
+        time_exceeded,
+        echo_replies,
+        tcp_responses,
+        du_no_route,
+        du_admin,
+        du_addr,
+        du_port,
+        du_reject,
+        dest_silent,
+        frag_echo_replies,
+        rewritten_quotes,
+        fault_vantage_outage,
+        fault_link_blackhole,
+        fault_link_flap,
+        fault_responder_down,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn read_stats(r: &mut SnapReader<'_>) -> Result<EngineStats, SnapshotError> {
+    Ok(EngineStats {
+        probes: r.u64()?,
+        malformed: r.u64()?,
+        lost: r.u64()?,
+        rate_limited: r.u64()?,
+        rl_dropped_default: r.u64()?,
+        rl_dropped_aggressive: r.u64()?,
+        silent_router: r.u64()?,
+        fw_dropped: r.u64()?,
+        time_exceeded: r.u64()?,
+        echo_replies: r.u64()?,
+        tcp_responses: r.u64()?,
+        du_no_route: r.u64()?,
+        du_admin: r.u64()?,
+        du_addr: r.u64()?,
+        du_port: r.u64()?,
+        du_reject: r.u64()?,
+        dest_silent: r.u64()?,
+        frag_echo_replies: r.u64()?,
+        rewritten_quotes: r.u64()?,
+        fault_vantage_outage: r.u64()?,
+        fault_link_blackhole: r.u64()?,
+        fault_link_flap: r.u64()?,
+        fault_responder_down: r.u64()?,
+    })
+}

@@ -27,7 +27,13 @@
 //! is where the whole pipeline meets) closes the loop: multi-round
 //! discovery whose next targets are generated from the previous
 //! round's own findings, under a global probe budget with a
-//! marginal-yield stopping rule.
+//! marginal-yield stopping rule. The loop is fault-tolerant: every
+//! round runs under the campaign supervisor (panics, lost streams and
+//! scheduled blackouts retry with deterministic virtual-time backoff;
+//! a vantage whose campaigns all degrade is declared dead and its
+//! budget share flows to the survivors), and [`checkpoint`] snapshots
+//! the complete loop state at every round boundary so a killed run
+//! resumes bit-identically ([`adaptive::resume_adaptive`]).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +52,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod checkpoint;
 
 pub use aliasres as alias;
 pub use analysis as analyze;
@@ -59,25 +66,28 @@ pub use yarrp6 as probe;
 /// The commonly-used types, one `use` away.
 pub mod prelude {
     pub use crate::adaptive::{
-        run_adaptive, run_adaptive_parallel, AdaptiveConfig, AdaptiveResult, RoundReport,
-        StopReason, VantageRound,
+        resume_adaptive, resume_adaptive_checkpointed, run_adaptive, run_adaptive_checkpointed,
+        run_adaptive_parallel, AdaptiveConfig, AdaptiveResult, RoundReport, StopReason,
+        VantageRound,
     };
+    pub use crate::checkpoint::{Checkpoint, ResumeError};
     pub use analysis::{
         discover_by_path_div, ia_hack, stream_campaign, stream_campaigns_parallel,
-        stream_campaigns_serial, stream_multi_vantage, stream_multi_vantage_parallel,
-        vantage_contributions, vantage_jaccard, vantage_union_count, AsnResolver, CandidateSubnet,
-        MultiVantageCampaign, PathDivParams, TraceSet, TraceSetBuilder, TraceView,
-        VantageContribution,
+        stream_campaigns_serial, stream_campaigns_supervised, stream_multi_vantage,
+        stream_multi_vantage_parallel, vantage_contributions, vantage_jaccard, vantage_union_count,
+        AsnResolver, CandidateSubnet, MultiVantageCampaign, PathDivParams, SnapshotError, TraceSet,
+        TraceSetBuilder, TraceView, VantageContribution,
     };
     pub use seeds::sources::SeedCatalog;
     pub use seeds::{SeedEntry, SeedList};
     pub use simnet::config::TopologyConfig;
-    pub use simnet::{Engine, EngineStats, Scale, Topology};
+    pub use simnet::{Engine, EngineStats, FaultSchedule, Scale, Topology};
     pub use targets::{IidStrategy, TargetCatalog, TargetSet};
     pub use v6addr::{Asn, BgpTable, IidClass, Ipv6Prefix, PrefixTrie};
     pub use v6packet::probe::Protocol;
-    pub use yarrp6::campaign::run_campaign;
+    pub use yarrp6::campaign::{run_campaign, CampaignError, RetryPolicy, SupervisedCampaign};
     pub use yarrp6::{
-        ProbeLog, RecordSink, ResponseKind, ResponseRecord, StreamConfig, YarrpConfig,
+        ProbeLog, RecordSink, ResponseKind, ResponseRecord, SinkDisconnected, StreamConfig,
+        YarrpConfig,
     };
 }
