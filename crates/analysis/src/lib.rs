@@ -29,6 +29,7 @@ pub mod builder;
 pub mod export;
 pub mod intern;
 pub mod metrics;
+pub mod quarantine;
 pub mod reference;
 pub mod snapshot;
 pub mod subnets;
@@ -45,6 +46,7 @@ pub use metrics::{
     discovery_curve, hop_responsiveness, vantage_contributions, vantage_jaccard,
     vantage_union_count, CampaignMetrics, VantageContribution,
 };
+pub use quarantine::{quarantine, quarantine_all, QuarantineConfig, QuarantineReport};
 pub use snapshot::{read_trace_set, write_trace_set, SnapReader, SnapWriter, SnapshotError};
 pub use subnets::{discover_by_path_div, ia_hack, CandidateSubnet, PathDivParams};
 pub use traces::{AsnResolver, TraceSet, TraceView};

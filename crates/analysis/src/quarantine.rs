@@ -1,0 +1,500 @@
+//! Trace quarantine: scrubbing hostile-responder artifacts out of a
+//! [`TraceSet`] before its interfaces feed anything downstream.
+//!
+//! The decoder ([`yarrp6::record::decode_response`]) already rejects
+//! packets that are *provably* fabricated — bad checksums, spoofed
+//! Time Exceeded messages quoting an unexhausted hop limit, truncated
+//! garbage. What survives decoding is well-formed traffic from real
+//! on-path devices that *lie at the trace level*: zombie middleboxes
+//! answering for every TTL, duplicate-storm boxes shadowing their
+//! neighbors, and TTL-rewriting routers whose quoted probe TTL places
+//! them at depths they never occupied. Those lies are invisible per
+//! packet and only emerge as cross-trace structure, which is what this
+//! pass inspects:
+//!
+//! * **loop rule** — a responder appearing at
+//!   [`QuarantineConfig::min_loop_repeats`] or more distinct TTLs of
+//!   *one* trace is condemned. Per-flow ECMP pins a target's path, so a
+//!   clean interface occupies exactly one depth per trace; only a
+//!   device answering for hops it does not occupy (zombie, storm) can
+//!   repeat.
+//! * **span rule** — a responder whose observed probe-TTL range across
+//!   *all* traces exceeds [`QuarantineConfig::max_ttl_span`] is
+//!   condemned. Honest depths vary a little across targets and
+//!   vantages; a TTL-rewriting router smears itself across the whole
+//!   TTL space.
+//! * **implausible TTL** — individual hop/unreachable cells beyond
+//!   [`QuarantineConfig::max_plausible_ttl`] are dropped even when
+//!   their responder survives.
+//! * **beyond-destination** — a Time Exceeded deeper than the TTL at
+//!   which the destination itself answered contradicts the probe's own
+//!   fate; such cells are dropped.
+//!
+//! Condemnation is *global*: once an address is condemned anywhere,
+//! every cell it owns is scrubbed from every set
+//! ([`quarantine_all`] evaluates the rules jointly across vantages).
+//! A set with nothing to scrub is returned as a verbatim clone — the
+//! clean-input path is bit-identical, pinned by tests.
+
+use crate::intern::AddrInterner;
+use crate::traces::{TraceMeta, TraceSet};
+use std::collections::BTreeSet;
+use std::net::Ipv6Addr;
+
+/// Thresholds for the quarantine rules. The defaults are conservative
+/// for this simulator's topologies (depths well under 24) and for
+/// Paris-style probing (per-target flow keys, so one depth per
+/// responder per trace).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuarantineConfig {
+    /// Distinct TTLs within one trace at which a responder must appear
+    /// to be condemned as looping. `2` assumes Paris-style probing;
+    /// raise it when probing varies flow labels per TTL.
+    pub min_loop_repeats: u32,
+    /// Maximum credible spread between a responder's shallowest and
+    /// deepest observed probe TTL across all traces and vantages.
+    pub max_ttl_span: u8,
+    /// Hop/unreachable cells with a probe TTL above this are dropped
+    /// outright.
+    pub max_plausible_ttl: u8,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            min_loop_repeats: 2,
+            max_ttl_span: 24,
+            max_plausible_ttl: 40,
+        }
+    }
+}
+
+/// What a quarantine pass found and removed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Responders condemned by the loop rule.
+    pub looping_responders: u64,
+    /// Responders condemned by the span rule (not already looping).
+    pub wide_span_responders: u64,
+    /// Every condemned address, ascending — the union of both rules.
+    pub condemned: Vec<Ipv6Addr>,
+    /// Hop cells removed because their responder was condemned.
+    pub condemned_hops_dropped: u64,
+    /// Hop cells removed for an implausible or beyond-destination TTL
+    /// while their responder survived.
+    pub implausible_hops_dropped: u64,
+    /// Destination Unreachable cells removed (condemned responder or
+    /// implausible TTL).
+    pub unreach_dropped: u64,
+    /// Traces that lost at least one cell.
+    pub traces_touched: u64,
+}
+
+impl QuarantineReport {
+    /// Did the pass remove anything at all? A clean report guarantees
+    /// the returned sets are verbatim clones of their inputs.
+    pub fn is_clean(&self) -> bool {
+        self.condemned.is_empty()
+            && self.condemned_hops_dropped == 0
+            && self.implausible_hops_dropped == 0
+            && self.unreach_dropped == 0
+    }
+
+    /// Total cells removed across all classes.
+    pub fn cells_dropped(&self) -> u64 {
+        self.condemned_hops_dropped + self.implausible_hops_dropped + self.unreach_dropped
+    }
+}
+
+/// Quarantines one set in isolation: rule evidence comes only from the
+/// set itself. Equivalent to `quarantine_all(&[set], cfg)`.
+pub fn quarantine(set: &TraceSet, cfg: &QuarantineConfig) -> (TraceSet, QuarantineReport) {
+    let (mut cleaned, report) = quarantine_all(&[set], cfg);
+    (cleaned.pop().expect("one input, one output"), report)
+}
+
+/// Quarantines many sets jointly: the loop and span rules pool their
+/// evidence across every set (a router lying toward one vantage is
+/// condemned toward all), then each set is scrubbed independently.
+/// Outputs are index-aligned with inputs; a set that loses nothing is
+/// returned as a verbatim clone (bit-identical, including interner id
+/// assignment).
+pub fn quarantine_all(
+    sets: &[&TraceSet],
+    cfg: &QuarantineConfig,
+) -> (Vec<TraceSet>, QuarantineReport) {
+    // Pass 1: per-responder evidence, keyed by address word so ids
+    // from different interners pool correctly.
+    let mut span: std::collections::HashMap<u128, (u8, u8)> = std::collections::HashMap::new();
+    let mut looping: BTreeSet<u128> = BTreeSet::new();
+    // Per-trace responder repeat counts; reused across traces with an
+    // epoch so the map is allocated once per set.
+    for set in sets {
+        let mut seen_in_trace: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        for t in set.iter() {
+            seen_in_trace.clear();
+            for &(ttl, id) in t.hop_cells() {
+                let w = set.interner().resolve_word(id);
+                let e = span.entry(w).or_insert((ttl, ttl));
+                e.0 = e.0.min(ttl);
+                e.1 = e.1.max(ttl);
+                let c = seen_in_trace.entry(id).or_insert(0);
+                *c += 1;
+                if *c >= cfg.min_loop_repeats {
+                    looping.insert(w);
+                }
+            }
+        }
+    }
+    let mut wide: BTreeSet<u128> = BTreeSet::new();
+    for (&w, &(lo, hi)) in &span {
+        if hi - lo > cfg.max_ttl_span && !looping.contains(&w) {
+            wide.insert(w);
+        }
+    }
+    let condemned: BTreeSet<u128> = looping.union(&wide).copied().collect();
+
+    let mut report = QuarantineReport {
+        looping_responders: looping.len() as u64,
+        wide_span_responders: wide.len() as u64,
+        condemned: condemned.iter().map(|&w| Ipv6Addr::from(w)).collect(),
+        ..QuarantineReport::default()
+    };
+
+    // Pass 2: scrub each set.
+    let cleaned = sets
+        .iter()
+        .map(|set| scrub(set, cfg, &condemned, &mut report))
+        .collect();
+    (cleaned, report)
+}
+
+/// Rebuilds one set without the condemned/implausible cells. When no
+/// cell is dropped the input is cloned verbatim; otherwise the
+/// surviving cells are re-interned in walk order (traces in target
+/// order, hops then unreachables), so the cleaned interner holds *only*
+/// addresses still backed by an observation — nothing condemned can
+/// leak out through `discovery_delta` or `interface_words`.
+fn scrub(
+    set: &TraceSet,
+    cfg: &QuarantineConfig,
+    condemned: &BTreeSet<u128>,
+    report: &mut QuarantineReport,
+) -> TraceSet {
+    let keep_hop = |ttl: u8, id: u32, reached_at: Option<u8>| -> Option<bool> {
+        // Some(true)=keep, Some(false)=implausible drop, None=condemned.
+        let w = set.interner().resolve_word(id);
+        if condemned.contains(&w) {
+            return None;
+        }
+        let beyond = matches!(reached_at, Some(r) if ttl > r);
+        Some(ttl <= cfg.max_plausible_ttl && !beyond)
+    };
+    let keep_unreach = |ttl: u8, id: u32| -> bool {
+        let w = set.interner().resolve_word(id);
+        !condemned.contains(&w) && ttl <= cfg.max_plausible_ttl
+    };
+
+    // Dry pass: is there anything to drop at all?
+    let mut dirty = false;
+    'scan: for t in set.iter() {
+        let r = t.reached_at();
+        for &(ttl, id) in t.hop_cells() {
+            if keep_hop(ttl, id, r) != Some(true) {
+                dirty = true;
+                break 'scan;
+            }
+        }
+        for &(ttl, id) in t.unreachable_cells() {
+            if !keep_unreach(ttl, id) {
+                dirty = true;
+                break 'scan;
+            }
+        }
+    }
+    if !dirty {
+        return set.clone();
+    }
+
+    let mut interner = AddrInterner::with_capacity(set.interner().len());
+    let mut remap: Vec<u32> = vec![u32::MAX; set.interner().len()];
+    let intern = |id: u32, interner: &mut AddrInterner, remap: &mut Vec<u32>| -> u32 {
+        let slot = &mut remap[id as usize];
+        if *slot == u32::MAX {
+            *slot = interner.intern(set.interner().resolve(id));
+        }
+        *slot
+    };
+
+    let mut out = TraceSet {
+        vantage: set.vantage.clone(),
+        target_set: set.target_set.clone(),
+        rewritten_dropped: set.rewritten_dropped,
+        interner: AddrInterner::new(),
+        targets: set.targets.clone(),
+        metas: Vec::with_capacity(set.metas.len()),
+        hops: Vec::with_capacity(set.hops.len()),
+        unreach: Vec::with_capacity(set.unreach.len()),
+        sources: set.sources.clone(),
+        prov: set.prov.clone(),
+    };
+    for t in set.iter() {
+        let r = t.reached_at();
+        let hop_off = out.hops.len() as u32;
+        let mut touched = false;
+        for &(ttl, id) in t.hop_cells() {
+            match keep_hop(ttl, id, r) {
+                Some(true) => {
+                    let nid = intern(id, &mut interner, &mut remap);
+                    out.hops.push((ttl, nid));
+                }
+                Some(false) => {
+                    report.implausible_hops_dropped += 1;
+                    touched = true;
+                }
+                None => {
+                    report.condemned_hops_dropped += 1;
+                    touched = true;
+                }
+            }
+        }
+        let unreach_off = out.unreach.len() as u32;
+        for &(ttl, id) in t.unreachable_cells() {
+            if keep_unreach(ttl, id) {
+                let nid = intern(id, &mut interner, &mut remap);
+                out.unreach.push((ttl, nid));
+            } else {
+                report.unreach_dropped += 1;
+                touched = true;
+            }
+        }
+        if touched {
+            report.traces_touched += 1;
+        }
+        out.metas.push(TraceMeta {
+            hop_off,
+            hop_len: out.hops.len() as u32 - hop_off,
+            unreach_off,
+            unreach_len: out.unreach.len() as u32 - unreach_off,
+            reached_at: r,
+        });
+    }
+    out.interner = interner;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use yarrp6::{ProbeLog, ResponseKind, ResponseRecord};
+
+    fn rec(target: &str, responder: &str, kind: ResponseKind, ttl: Option<u8>) -> ResponseRecord {
+        ResponseRecord {
+            target: target.parse().unwrap(),
+            responder: responder.parse().unwrap(),
+            kind,
+            probe_ttl: ttl,
+            rtt_us: Some(1),
+            recv_us: 0,
+            target_cksum_ok: true,
+        }
+    }
+
+    fn set_of(records: Vec<ResponseRecord>) -> TraceSet {
+        TraceSet::from_log(&ProbeLog {
+            vantage: Arc::from("V"),
+            target_set: Arc::from("q-test"),
+            records,
+            ..ProbeLog::default()
+        })
+    }
+
+    #[test]
+    fn clean_set_comes_back_bit_identical() {
+        let set = set_of(vec![
+            rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(1)),
+            rec("2001:db8::1", "::b", ResponseKind::TimeExceeded, Some(2)),
+            rec(
+                "2001:db8::1",
+                "2001:db8::1",
+                ResponseKind::EchoReply,
+                Some(3),
+            ),
+            rec("2001:db8::2", "::a", ResponseKind::TimeExceeded, Some(1)),
+        ]);
+        let (cleaned, report) = quarantine(&set, &QuarantineConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(cleaned, set);
+        // Bit-identity includes interner id assignment.
+        assert_eq!(cleaned.interner().words(), set.interner().words());
+    }
+
+    #[test]
+    fn zombie_repeating_across_ttls_is_condemned() {
+        let set = set_of(vec![
+            rec("2001:db8::1", "::ea1", ResponseKind::TimeExceeded, Some(1)),
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(2)),
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(3)),
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(4)),
+            // The zombie also answered for a second target, at a sane
+            // single depth there: condemnation is global, so that cell
+            // goes too.
+            rec("2001:db8::2", "::bad", ResponseKind::TimeExceeded, Some(2)),
+        ]);
+        let (cleaned, report) = quarantine(&set, &QuarantineConfig::default());
+        assert_eq!(report.looping_responders, 1);
+        assert_eq!(report.condemned, vec!["::bad".parse::<Ipv6Addr>().unwrap()]);
+        assert_eq!(report.condemned_hops_dropped, 4);
+        assert_eq!(report.traces_touched, 2);
+        assert_eq!(
+            cleaned.interface_addrs(),
+            vec!["::ea1".parse::<Ipv6Addr>().unwrap()]
+        );
+        // The scrubbed interner carries no trace of the zombie.
+        assert!(!cleaned
+            .interner()
+            .words()
+            .contains(&u128::from("::bad".parse::<Ipv6Addr>().unwrap())));
+    }
+
+    #[test]
+    fn ttl_liar_smeared_across_traces_is_condemned_by_span() {
+        let mut records = vec![rec(
+            "2001:db8::1",
+            "::be5",
+            ResponseKind::TimeExceeded,
+            Some(3),
+        )];
+        // One cell per target (Paris probing dedups per TTL), but the
+        // lied depths range 1..=200 across targets.
+        for (i, lie) in [1u8, 60, 130, 200].iter().enumerate() {
+            records.push(rec(
+                &format!("2001:db8::1:{}", i + 1),
+                "::dead",
+                ResponseKind::TimeExceeded,
+                Some(*lie),
+            ));
+        }
+        let set = set_of(records);
+        let (cleaned, report) = quarantine(&set, &QuarantineConfig::default());
+        assert_eq!(report.looping_responders, 0);
+        assert_eq!(report.wide_span_responders, 1);
+        assert_eq!(
+            report.condemned,
+            vec!["::dead".parse::<Ipv6Addr>().unwrap()]
+        );
+        assert_eq!(
+            cleaned.interface_addrs(),
+            vec!["::be5".parse::<Ipv6Addr>().unwrap()]
+        );
+        // Implausible-TTL cells (130, 200 > 40) are charged to the
+        // condemned counter, not double-counted.
+        assert_eq!(report.condemned_hops_dropped, 4);
+        assert_eq!(report.implausible_hops_dropped, 0);
+    }
+
+    #[test]
+    fn implausible_and_beyond_destination_cells_drop_without_condemning() {
+        let set = set_of(vec![
+            rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(2)),
+            // Beyond max_plausible_ttl.
+            rec("2001:db8::1", "::b", ResponseKind::TimeExceeded, Some(99)),
+            // Beyond the destination's own answer at TTL 4.
+            rec("2001:db8::2", "::c", ResponseKind::TimeExceeded, Some(6)),
+            rec(
+                "2001:db8::2",
+                "2001:db8::2",
+                ResponseKind::EchoReply,
+                Some(4),
+            ),
+            rec("2001:db8::2", "::a", ResponseKind::TimeExceeded, Some(2)),
+        ]);
+        let (cleaned, report) = quarantine(&set, &QuarantineConfig::default());
+        assert!(report.condemned.is_empty());
+        assert_eq!(report.implausible_hops_dropped, 2);
+        assert_eq!(report.traces_touched, 2);
+        assert_eq!(
+            cleaned.interface_addrs(),
+            vec!["::a".parse::<Ipv6Addr>().unwrap()]
+        );
+        // reached_at survives scrubbing.
+        assert_eq!(
+            cleaned
+                .get("2001:db8::2".parse().unwrap())
+                .unwrap()
+                .reached_at(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn condemnation_pools_across_sets() {
+        // The zombie loops only in vantage A's set; vantage B saw it
+        // once, at a plausible depth. Joint quarantine still scrubs B.
+        let a = set_of(vec![
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(2)),
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(3)),
+        ]);
+        let b = set_of(vec![
+            rec("2001:db8::9", "::bad", ResponseKind::TimeExceeded, Some(2)),
+            rec("2001:db8::9", "::feed", ResponseKind::TimeExceeded, Some(3)),
+        ]);
+        let (cleaned, report) = quarantine_all(&[&a, &b], &QuarantineConfig::default());
+        assert_eq!(report.looping_responders, 1);
+        assert!(cleaned[0].interface_addrs().is_empty());
+        assert_eq!(
+            cleaned[1].interface_addrs(),
+            vec!["::feed".parse::<Ipv6Addr>().unwrap()]
+        );
+        // Solo quarantine of B alone would have kept the zombie.
+        let (solo, solo_report) = quarantine(&b, &QuarantineConfig::default());
+        assert!(solo_report.is_clean());
+        assert_eq!(solo.interface_addrs().len(), 2);
+    }
+
+    #[test]
+    fn unreachable_cells_from_condemned_responders_drop() {
+        let set = set_of(vec![
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(2)),
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(3)),
+            rec(
+                "2001:db8::2",
+                "::bad",
+                ResponseKind::DestUnreachable(v6packet::icmp6::DestUnreachCode::NoRoute),
+                Some(4),
+            ),
+            rec(
+                "2001:db8::2",
+                "::f3",
+                ResponseKind::DestUnreachable(v6packet::icmp6::DestUnreachCode::AdminProhibited),
+                Some(3),
+            ),
+        ]);
+        let (cleaned, report) = quarantine(&set, &QuarantineConfig::default());
+        assert_eq!(report.unreach_dropped, 1);
+        let t = cleaned.get("2001:db8::2".parse().unwrap()).unwrap();
+        assert_eq!(t.unreachable().count(), 1);
+        assert_eq!(
+            t.unreachable().next().unwrap().1,
+            "::f3".parse::<Ipv6Addr>().unwrap()
+        );
+    }
+
+    #[test]
+    fn repeat_quarantine_is_a_fixpoint() {
+        let set = set_of(vec![
+            rec("2001:db8::1", "::a", ResponseKind::TimeExceeded, Some(1)),
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(2)),
+            rec("2001:db8::1", "::bad", ResponseKind::TimeExceeded, Some(3)),
+        ]);
+        let cfg = QuarantineConfig::default();
+        let (once, r1) = quarantine(&set, &cfg);
+        let (twice, r2) = quarantine(&once, &cfg);
+        assert!(!r1.is_clean());
+        assert!(r2.is_clean());
+        assert_eq!(twice, once);
+        assert_eq!(twice.interner().words(), once.interner().words());
+    }
+}

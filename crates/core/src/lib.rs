@@ -49,7 +49,7 @@ pub use campaign::{
     try_run_multi_vantage_streaming, try_run_multi_vantage_streaming_parallel, CampaignError,
     CampaignResult, RetryPolicy, StreamedCampaign, SupervisedCampaign, VantageSweep,
 };
-pub use record::{ProbeLog, ResponseKind, ResponseRecord};
+pub use record::{DecodeError, DecodeStats, ProbeLog, ResponseKind, ResponseRecord};
 pub use sink::{RecordSink, RecordStream, SinkDisconnected, StreamConfig};
 pub use yarrp::YarrpConfig;
 

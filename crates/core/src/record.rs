@@ -8,9 +8,9 @@
 use serde::{Deserialize, Serialize};
 use std::net::Ipv6Addr;
 use std::sync::Arc;
-use v6packet::icmp6::{self, DestUnreachCode, Icmp6Type};
-use v6packet::probe::{decode_echo_body, decode_quotation};
-use v6packet::tcp;
+use v6packet::icmp6::{DestUnreachCode, Icmp6Type};
+use v6packet::probe::{self, decode_echo_body, decode_quotation};
+use v6packet::{csum, ip6, proto_num, Ipv6Header};
 
 /// The classified response type.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -58,91 +58,249 @@ pub struct ResponseRecord {
     pub target_cksum_ok: bool,
 }
 
-/// Why a received packet was discarded instead of recorded.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Discard {
-    /// Unparseable bytes.
+/// Why a received packet was rejected instead of recorded — the *total*
+/// classification of [`decode_response`]: every byte string lands in
+/// exactly one of these classes or in a record, never in a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeError {
+    /// Shorter than its headers claim (cut mid-header or mid-payload).
+    Truncated,
+    /// The version nibble was not 6.
+    BadVersion,
+    /// A checksum failed: the transport checksum over corrupted bytes,
+    /// or the carried target checksum against the responding source (a
+    /// TCP response from an address we never probed).
+    ChecksumMismatch,
+    /// The quoted packet contradicts what the probe must have looked
+    /// like at the quoting router: not IPv6, an impossible transport,
+    /// or a Time Exceeded quoting an *unexhausted* hop limit — the
+    /// fingerprint of a fabricated (spoofed) error.
+    QuoteInconsistent,
+    /// Well-formed lengths but meaningless content (unknown ICMPv6
+    /// type/code, unhandled transport protocol).
     Malformed,
-    /// Yarrp6 magic/instance mismatch: not ours.
+    /// Valid traffic that is not this prober's: wrong Yarrp6 magic,
+    /// wrong instance, someone else's echo request or TCP flow.
     NotOurs,
 }
 
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DecodeError::Truncated => "response truncated",
+            DecodeError::BadVersion => "not an IPv6 packet",
+            DecodeError::ChecksumMismatch => "checksum mismatch",
+            DecodeError::QuoteInconsistent => "quotation inconsistent with probe",
+            DecodeError::Malformed => "malformed response",
+            DecodeError::NotOurs => "not this prober's traffic",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Per-class counters for responses [`decode_response`] rejected —
+/// surfaced on [`ProbeLog::decode_errors`] so a campaign's hostile-input
+/// exposure is visible next to its yield.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeStats {
+    /// [`DecodeError::Truncated`] rejections.
+    pub truncated: u64,
+    /// [`DecodeError::BadVersion`] rejections.
+    pub bad_version: u64,
+    /// [`DecodeError::ChecksumMismatch`] rejections.
+    pub checksum_mismatch: u64,
+    /// [`DecodeError::QuoteInconsistent`] rejections.
+    pub quote_inconsistent: u64,
+    /// [`DecodeError::Malformed`] rejections.
+    pub malformed: u64,
+    /// [`DecodeError::NotOurs`] rejections.
+    pub not_ours: u64,
+}
+
+impl DecodeStats {
+    /// Charges one rejection to its class counter.
+    pub fn note(&mut self, err: DecodeError) {
+        match err {
+            DecodeError::Truncated => self.truncated += 1,
+            DecodeError::BadVersion => self.bad_version += 1,
+            DecodeError::ChecksumMismatch => self.checksum_mismatch += 1,
+            DecodeError::QuoteInconsistent => self.quote_inconsistent += 1,
+            DecodeError::Malformed => self.malformed += 1,
+            DecodeError::NotOurs => self.not_ours += 1,
+        }
+    }
+
+    /// Total rejections across every class.
+    pub fn total(&self) -> u64 {
+        let DecodeStats {
+            truncated,
+            bad_version,
+            checksum_mismatch,
+            quote_inconsistent,
+            malformed,
+            not_ours,
+        } = *self;
+        truncated + bad_version + checksum_mismatch + quote_inconsistent + malformed + not_ours
+    }
+
+    /// Accumulates another campaign's counters (exhaustive destructure:
+    /// a new class that `merge` misses is a compile error).
+    pub fn merge(&mut self, other: &DecodeStats) {
+        let DecodeStats {
+            truncated,
+            bad_version,
+            checksum_mismatch,
+            quote_inconsistent,
+            malformed,
+            not_ours,
+        } = other;
+        self.truncated += truncated;
+        self.bad_version += bad_version;
+        self.checksum_mismatch += checksum_mismatch;
+        self.quote_inconsistent += quote_inconsistent;
+        self.malformed += malformed;
+        self.not_ours += not_ours;
+    }
+}
+
 /// Decodes response `bytes` received at `recv_us` for prober `instance`.
+///
+/// **Total and panic-free**: classifies *any* byte string — hostile,
+/// truncated, corrupted, or empty — as either one [`ResponseRecord`] or
+/// one [`DecodeError`], validating every length and checksum before the
+/// bytes behind them are touched. The classification is single-pass
+/// (headers are examined once; no intermediate allocation for error
+/// bodies beyond the quotation handoff).
+///
+/// Two hardening rules beyond plain parsing:
+///
+/// * a Time Exceeded whose quotation still carries a **non-zero hop
+///   limit** is rejected as [`DecodeError::QuoteInconsistent`] — the
+///   expiring router by definition saw the hop limit reach exhaustion,
+///   so an unexhausted quote can only come from an off-path fabricator
+///   guessing at packet state it never observed;
+/// * a TCP response whose destination port does not equal the target
+///   checksum of its own source address is rejected as
+///   [`DecodeError::ChecksumMismatch`] — TCP responses carry no
+///   quotation, so a rewritten/fabricated source is otherwise
+///   indistinguishable from the probed target and would previously
+///   have produced a record naming an address we never probed.
 pub fn decode_response(
     bytes: &[u8],
     recv_us: u64,
     instance: u8,
-) -> Result<ResponseRecord, Discard> {
-    if let Some((outer, msg)) = icmp6::parse(bytes) {
-        match msg.ty {
-            Icmp6Type::TimeExceeded | Icmp6Type::DestUnreachable(_) => {
-                let d = decode_quotation(&msg.body).map_err(|_| Discard::Malformed)?;
-                if d.instance != instance {
-                    return Err(Discard::NotOurs);
-                }
-                let kind = match msg.ty {
-                    Icmp6Type::TimeExceeded => ResponseKind::TimeExceeded,
-                    Icmp6Type::DestUnreachable(c) => ResponseKind::DestUnreachable(c),
-                    _ => unreachable!(),
-                };
-                Ok(ResponseRecord {
-                    target: d.target,
-                    responder: outer.src,
-                    kind,
-                    probe_ttl: Some(d.ttl),
-                    rtt_us: Some(recv_us.saturating_sub(d.elapsed_us as u64)),
-                    recv_us,
-                    target_cksum_ok: d.target_cksum_ok,
-                })
+) -> Result<ResponseRecord, DecodeError> {
+    let Some(outer) = Ipv6Header::decode(bytes) else {
+        return Err(if bytes.len() < ip6::HEADER_LEN {
+            DecodeError::Truncated
+        } else {
+            DecodeError::BadVersion
+        });
+    };
+    let body = &bytes[ip6::HEADER_LEN..];
+    let plen = outer.payload_len as usize;
+    if body.len() != plen {
+        return Err(if body.len() < plen {
+            DecodeError::Truncated
+        } else {
+            DecodeError::Malformed
+        });
+    }
+    match outer.next_header {
+        proto_num::ICMP6 => {
+            if body.len() < 8 {
+                return Err(DecodeError::Truncated);
             }
-            Icmp6Type::EchoReply => {
-                let (inst, ttl, elapsed) =
-                    decode_echo_body(&msg.body).map_err(|_| Discard::Malformed)?;
-                if inst != instance {
-                    return Err(Discard::NotOurs);
-                }
-                Ok(ResponseRecord {
-                    target: outer.src,
-                    responder: outer.src,
-                    kind: ResponseKind::EchoReply,
-                    probe_ttl: Some(ttl),
-                    rtt_us: Some(recv_us.saturating_sub(elapsed as u64)),
-                    recv_us,
-                    target_cksum_ok: true,
-                })
+            if !csum::verify_transport(outer.src, outer.dst, proto_num::ICMP6, body) {
+                return Err(DecodeError::ChecksumMismatch);
             }
-            Icmp6Type::EchoRequest => Err(Discard::NotOurs),
+            let Some(ty) = Icmp6Type::from_type_code(body[0], body[1]) else {
+                return Err(DecodeError::Malformed);
+            };
+            match ty {
+                Icmp6Type::TimeExceeded | Icmp6Type::DestUnreachable(_) => {
+                    let d = decode_quotation(&body[8..]).map_err(|e| match e {
+                        probe::DecodeError::Truncated => DecodeError::Truncated,
+                        probe::DecodeError::NotIpv6 | probe::DecodeError::UnknownProtocol(_) => {
+                            DecodeError::QuoteInconsistent
+                        }
+                        probe::DecodeError::BadMagic(_) => DecodeError::NotOurs,
+                    })?;
+                    if d.instance != instance {
+                        return Err(DecodeError::NotOurs);
+                    }
+                    if ty == Icmp6Type::TimeExceeded && d.quoted_hop_limit != 0 {
+                        return Err(DecodeError::QuoteInconsistent);
+                    }
+                    let kind = match ty {
+                        Icmp6Type::TimeExceeded => ResponseKind::TimeExceeded,
+                        Icmp6Type::DestUnreachable(c) => ResponseKind::DestUnreachable(c),
+                        _ => unreachable!(),
+                    };
+                    Ok(ResponseRecord {
+                        target: d.target,
+                        responder: outer.src,
+                        kind,
+                        probe_ttl: Some(d.ttl),
+                        rtt_us: Some(recv_us.saturating_sub(d.elapsed_us as u64)),
+                        recv_us,
+                        target_cksum_ok: d.target_cksum_ok,
+                    })
+                }
+                Icmp6Type::EchoReply => {
+                    let (inst, ttl, elapsed) =
+                        decode_echo_body(&body[8..]).map_err(|e| match e {
+                            probe::DecodeError::Truncated => DecodeError::Truncated,
+                            probe::DecodeError::BadMagic(_) => DecodeError::NotOurs,
+                            _ => DecodeError::Malformed,
+                        })?;
+                    if inst != instance {
+                        return Err(DecodeError::NotOurs);
+                    }
+                    Ok(ResponseRecord {
+                        target: outer.src,
+                        responder: outer.src,
+                        kind: ResponseKind::EchoReply,
+                        probe_ttl: Some(ttl),
+                        rtt_us: Some(recv_us.saturating_sub(elapsed as u64)),
+                        recv_us,
+                        target_cksum_ok: true,
+                    })
+                }
+                Icmp6Type::EchoRequest => Err(DecodeError::NotOurs),
+            }
         }
-    } else if let Some((outer, seg)) = tcp::parse(bytes) {
-        // A destination's RST/SYN-ACK: our probes use dport 80, so the
-        // response's source port must be 80 and its dport must carry the
-        // target checksum.
-        if seg.sport != v6packet::probe::DST_PORT {
-            return Err(Discard::NotOurs);
-        }
-        if seg.dport != v6packet::csum::addr_checksum(outer.src) {
-            // Target checksum mismatch: response from a rewritten target.
-            return Ok(ResponseRecord {
+        proto_num::TCP => {
+            if body.len() < 20 {
+                return Err(DecodeError::Truncated);
+            }
+            if !csum::verify_transport(outer.src, outer.dst, proto_num::TCP, body) {
+                return Err(DecodeError::ChecksumMismatch);
+            }
+            // A destination's RST/SYN-ACK: our probes use dport 80, so
+            // the response's source port must be 80 and its dport must
+            // carry the target checksum of the address that answers.
+            let sport = u16::from_be_bytes([body[0], body[1]]);
+            let dport = u16::from_be_bytes([body[2], body[3]]);
+            if sport != probe::DST_PORT {
+                return Err(DecodeError::NotOurs);
+            }
+            if dport != csum::addr_checksum(outer.src) {
+                return Err(DecodeError::ChecksumMismatch);
+            }
+            Ok(ResponseRecord {
                 target: outer.src,
                 responder: outer.src,
                 kind: ResponseKind::Tcp,
                 probe_ttl: None,
                 rtt_us: None,
                 recv_us,
-                target_cksum_ok: false,
-            });
+                target_cksum_ok: true,
+            })
         }
-        Ok(ResponseRecord {
-            target: outer.src,
-            responder: outer.src,
-            kind: ResponseKind::Tcp,
-            probe_ttl: None,
-            rtt_us: None,
-            recv_us,
-            target_cksum_ok: true,
-        })
-    } else {
-        Err(Discard::Malformed)
+        _ => Err(DecodeError::Malformed),
     }
 }
 
@@ -164,6 +322,9 @@ pub struct ProbeLog {
     pub traces: u64,
     /// Responses discarded (wrong instance / malformed).
     pub discarded: u64,
+    /// Per-class breakdown of the discards: what kind of hostile or
+    /// damaged input the campaign absorbed.
+    pub decode_errors: DecodeStats,
     /// Virtual duration of the campaign (µs).
     pub duration_us: u64,
     /// All decoded responses, in receive order.
@@ -214,7 +375,9 @@ impl ProbeLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use v6packet::icmp6;
     use v6packet::probe::{ProbeSpec, Protocol};
+    use v6packet::tcp;
 
     fn spec(proto: Protocol) -> ProbeSpec {
         ProbeSpec {
@@ -227,16 +390,26 @@ mod tests {
         }
     }
 
-    #[test]
-    fn te_response_decodes() {
-        let probe = spec(Protocol::Icmp6).build();
-        let err = icmp6::build_error(
-            "2001:db8:42::1".parse().unwrap(),
-            "2001:db8:f::1".parse().unwrap(),
+    /// A Time Exceeded as a real expiring router emits it: the quoted
+    /// probe's hop limit is zeroed, because the router saw it exhaust.
+    fn te_from(src: &str, s: &ProbeSpec) -> Vec<u8> {
+        let probe = s.build();
+        let mut out = Vec::new();
+        icmp6::build_error_quoted_into(
+            &mut out,
+            src.parse().unwrap(),
+            s.src,
             Icmp6Type::TimeExceeded,
             &probe,
             64,
+            |q| q[7] = 0,
         );
+        out
+    }
+
+    #[test]
+    fn te_response_decodes() {
+        let err = te_from("2001:db8:42::1", &spec(Protocol::Icmp6));
         let r = decode_response(&err, 25_000, 9).unwrap();
         assert_eq!(r.kind, ResponseKind::TimeExceeded);
         assert_eq!(r.responder, "2001:db8:42::1".parse::<Ipv6Addr>().unwrap());
@@ -247,6 +420,9 @@ mod tests {
 
     #[test]
     fn wrong_instance_rejected() {
+        // Bare build_error leaves the quoted hop limit unexhausted, but
+        // the instance check comes first: another prober's traffic is
+        // NotOurs even when the quote is also inconsistent.
         let probe = spec(Protocol::Icmp6).build();
         let err = icmp6::build_error(
             "::1".parse().unwrap(),
@@ -255,7 +431,71 @@ mod tests {
             &probe,
             64,
         );
-        assert_eq!(decode_response(&err, 0, 8), Err(Discard::NotOurs));
+        assert_eq!(decode_response(&err, 0, 8), Err(DecodeError::NotOurs));
+    }
+
+    #[test]
+    fn unexhausted_quote_rejected_as_spoofed() {
+        // Same packet, *our* instance: a Time Exceeded quoting a probe
+        // whose hop limit never reached zero can only be fabricated.
+        let probe = spec(Protocol::Icmp6).build();
+        let err = icmp6::build_error(
+            "2001:db8:42::1".parse().unwrap(),
+            "2001:db8:f::1".parse().unwrap(),
+            Icmp6Type::TimeExceeded,
+            &probe,
+            64,
+        );
+        assert_eq!(
+            decode_response(&err, 0, 9),
+            Err(DecodeError::QuoteInconsistent)
+        );
+    }
+
+    #[test]
+    fn dest_unreachable_quote_may_keep_hop_limit() {
+        // Destination Unreachable is sent by a node the probe *reached*,
+        // so its quotation legitimately carries a non-zero hop limit.
+        let probe = spec(Protocol::Icmp6).build();
+        let err = icmp6::build_error(
+            "2001:db8:1::abcd".parse().unwrap(),
+            "2001:db8:f::1".parse().unwrap(),
+            Icmp6Type::DestUnreachable(DestUnreachCode::NoRoute),
+            &probe,
+            64,
+        );
+        let r = decode_response(&err, 0, 9).unwrap();
+        assert_eq!(
+            r.kind,
+            ResponseKind::DestUnreachable(DestUnreachCode::NoRoute)
+        );
+    }
+
+    #[test]
+    fn corrupted_bytes_fail_the_checksum() {
+        let mut err = te_from("2001:db8:42::1", &spec(Protocol::Icmp6));
+        let last = err.len() - 1;
+        err[last] ^= 0x5a;
+        assert_eq!(
+            decode_response(&err, 0, 9),
+            Err(DecodeError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn truncated_error_rejected() {
+        let err = te_from("2001:db8:42::1", &spec(Protocol::Icmp6));
+        assert_eq!(
+            decode_response(&err[..err.len() - 9], 0, 9),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut err = te_from("2001:db8:42::1", &spec(Protocol::Icmp6));
+        err[0] = 0x45; // IPv4 version nibble
+        assert_eq!(decode_response(&err, 0, 9), Err(DecodeError::BadVersion));
     }
 
     #[test]
@@ -284,8 +524,42 @@ mod tests {
     }
 
     #[test]
+    fn tcp_wrong_target_checksum_rejected() {
+        // A TCP response whose dport does not match its own source's
+        // target checksum names an address we never probed — rejected,
+        // not recorded with a warning bit.
+        let s = spec(Protocol::Tcp);
+        let ck = v6packet::csum::addr_checksum(s.target);
+        let rst = tcp::build_response(s.target, s.src, 80, ck.wrapping_add(1), tcp::flags::RST, 60);
+        assert_eq!(
+            decode_response(&rst, 0, 9),
+            Err(DecodeError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
     fn garbage_discarded() {
-        assert_eq!(decode_response(&[1, 2, 3], 0, 0), Err(Discard::Malformed));
+        assert_eq!(
+            decode_response(&[1, 2, 3], 0, 0),
+            Err(DecodeError::Truncated)
+        );
+        assert_eq!(decode_response(&[], 0, 0), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_stats_count_per_class() {
+        let mut st = DecodeStats::default();
+        st.note(DecodeError::Truncated);
+        st.note(DecodeError::NotOurs);
+        st.note(DecodeError::NotOurs);
+        assert_eq!(st.truncated, 1);
+        assert_eq!(st.not_ours, 2);
+        assert_eq!(st.total(), 3);
+        let mut other = DecodeStats::default();
+        other.note(DecodeError::ChecksumMismatch);
+        st.merge(&other);
+        assert_eq!(st.total(), 4);
+        assert_eq!(st.checksum_mismatch, 1);
     }
 
     #[test]

@@ -19,13 +19,20 @@
 //! [`RecordStream`] the consumer drains; [`crate::campaign`] runs the
 //! two ends on separate threads.
 
-use crate::record::{ProbeLog, ResponseRecord};
+use crate::record::{DecodeError, ProbeLog, ResponseRecord};
 use std::sync::mpsc;
 
 /// A destination for decoded response records, fed in emission order.
 pub trait RecordSink {
     /// Accepts one decoded record.
     fn record(&mut self, rec: ResponseRecord);
+
+    /// Observes one *rejected* response — a packet the decoder refused
+    /// to turn into a record. Default is a no-op; stat-keeping sinks
+    /// (like [`ProbeLog`]) count these per class so hostile-input
+    /// exposure is visible next to yield.
+    #[inline]
+    fn note_decode_error(&mut self, _err: DecodeError) {}
 }
 
 /// The batch sink: append to the log's record vector.
@@ -33,6 +40,11 @@ impl RecordSink for ProbeLog {
     #[inline]
     fn record(&mut self, rec: ResponseRecord) {
         self.records.push(rec);
+    }
+
+    #[inline]
+    fn note_decode_error(&mut self, err: DecodeError) {
+        self.decode_errors.note(err);
     }
 }
 

@@ -129,7 +129,9 @@ impl HotPath<'_> {
                 sink.record(rec);
                 Some(rec)
             }
-            Err(_) => {
+            Err(e) => {
+                log.decode_errors.note(e);
+                sink.note_decode_error(e);
                 log.discarded += 1;
                 None
             }
@@ -173,7 +175,9 @@ impl HotPath<'_> {
                 sink.record(rec);
                 Some(rec)
             }
-            Err(_) => {
+            Err(e) => {
+                log.decode_errors.note(e);
+                sink.note_decode_error(e);
                 log.discarded += 1;
                 None
             }
@@ -388,7 +392,8 @@ fn send_probe_reference(
             log.records.push(rec);
             Some(rec)
         }
-        Err(_) => {
+        Err(e) => {
+            log.decode_errors.note(e);
             log.discarded += 1;
             None
         }

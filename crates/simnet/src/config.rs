@@ -1,5 +1,6 @@
 //! Topology generation parameters and scale presets.
 
+use crate::adversarial::AdversarialSchedule;
 use crate::fault::FaultSchedule;
 use serde::{Deserialize, Serialize};
 
@@ -126,6 +127,13 @@ pub struct TopologyConfig {
     /// engine's hot path then skips fault evaluation entirely, keeping
     /// fault-free campaigns bit-identical to earlier releases.
     pub faults: FaultSchedule,
+    /// Scheduled hostile responders on the virtual clock: lying quotes,
+    /// spoofed sources, zombie middleboxes, duplicate storms and
+    /// garbage emitters (see [`crate::adversarial`]). Empty by default
+    /// — the engine's hot path then skips adversarial evaluation
+    /// entirely, keeping benign campaigns bit-identical to earlier
+    /// releases.
+    pub adversarial: AdversarialSchedule,
 }
 
 impl TopologyConfig {
@@ -176,6 +184,7 @@ impl TopologyConfig {
             vantage_silent_hops: vec![(0, 5)],
             middlebox_milli: 20,
             faults: FaultSchedule::default(),
+            adversarial: AdversarialSchedule::default(),
         }
     }
 

@@ -11,6 +11,7 @@
 //! probers never peek at ground truth, so their discoveries are earned the
 //! same way they would be on the real Internet.
 
+use crate::adversarial::{AdversarialClass, AdversarialSchedule, STORM_SPREAD};
 use crate::flow::{self, FlowKey};
 use crate::pathcache::PathCache;
 use crate::ratelimit::TokenBucket;
@@ -103,6 +104,23 @@ pub struct EngineStats {
     /// Responses suppressed because the responder was scheduled to
     /// disappear mid-campaign ([`crate::fault::ResponderDown`]).
     pub fault_responder_down: u64,
+    /// Responses whose quoted probe TTL a hostile responder rewrote
+    /// ([`crate::adversarial::AdversarialClass::LyingTtl`]).
+    pub adv_lying_ttl: u64,
+    /// Time Exceeded responses emitted with a fabricated off-topology
+    /// source and an un-exhausted quoted hop limit
+    /// ([`crate::adversarial::AdversarialClass::SpoofedSource`]).
+    pub adv_spoofed_source: u64,
+    /// Probes intercepted and answered by a zombie middlebox in place
+    /// of everything deeper
+    /// ([`crate::adversarial::AdversarialClass::ZombieEcho`]).
+    pub adv_zombie_echo: u64,
+    /// Probes answered by a duplicate-storm responder past its own
+    /// depth ([`crate::adversarial::AdversarialClass::DuplicateStorm`]).
+    pub adv_duplicate_storm: u64,
+    /// Responses corrupted (truncated or bit-flipped) on the way out
+    /// ([`crate::adversarial::AdversarialClass::GarbageBytes`]).
+    pub adv_garbage: u64,
 }
 
 impl EngineStats {
@@ -134,6 +152,11 @@ impl EngineStats {
             fault_link_blackhole,
             fault_link_flap,
             fault_responder_down,
+            adv_lying_ttl,
+            adv_spoofed_source,
+            adv_zombie_echo,
+            adv_duplicate_storm,
+            adv_garbage,
         } = other;
         self.probes += probes;
         self.malformed += malformed;
@@ -158,6 +181,11 @@ impl EngineStats {
         self.fault_link_blackhole += fault_link_blackhole;
         self.fault_link_flap += fault_link_flap;
         self.fault_responder_down += fault_responder_down;
+        self.adv_lying_ttl += adv_lying_ttl;
+        self.adv_spoofed_source += adv_spoofed_source;
+        self.adv_zombie_echo += adv_zombie_echo;
+        self.adv_duplicate_storm += adv_duplicate_storm;
+        self.adv_garbage += adv_garbage;
     }
 
     /// The accumulated counters of many campaigns (field-wise sum).
@@ -203,6 +231,23 @@ impl EngineStats {
             + self.fault_link_flap
             + self.fault_responder_down
     }
+
+    /// All hostile actions an injected
+    /// [`AdversarialSchedule`]
+    /// performed this campaign, across every class — the adversarial
+    /// mirror of [`fault_dropped_total`](Self::fault_dropped_total). A
+    /// benign campaign always reports zero; a poisoned one reports
+    /// exactly the number of responses the engine mutated, intercepted
+    /// or corrupted (each hostile response is charged at its emission
+    /// site, so composed behaviors — e.g. a lying zombie — count once
+    /// per class).
+    pub fn adversarial_total(&self) -> u64 {
+        self.adv_lying_ttl
+            + self.adv_spoofed_source
+            + self.adv_zombie_echo
+            + self.adv_duplicate_storm
+            + self.adv_garbage
+    }
 }
 
 /// The simulation engine for one probing campaign.
@@ -227,8 +272,16 @@ pub struct Engine {
     has_faults: bool,
     /// Added to every probe's `now_us` when evaluating the fault
     /// schedule — the campaign's start time on the supervisor's global
-    /// virtual clock (see [`Engine::set_fault_offset`]).
+    /// virtual clock (see [`Engine::set_fault_offset`]). The
+    /// adversarial schedule is evaluated on the same shifted clock.
     fault_offset_us: u64,
+    /// Scheduled hostile responders, copied from the topology config.
+    adversarial: AdversarialSchedule,
+    /// Per-router union of hostile class bits (0 for honest routers) —
+    /// the O(1) filter in front of the schedule's window scan.
+    adv_mask: Vec<u8>,
+    /// `!adversarial.is_empty()`, cached like `has_faults`.
+    has_adversarial: bool,
     /// Outcome counters.
     pub stats: EngineStats,
 }
@@ -252,6 +305,15 @@ impl Engine {
             .collect();
         let faults = topo.config.faults.clone();
         let has_faults = !faults.is_empty();
+        let adversarial = topo.config.adversarial.clone();
+        let has_adversarial = !adversarial.is_empty();
+        let adv_mask = if has_adversarial {
+            (0..topo.routers.len())
+                .map(|i| adversarial.class_mask(RouterId(i as u32)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         Engine {
             topo,
             buckets,
@@ -261,6 +323,9 @@ impl Engine {
             faults,
             has_faults,
             fault_offset_us: 0,
+            adversarial,
+            adv_mask,
+            has_adversarial,
             stats: EngineStats::default(),
         }
     }
@@ -461,6 +526,65 @@ impl Engine {
         if flow::draw_milli(loss_key, self.topo.config.loss_milli) {
             self.stats.lost += 1;
             return false;
+        }
+
+        // Hostile in-path interception: a zombie middlebox answers for
+        // every probe passing beyond it; a duplicate-storm responder
+        // shadows the next [`STORM_SPREAD`] hops with stale duplicates.
+        // The shallowest hostile hop wins — nothing deeper (the true
+        // expiring hop, the destination) is ever reached.
+        if self.has_adversarial {
+            let fnow = now_us.saturating_add(self.fault_offset_us);
+            let scan = hops_len.min(ttl.saturating_sub(1));
+            let mut hit = None;
+            {
+                let hops = &self.paths[pidx].hops;
+                for (i, &h) in hops[..scan].iter().enumerate() {
+                    let mask = self.adv_mask[h.0 as usize];
+                    if mask == 0 {
+                        continue;
+                    }
+                    let depth = i + 1;
+                    let zombie = mask & AdversarialClass::ZombieEcho.bit() != 0
+                        && self
+                            .adversarial
+                            .active(h, AdversarialClass::ZombieEcho, fnow);
+                    let storm = !zombie
+                        && mask & AdversarialClass::DuplicateStorm.bit() != 0
+                        && ttl <= depth + STORM_SPREAD
+                        && self
+                            .adversarial
+                            .active(h, AdversarialClass::DuplicateStorm, fnow);
+                    if zombie || storm {
+                        hit = Some((h, prev_hop_key(hops, i, vidx), depth, zombie));
+                        break;
+                    }
+                }
+            }
+            if let Some((router, prev, depth, zombie)) = hit {
+                return if self.router_error(
+                    router,
+                    prev,
+                    vaddr,
+                    Icmp6Type::TimeExceeded,
+                    wire,
+                    now_us,
+                    depth,
+                    dst_word,
+                    out,
+                ) {
+                    self.stats.time_exceeded += 1;
+                    if zombie {
+                        self.stats.adv_zombie_echo += 1;
+                    } else {
+                        self.stats.adv_duplicate_storm += 1;
+                    }
+                    true
+                } else {
+                    self.stats.rate_limited += 1;
+                    false
+                };
+            }
         }
 
         // Destination-AS firewall eats UDP/TCP probes traveling past it.
@@ -810,6 +934,35 @@ impl Engine {
             }
             return false;
         }
+        // Hostile mutation flags, evaluated once the response is sure
+        // to be emitted (suppressed responses charge no adv counters).
+        let (adv_lie, adv_spoof, adv_garble) = if self.has_adversarial {
+            let mask = self.adv_mask[router.0 as usize];
+            if mask == 0 {
+                (false, false, false)
+            } else {
+                let fnow = now_us.saturating_add(self.fault_offset_us);
+                (
+                    mask & AdversarialClass::LyingTtl.bit() != 0
+                        && self
+                            .adversarial
+                            .active(router, AdversarialClass::LyingTtl, fnow),
+                    // Spoofing only pays off for Time Exceeded — a
+                    // spoofed Destination Unreachable names no new hop.
+                    mask & AdversarialClass::SpoofedSource.bit() != 0
+                        && ty == Icmp6Type::TimeExceeded
+                        && self
+                            .adversarial
+                            .active(router, AdversarialClass::SpoofedSource, fnow),
+                    mask & AdversarialClass::GarbageBytes.bit() != 0
+                        && self
+                            .adversarial
+                            .active(router, AdversarialClass::GarbageBytes, fnow),
+                )
+            }
+        } else {
+            (false, false, false)
+        };
         // Interior routers of a middlebox-fronted AS saw a *rewritten*
         // destination; their quotations carry it. The prober's target
         // checksum (in the source port / ICMPv6 id) is how this
@@ -821,19 +974,62 @@ impl Engine {
         }
         // The source address depends on the arrival direction: multi-
         // interface routers answer from the interface facing the probe.
-        let addr = info.response_addr(router, prev_key);
+        // A spoofing responder fabricates a per-probe address in
+        // fd00::/8 instead — provably outside the topology's 2001::/16
+        // and 2a10::/16 allocations.
+        let addr = if adv_spoof {
+            let m = flow::mix2(
+                flow::mix128(dst_word),
+                ((router.0 as u64) << 8) ^ wire.get(7).copied().unwrap_or(0) as u64,
+            );
+            std::net::Ipv6Addr::from(
+                (0xfdu128 << 120)
+                    | ((m as u128) << 56)
+                    | (flow::mix64(m) as u128 & 0x00ff_ffff_ffff_ffff),
+            )
+        } else {
+            info.response_addr(router, prev_key)
+        };
         // Quote the packet as the router saw it — hop limit exhausted,
         // destination possibly rewritten — patching the single copy
-        // inside the response buffer.
+        // inside the response buffer. A spoofer cannot know the quoted
+        // packet's residual hop limit, so its quote keeps the original
+        // value instead of the exhausted 0 — the inconsistency a
+        // hardened decoder rejects. A liar rewrites the quoted probe
+        // payload's TTL field to a per-(router, target) fabrication.
         icmp6::build_error_quoted_into(&mut out.bytes, addr, vaddr, ty, wire, 64, |quote| {
-            if ty == Icmp6Type::TimeExceeded {
+            if ty == Icmp6Type::TimeExceeded && !adv_spoof {
                 quote[7] = 0;
             }
             if middlebox {
                 quote[39] ^= 0x40;
             }
+            if adv_lie && quote.len() > 6 {
+                let tlen = if quote[6] == proto_num::TCP { 20 } else { 8 };
+                let off = 40 + tlen + 5;
+                if off < quote.len() {
+                    quote[off] = 1
+                        + (flow::mix2(flow::mix128(dst_word), (router.0 as u64) ^ 0x11e) % 250)
+                            as u8;
+                }
+            }
         });
         self.finish(out, now_us, hop_count, dst_word);
+        if adv_garble {
+            garble_bytes(
+                &mut out.bytes,
+                flow::mix2(flow::mix128(dst_word), (router.0 as u64) ^ 0x6a5b),
+            );
+        }
+        if adv_lie {
+            self.stats.adv_lying_ttl += 1;
+        }
+        if adv_spoof {
+            self.stats.adv_spoofed_source += 1;
+        }
+        if adv_garble {
+            self.stats.adv_garbage += 1;
+        }
         true
     }
 
@@ -842,6 +1038,29 @@ impl Engine {
         let lat = self.topo.config.hop_latency_us;
         let oneway = hop_count as u64 * lat + flow::jitter_us(flow::mix128(key), lat);
         out.at_us = now_us + 2 * oneway;
+    }
+}
+
+/// Corrupts a built response deterministically, keyed like every other
+/// engine draw: even keys truncate the packet (sometimes inside the
+/// IPv6 header, sometimes inside the ICMPv6 header), odd keys flip
+/// three bytes of the ICMPv6 message. An odd number of equal-valued
+/// flips can never fully cancel, so at least one checksummed byte
+/// always changes — both shapes classify as a typed decode error,
+/// never as a record.
+fn garble_bytes(bytes: &mut Vec<u8>, key: u64) {
+    if bytes.len() <= 41 {
+        return;
+    }
+    if key & 1 == 0 {
+        let keep = ((key >> 1) % 47) as usize + 1; // 1..=47
+        bytes.truncate(keep.min(bytes.len() - 1));
+    } else {
+        let len = bytes.len();
+        for k in 0..3u64 {
+            let pos = 40 + ((key >> (8 + 8 * k)) as usize) % (len - 40);
+            bytes[pos] ^= ((key >> 32) as u8) | 1;
+        }
     }
 }
 
@@ -944,6 +1163,30 @@ mod tests {
             merged.fault_dropped_total(),
             0,
             "clean runs charge no faults"
+        );
+
+        // And the adversarial counters, plus their rollup.
+        let hostile = EngineStats {
+            adv_lying_ttl: 1,
+            adv_spoofed_source: 2,
+            adv_zombie_echo: 3,
+            adv_duplicate_storm: 4,
+            adv_garbage: 5,
+            ..EngineStats::default()
+        };
+        let mut twice = hostile;
+        twice.merge(&hostile);
+        assert_eq!(twice.adv_lying_ttl, 2);
+        assert_eq!(twice.adv_spoofed_source, 4);
+        assert_eq!(twice.adv_zombie_echo, 6);
+        assert_eq!(twice.adv_duplicate_storm, 8);
+        assert_eq!(twice.adv_garbage, 10);
+        assert_eq!(twice.adversarial_total(), 2 * hostile.adversarial_total());
+        assert_eq!(hostile.adversarial_total(), 15);
+        assert_eq!(
+            merged.adversarial_total(),
+            0,
+            "benign runs charge no adversarial actions"
         );
     }
 
@@ -1299,6 +1542,220 @@ mod tests {
             icmp_hops.len(),
             udp_hops.len()
         );
+    }
+}
+
+#[cfg(test)]
+mod adversarial_tests {
+    use super::*;
+    use crate::adversarial::{AdversarialClass, AdversarialSchedule};
+    use crate::config::TopologyConfig;
+    use crate::generate::generate;
+    use v6packet::probe::{decode_quotation, ProbeSpec, Protocol};
+
+    fn spec(e: &Engine, target: std::net::Ipv6Addr, ttl: u8) -> ProbeSpec {
+        ProbeSpec {
+            src: e.topology().vantages[0].addr,
+            target,
+            protocol: Protocol::Icmp6,
+            ttl,
+            instance: 1,
+            elapsed_us: 0,
+        }
+    }
+
+    /// An engine whose vantage-0 first on-prem hop (on every path from
+    /// vantage 0) is permanently hostile in `class`.
+    fn hostile_engine(class: AdversarialClass) -> (Engine, RouterId) {
+        let base = TopologyConfig::tiny(42);
+        let clean = Engine::new(Arc::new(generate(base.clone())));
+        let first = clean.topology().vantages[0].onprem[0];
+        let mut cfg = base;
+        cfg.adversarial = AdversarialSchedule::default().with_hostile_always(first, class);
+        (Engine::new(Arc::new(generate(cfg))), first)
+    }
+
+    #[test]
+    fn lying_ttl_rewrites_the_quoted_probe_ttl() {
+        let (mut e, _) = hostile_engine(AdversarialClass::LyingTtl);
+        let topo = e.topology().clone();
+        let mut lied = false;
+        let mut answered = 0u64;
+        for (i, (host, _)) in topo.hosts().take(8).enumerate() {
+            let Some(d) = e.inject(&spec(&e, host, 1).build(), i as u64 * 100_000) else {
+                continue;
+            };
+            let (_, msg) = icmp6::parse(&d.bytes).expect("lying responses still parse");
+            assert_eq!(msg.ty, Icmp6Type::TimeExceeded);
+            let dec = decode_quotation(&msg.body).unwrap();
+            assert_eq!(dec.target, host);
+            assert!(dec.target_cksum_ok, "a TTL lie leaves the target intact");
+            if dec.ttl != 1 {
+                lied = true;
+            }
+            answered += 1;
+        }
+        assert!(answered > 0);
+        assert!(lied, "per-target lies must move records off the true TTL");
+        assert_eq!(e.stats.adv_lying_ttl, answered);
+        assert_eq!(e.stats.adversarial_total(), answered);
+    }
+
+    #[test]
+    fn spoofed_source_is_off_topology_with_unexhausted_quote() {
+        let (mut e, _) = hostile_engine(AdversarialClass::SpoofedSource);
+        let topo = e.topology().clone();
+        let mut answered = 0u64;
+        for (i, (host, _)) in topo.hosts().take(8).enumerate() {
+            let Some(d) = e.inject(&spec(&e, host, 1).build(), i as u64 * 100_000) else {
+                continue;
+            };
+            let (outer, msg) = icmp6::parse(&d.bytes).unwrap();
+            assert_eq!(msg.ty, Icmp6Type::TimeExceeded);
+            assert_eq!(
+                u128::from(outer.src) >> 120,
+                0xfd,
+                "fabricated source lives in fd00::/8, off the topology"
+            );
+            assert_ne!(
+                msg.body[7], 0,
+                "a spoofer cannot know the residual hop limit: quote stays unexhausted"
+            );
+            answered += 1;
+        }
+        assert!(answered > 0);
+        assert_eq!(e.stats.adv_spoofed_source, answered);
+    }
+
+    #[test]
+    fn zombie_answers_for_every_ttl_past_its_depth() {
+        let (mut e, _) = hostile_engine(AdversarialClass::ZombieEcho);
+        let topo = e.topology().clone();
+        let (host, _) = topo.hosts().next().unwrap();
+        // TTL 1: the zombie is simply the true expiring hop.
+        let base_src = {
+            let d = e
+                .inject(&spec(&e, host, 1).build(), 0)
+                .expect("hop 1 answers");
+            icmp6::parse(&d.bytes).unwrap().0.src
+        };
+        let mut intercepted = 0u64;
+        for ttl in 2..=8u8 {
+            let Some(d) = e.inject(&spec(&e, host, ttl).build(), ttl as u64 * 200_000) else {
+                continue;
+            };
+            let (outer, msg) = icmp6::parse(&d.bytes).unwrap();
+            assert_eq!(msg.ty, Icmp6Type::TimeExceeded);
+            assert_eq!(
+                outer.src, base_src,
+                "every deeper probe is answered by the zombie itself"
+            );
+            intercepted += 1;
+        }
+        assert!(intercepted > 0);
+        assert_eq!(e.stats.adv_zombie_echo, intercepted);
+        assert_eq!(e.stats.echo_replies, 0, "the destination is never reached");
+    }
+
+    #[test]
+    fn duplicate_storm_shadows_only_the_next_spread_ttls() {
+        let (mut e, _) = hostile_engine(AdversarialClass::DuplicateStorm);
+        let topo = e.topology().clone();
+        let mut checked = false;
+        for (i, (host, _)) in topo.hosts().take(8).enumerate() {
+            let t0 = i as u64 * 1_000_000;
+            let r = |e: &mut Engine, ttl: u8, t: u64| {
+                e.inject(&spec(e, host, ttl).build(), t)
+                    .and_then(|d| icmp6::parse(&d.bytes).map(|(o, _)| o.src))
+            };
+            let (Some(s1), Some(s2), Some(s3)) = (
+                r(&mut e, 1, t0),
+                r(&mut e, 2, t0 + 200_000),
+                r(&mut e, 3, t0 + 400_000),
+            ) else {
+                continue;
+            };
+            assert_eq!(s2, s1, "TTL 2 shadowed by the storm responder");
+            assert_eq!(s3, s1, "TTL 3 shadowed by the storm responder");
+            if let Some(s4) = r(&mut e, 4, t0 + 600_000) {
+                assert_ne!(s4, s1, "TTL 4 is past the spread: the true hop answers");
+            }
+            checked = true;
+            break;
+        }
+        assert!(checked, "a host with responses at TTL 1..=3 must exist");
+        assert_eq!(e.stats.adv_duplicate_storm, 2);
+    }
+
+    #[test]
+    fn garbage_bytes_never_parse_as_a_response() {
+        let (mut e, _) = hostile_engine(AdversarialClass::GarbageBytes);
+        let topo = e.topology().clone();
+        let mut answered = 0u64;
+        for (i, (host, _)) in topo.hosts().take(12).enumerate() {
+            let Some(d) = e.inject(&spec(&e, host, 1).build(), i as u64 * 100_000) else {
+                continue;
+            };
+            assert!(
+                icmp6::parse(&d.bytes).is_none(),
+                "garbled bytes must fail checksum/length validation"
+            );
+            answered += 1;
+        }
+        assert!(answered > 0);
+        assert_eq!(e.stats.adv_garbage, answered);
+    }
+
+    #[test]
+    fn composed_classes_each_charge_their_counter() {
+        let base = TopologyConfig::tiny(42);
+        let clean = Engine::new(Arc::new(generate(base.clone())));
+        let first = clean.topology().vantages[0].onprem[0];
+        let mut cfg = base;
+        cfg.adversarial = AdversarialSchedule::default()
+            .with_hostile_always(first, AdversarialClass::ZombieEcho)
+            .with_hostile_always(first, AdversarialClass::SpoofedSource);
+        let mut e = Engine::new(Arc::new(generate(cfg)));
+        let topo = e.topology().clone();
+        let mut hit = false;
+        for (i, (host, _)) in topo.hosts().take(8).enumerate() {
+            let Some(d) = e.inject(&spec(&e, host, 3).build(), i as u64 * 200_000) else {
+                continue;
+            };
+            let (outer, _) = icmp6::parse(&d.bytes).unwrap();
+            assert_eq!(u128::from(outer.src) >> 120, 0xfd, "spoof composes");
+            hit = true;
+            break;
+        }
+        assert!(hit);
+        assert_eq!(e.stats.adv_zombie_echo, 1, "interception charged");
+        assert_eq!(e.stats.adv_spoofed_source, 1, "spoofing charged");
+        assert_eq!(e.stats.adversarial_total(), 2);
+    }
+
+    #[test]
+    fn windows_respect_the_shifted_virtual_clock() {
+        let base = TopologyConfig::tiny(42);
+        let clean = Engine::new(Arc::new(generate(base.clone())));
+        let first = clean.topology().vantages[0].onprem[0];
+        let mut cfg = base;
+        cfg.adversarial = AdversarialSchedule::default().with_hostile(
+            first,
+            AdversarialClass::LyingTtl,
+            100_000,
+            200_000,
+        );
+        let mut e = Engine::new(Arc::new(generate(cfg)));
+        let (host, _) = e.topology().hosts().next().unwrap();
+        let _ = e.inject(&spec(&e, host, 1).build(), 0);
+        assert_eq!(e.stats.adv_lying_ttl, 0, "before the window: honest");
+        let _ = e.inject(&spec(&e, host, 1).build(), 150_000);
+        assert_eq!(e.stats.adv_lying_ttl, 1, "inside the window: lying");
+        // A retried campaign starting past the window sees honesty.
+        e.reset();
+        e.set_fault_offset(200_000);
+        let _ = e.inject(&spec(&e, host, 1).build(), 0);
+        assert_eq!(e.stats.adv_lying_ttl, 0, "offset clock is shared");
     }
 }
 

@@ -26,6 +26,7 @@
 //! serialized probe packet and returns the serialized response (if any),
 //! exactly as a raw socket would — the prober on top stays honest.
 
+pub mod adversarial;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -36,6 +37,7 @@ pub mod ratelimit;
 pub mod route;
 pub mod topology;
 
+pub use adversarial::{AdversarialClass, AdversarialSchedule, HostileWindow, STORM_SPREAD};
 pub use config::{Scale, TopologyConfig};
 pub use engine::{Delivery, Engine, EngineStats};
 pub use fault::{FaultSchedule, LinkFault, LinkFaultKind, ResponderDown, VantageOutage};

@@ -73,8 +73,8 @@
 
 use crate::checkpoint::{config_digest, Checkpoint, ResumeError};
 use analysis::{
-    discover_by_path_div, ia_hack, stream_campaigns_supervised, AsnResolver, PathDivParams,
-    TraceSet,
+    discover_by_path_div, ia_hack, quarantine_all, stream_campaigns_supervised, AsnResolver,
+    PathDivParams, QuarantineConfig, TraceSet,
 };
 use seeds::feedback::{feedback_list, FeedbackParams};
 // The workspace's shared splitmix64, for per-round generation seeds.
@@ -153,6 +153,22 @@ pub struct AdaptiveConfig {
     /// [`RetryPolicy::max_retries`] to 0 to disable retrying (failures
     /// then degrade immediately). Fault-free campaigns are unaffected.
     pub retry: RetryPolicy,
+    /// Poisoning-resistant feedback: when `true`, every round's trace
+    /// sets pass jointly through the adversarial quarantine
+    /// ([`analysis::quarantine_all`]) before anything feeds *forward* —
+    /// subnet inference, path-divergence, the kept trace record, and
+    /// the feedback generators all see only quarantine-clean cells, so
+    /// hostile responders cannot steer later rounds. Discovery
+    /// *counting* (the seen-set, per-vantage attribution) stays on the
+    /// raw sets: a responder that survived the panic-free decoder is a
+    /// real, checksum-validated interface even when the quarantine
+    /// condemns the hop structure it reported. When `false` (the
+    /// default) the raw sets flow through unchanged — bit-identical to
+    /// earlier releases.
+    pub quarantine_feedback: bool,
+    /// Thresholds for the quarantine stage; read only when
+    /// [`quarantine_feedback`](Self::quarantine_feedback) is on.
+    pub quarantine: QuarantineConfig,
 }
 
 impl Default for AdaptiveConfig {
@@ -176,6 +192,8 @@ impl Default for AdaptiveConfig {
             rng_seed: 0xada_917e,
             path_div: None,
             retry: RetryPolicy::default(),
+            quarantine_feedback: false,
+            quarantine: QuarantineConfig::default(),
         }
     }
 }
@@ -659,6 +677,35 @@ fn run_loop(
         );
         let round_elapsed = results.iter().map(|sc| sc.elapsed_us).max().unwrap_or(0);
 
+        // Quarantine (opt-in): scrub hostile-responder artifacts from
+        // the round's trace sets *jointly* — evidence pools across
+        // vantages, so a router lying toward one is condemned toward
+        // all — before any cell reaches subnet inference, the kept
+        // trace record, or the feedback generators. Discovery
+        // *counting* (seen-set, attribution) stays on the raw sets:
+        // everything past the decoder is a real, checksum-validated
+        // responder. `cleaned` is index-aligned with `results` (None
+        // where a campaign failed outright). Default off: the raw
+        // path below is untouched.
+        let mut cleaned: Vec<Option<TraceSet>> = if cfg.quarantine_feedback {
+            let refs: Vec<&TraceSet> = results
+                .iter()
+                .filter_map(|sc| sc.result.as_ref().map(|run| &run.output))
+                .collect();
+            let (scrubbed, _report) = quarantine_all(&refs, &cfg.quarantine);
+            let mut it = scrubbed.into_iter();
+            results
+                .iter()
+                .map(|sc| {
+                    sc.result
+                        .as_ref()
+                        .map(|_| it.next().expect("scrubbed sets align with results"))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         // Per-vantage yield attribution, *before* the global seen-set
         // absorbs the round: crediting against the unmutated round-
         // start state means shared finds credit every vantage that
@@ -699,6 +746,11 @@ fn run_loop(
                 v_ok[vi] = true;
             }
             if let Some(run) = &sc.result {
+                // Attribution (like the seen-set below) counts every
+                // checksum-validated responder, quarantined or not:
+                // condemned responders are real interfaces whose
+                // *reported structure* is untrustworthy — discovery
+                // accounting keeps them, feedback does not.
                 for &w in run.output.interner().words() {
                     let a = Ipv6Addr::from(w);
                     if !st.seen.contains(a) && vfresh.insert(a) {
@@ -719,8 +771,20 @@ fn run_loop(
             let Some(run) = sc.result else {
                 continue; // hard failure: no trace set to mine
             };
-            let ts = run.output;
-            new_ifaces += ts.discovery_delta(&mut st.seen).len() as u64;
+            // The seen-set absorbs the *raw* set — every responder
+            // that survived the panic-free decoder (checksum-verified,
+            // quote-consistent) is a genuinely observed interface and
+            // counts toward yield, even when the quarantine condemns
+            // its reported hop structure.
+            new_ifaces += run.output.discovery_delta(&mut st.seen).len() as u64;
+            // Structure mining and the kept trace record use the
+            // quarantined set when the stage is on: subnet inference,
+            // path-divergence and the result's traces then hold only
+            // clean cells.
+            let ts = match cleaned.get_mut(i).and_then(|c| c.take()) {
+                Some(clean) => clean,
+                None => run.output,
+            };
             for cand in ia_hack(&ts) {
                 if subnet_set.insert(cand.prefix) {
                     st.subnets.push(cand.prefix);
@@ -818,7 +882,23 @@ fn run_loop(
             // cumulative input gives the generators their cluster mass,
             // and the `probed` filter at the top keeps rounds from
             // re-paying.
-            let discovered: Vec<Ipv6Addr> = st.seen.iter().collect();
+            // With the quarantine on, *only clean interfaces feed
+            // forward*: the kept trace record holds the scrubbed sets,
+            // whose interners are exactly the surviving observations —
+            // a condemned responder steers no future targeting. Derived
+            // from checkpointed state, so resume recomputes it
+            // bit-identically.
+            let discovered: Vec<Ipv6Addr> = if cfg.quarantine_feedback {
+                let mut clean = AddrSet::new();
+                for ts in &st.traces {
+                    for &w in ts.interner().words() {
+                        clean.insert(Ipv6Addr::from(w));
+                    }
+                }
+                clean.iter().collect()
+            } else {
+                st.seen.iter().collect()
+            };
             let probed_targets: Vec<Ipv6Addr> = st.probed.iter().collect();
             let fb = feedback_list(
                 format!("adaptive-fb-r{round}"),

@@ -22,7 +22,11 @@ use yarrp6::addrset::AddrSet;
 
 /// `"BHCK"` — beholder checkpoint.
 const MAGIC: u32 = 0x4248_434B;
-const VERSION: u32 = 1;
+/// Version 2: [`EngineStats`] gained the five adversarial counters,
+/// which widened the fixed stats block. Version-1 checkpoints are
+/// refused (pre-adversarial builds cannot have produced state worth
+/// resuming under a schedule-bearing config anyway).
+const VERSION: u32 = 2;
 
 /// Why a resume was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -358,6 +362,11 @@ fn write_stats(w: &mut SnapWriter, s: &EngineStats) {
         fault_link_blackhole,
         fault_link_flap,
         fault_responder_down,
+        adv_lying_ttl,
+        adv_spoofed_source,
+        adv_zombie_echo,
+        adv_duplicate_storm,
+        adv_garbage,
     } = *s;
     for v in [
         probes,
@@ -383,6 +392,11 @@ fn write_stats(w: &mut SnapWriter, s: &EngineStats) {
         fault_link_blackhole,
         fault_link_flap,
         fault_responder_down,
+        adv_lying_ttl,
+        adv_spoofed_source,
+        adv_zombie_echo,
+        adv_duplicate_storm,
+        adv_garbage,
     ] {
         w.u64(v);
     }
@@ -413,5 +427,10 @@ fn read_stats(r: &mut SnapReader<'_>) -> Result<EngineStats, SnapshotError> {
         fault_link_blackhole: r.u64()?,
         fault_link_flap: r.u64()?,
         fault_responder_down: r.u64()?,
+        adv_lying_ttl: r.u64()?,
+        adv_spoofed_source: r.u64()?,
+        adv_zombie_echo: r.u64()?,
+        adv_duplicate_storm: r.u64()?,
+        adv_garbage: r.u64()?,
     })
 }

@@ -72,16 +72,19 @@ pub mod prelude {
     };
     pub use crate::checkpoint::{Checkpoint, ResumeError};
     pub use analysis::{
-        discover_by_path_div, ia_hack, stream_campaign, stream_campaigns_parallel,
-        stream_campaigns_serial, stream_campaigns_supervised, stream_multi_vantage,
-        stream_multi_vantage_parallel, vantage_contributions, vantage_jaccard, vantage_union_count,
-        AsnResolver, CandidateSubnet, MultiVantageCampaign, PathDivParams, SnapshotError, TraceSet,
+        discover_by_path_div, ia_hack, quarantine, quarantine_all, stream_campaign,
+        stream_campaigns_parallel, stream_campaigns_serial, stream_campaigns_supervised,
+        stream_multi_vantage, stream_multi_vantage_parallel, vantage_contributions,
+        vantage_jaccard, vantage_union_count, AsnResolver, CandidateSubnet, MultiVantageCampaign,
+        PathDivParams, QuarantineConfig, QuarantineReport, SnapshotError, TraceSet,
         TraceSetBuilder, TraceView, VantageContribution,
     };
     pub use seeds::sources::SeedCatalog;
     pub use seeds::{SeedEntry, SeedList};
     pub use simnet::config::TopologyConfig;
-    pub use simnet::{Engine, EngineStats, FaultSchedule, Scale, Topology};
+    pub use simnet::{
+        AdversarialClass, AdversarialSchedule, Engine, EngineStats, FaultSchedule, Scale, Topology,
+    };
     pub use targets::{IidStrategy, TargetCatalog, TargetSet};
     pub use v6addr::{Asn, BgpTable, IidClass, Ipv6Prefix, PrefixTrie};
     pub use v6packet::probe::Protocol;

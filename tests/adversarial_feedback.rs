@@ -1,0 +1,165 @@
+//! Poisoning resistance of the adaptive loop:
+//!
+//! * with `quarantine_feedback` on and 20% of routers hostile (all five
+//!   adversarial classes), the run's discovered interface set contains
+//!   **zero fabricated addresses** — every interface resolves to a real
+//!   router of the topology;
+//! * the quarantined loop is deterministic, and its parallel driver
+//!   matches the serial one bit for bit;
+//! * on a clean topology the quarantine stage is invisible: flag on and
+//!   flag off produce bit-identical results (the clean-input contract).
+
+use beholder::prelude::*;
+use seeds::feedback::FeedbackParams;
+use simnet::RouterId;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+
+/// `TopologyConfig::tiled(seed, 2)` with every fifth router hostile,
+/// cycling through all five adversarial classes — 20% poisoned.
+fn hostile_config(seed: u64) -> TopologyConfig {
+    let base = TopologyConfig::tiled(seed, 2);
+    let clean = beholder::net::generate::generate(base.clone());
+    let mut sched = AdversarialSchedule::default();
+    let mut k = 0usize;
+    for r in 0..clean.routers.len() {
+        if r % 5 == 0 {
+            sched = sched.with_hostile_always(
+                RouterId(r as u32),
+                AdversarialClass::ALL[k % AdversarialClass::ALL.len()],
+            );
+            k += 1;
+        }
+    }
+    let mut cfg = base;
+    cfg.adversarial = sched;
+    cfg
+}
+
+fn fixture(topo_cfg: TopologyConfig) -> (Arc<Topology>, TargetSet) {
+    let topo = Arc::new(beholder::net::generate::generate(topo_cfg));
+    let seeds = SeedCatalog::synthesize(&topo, 42);
+    let z64 = targets::zn(&seeds.caida, 64);
+    let set = targets::synthesize::synthesize("adv-fb-r0", &z64, IidStrategy::FixedIid);
+    (topo, set)
+}
+
+fn loop_cfg(quarantine_feedback: bool) -> AdaptiveConfig {
+    AdaptiveConfig {
+        vantages: vec![0, 2],
+        probe_budget: 120_000,
+        round_targets: 250,
+        shards: 2,
+        max_rounds: 3,
+        min_yield_per_kprobes: 0.0,
+        feedback: FeedbackParams {
+            sixgen_budget: 512,
+            ..FeedbackParams::default()
+        },
+        quarantine_feedback,
+        ..AdaptiveConfig::default()
+    }
+}
+
+fn assert_no_fabricated(topo: &Topology, interfaces: impl IntoIterator<Item = Ipv6Addr>) {
+    for addr in interfaces {
+        assert!(
+            topo.router_by_iface(addr).is_some(),
+            "fabricated interface {addr} reached the feedback loop"
+        );
+        assert_ne!(addr.octets()[0], 0xfd, "spoofed source {addr} survived");
+    }
+}
+
+#[test]
+fn quarantined_run_on_hostile_topology_has_zero_fabricated_interfaces() {
+    let (topo, set) = fixture(hostile_config(42));
+    let res = run_adaptive(&topo, &set, &loop_cfg(true));
+    assert!(
+        !res.interfaces.is_empty(),
+        "hostile run discovered nothing at all"
+    );
+    assert_no_fabricated(&topo, res.interfaces.iter());
+    // The per-round trace sets the result keeps are the *cleaned* ones:
+    // their interface columns are fabricated-free too.
+    for ts in &res.traces {
+        assert_no_fabricated(&topo, ts.interface_addrs());
+    }
+    let union = res.merged_traces();
+    assert_no_fabricated(&topo, union.interface_addrs());
+}
+
+#[test]
+fn quarantined_loop_is_deterministic_and_parallel_matches_serial() {
+    let (topo, set) = fixture(hostile_config(43));
+    let cfg = loop_cfg(true);
+    let a = run_adaptive(&topo, &set, &cfg);
+    let b = run_adaptive(&topo, &set, &cfg);
+    assert_eq!(a.round_targets, b.round_targets);
+    assert_eq!(a.traces, b.traces);
+    assert_eq!(a.stats, b.stats);
+    let p = run_adaptive_parallel(&topo, &set, &cfg);
+    assert_eq!(a.round_targets, p.round_targets);
+    assert_eq!(a.traces, p.traces);
+    assert_eq!(a.stats, p.stats);
+    assert_eq!(
+        a.interfaces.iter().collect::<Vec<_>>(),
+        p.interfaces.iter().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn clean_topology_makes_quarantine_invisible() {
+    let (topo, set) = fixture(TopologyConfig::tiled(42, 2));
+    let off = run_adaptive(&topo, &set, &loop_cfg(false));
+    let on = run_adaptive(&topo, &set, &loop_cfg(true));
+    assert_eq!(off.round_targets, on.round_targets, "feedback diverged");
+    assert_eq!(off.traces, on.traces, "trace sets diverged");
+    for (x, y) in off.traces.iter().zip(&on.traces) {
+        assert_eq!(
+            x.interner().words(),
+            y.interner().words(),
+            "interner id assignment diverged"
+        );
+    }
+    assert_eq!(off.stats, on.stats);
+    assert_eq!(off.subnets, on.subnets);
+    assert_eq!(
+        off.interfaces.iter().collect::<Vec<_>>(),
+        on.interfaces.iter().collect::<Vec<_>>()
+    );
+}
+
+/// The union of every kept trace set's responder interner.
+fn kept_responders(res: &AdaptiveResult) -> std::collections::BTreeSet<u128> {
+    res.traces
+        .iter()
+        .flat_map(|ts| ts.interner().words().iter().copied())
+        .collect()
+}
+
+#[test]
+fn hostile_run_quarantine_actually_condemns() {
+    // The control: the defense does real work, not a vacuous check.
+    // Discovery counting (`interfaces`) keeps every checksum-validated
+    // responder, but the kept trace record holds only quarantine-clean
+    // sets — on a 20%-hostile topology the clean record must be
+    // *strictly smaller* than the raw discovery count (condemned
+    // responders were scrubbed out of everything that feeds forward),
+    // while with the flag off the two are identical.
+    let (topo, set) = fixture(hostile_config(42));
+    let raw = run_adaptive(&topo, &set, &loop_cfg(false));
+    assert_eq!(
+        kept_responders(&raw).len(),
+        raw.interfaces.len(),
+        "with quarantine off the kept traces are the raw observations"
+    );
+    let cleaned = run_adaptive(&topo, &set, &loop_cfg(true));
+    assert!(
+        kept_responders(&cleaned).len() < cleaned.interfaces.len(),
+        "quarantine condemned nothing on a 20%-hostile topology \
+         (kept {}, observed {})",
+        kept_responders(&cleaned).len(),
+        cleaned.interfaces.len()
+    );
+}
