@@ -28,16 +28,16 @@
 //! pairs directly.
 
 use crate::intern::AddrInterner;
+use crate::runner::CampaignRunner;
 use crate::traces::{assemble, ClassifiedRows, TraceSet, NOT_REACHED};
 use simnet::{EngineStats, Topology};
 use std::sync::Arc;
 use targets::TargetSet;
 use v6packet::icmp6::DestUnreachCode;
 use yarrp6::campaign::{
-    run_campaign_streaming, run_campaigns_parallel_streaming, run_campaigns_serial_streaming,
     run_campaigns_supervised_parallel, run_campaigns_supervised_serial,
-    run_multi_vantage_streaming, run_multi_vantage_streaming_parallel, CampaignSpec, RetryPolicy,
-    SupervisedCampaign, VantageSweep,
+    try_run_campaigns_parallel_streaming, try_run_campaigns_serial_streaming, CampaignSpec,
+    RetryPolicy, SupervisedCampaign,
 };
 use yarrp6::sink::{RecordStream, StreamConfig};
 use yarrp6::{ResponseKind, ResponseRecord, YarrpConfig};
@@ -217,22 +217,26 @@ pub fn stream_campaign(
     cfg: &YarrpConfig,
     stream: &StreamConfig,
 ) -> (TraceSet, EngineStats) {
-    let res = run_campaign_streaming(topo, vantage_idx, set, cfg, stream, |records| {
-        let mut builder = TraceSetBuilder::new().with_identity(
-            topo.vantages[vantage_idx as usize].name.clone(),
-            set.name.clone(),
-        );
-        records.for_each_chunk(|c| builder.push_chunk(c));
-        builder.finish()
-    });
-    (res.output, res.engine_stats)
+    let outcome = CampaignRunner::new(topo)
+        .targets(set)
+        .vantage(vantage_idx)
+        .config(*cfg)
+        .streaming(*stream)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let run = outcome
+        .runs
+        .into_iter()
+        .next()
+        .expect("single-vantage campaign produced no run");
+    (run.traces, run.stats)
 }
 
 /// The per-campaign consumer both multi-campaign drivers install: a
 /// fresh identity-stamped [`TraceSetBuilder`] fed chunk by chunk. One
 /// shared factory, so the serial/parallel bit-identical contract can't
 /// drift when the builder setup changes.
-fn builder_consumer(
+pub(crate) fn builder_consumer(
     topo: &Arc<Topology>,
 ) -> impl Fn(usize, &CampaignSpec<'_>) -> Box<dyn FnOnce(RecordStream) -> TraceSet> + '_ {
     move |_, spec| {
@@ -255,8 +259,9 @@ pub fn stream_campaigns_parallel(
     specs: &[CampaignSpec<'_>],
     stream: &StreamConfig,
 ) -> Vec<(TraceSet, EngineStats)> {
-    run_campaigns_parallel_streaming(topo, specs, stream, builder_consumer(topo))
+    try_run_campaigns_parallel_streaming(topo, specs, stream, builder_consumer(topo))
         .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
         .map(|r| (r.output, r.engine_stats))
         .collect()
 }
@@ -272,8 +277,9 @@ pub fn stream_campaigns_serial(
     specs: &[CampaignSpec<'_>],
     stream: &StreamConfig,
 ) -> Vec<(TraceSet, EngineStats)> {
-    run_campaigns_serial_streaming(topo, specs, stream, builder_consumer(topo))
+    try_run_campaigns_serial_streaming(topo, specs, stream, builder_consumer(topo))
         .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
         .map(|r| (r.output, r.engine_stats))
         .collect()
 }
@@ -341,35 +347,35 @@ pub struct MultiVantageCampaign {
     pub stats: EngineStats,
 }
 
-/// The per-vantage consumer factory both multi-vantage drivers
-/// install: a fresh identity-stamped [`TraceSetBuilder`] per vantage.
-fn vantage_consumer(
+/// Translates a finished [`CampaignRunner`] outcome into the
+/// multi-vantage shape these wrappers have always returned. The
+/// runner's `merged` is `TraceSet::merge_all` in vantage order — the
+/// same fold the pre-runner drivers applied — so the delegation is
+/// bit-identical.
+fn multi_vantage_via_runner(
     topo: &Arc<Topology>,
-    set_name: Arc<str>,
-) -> impl Fn(usize, u8) -> Box<dyn FnOnce(RecordStream) -> TraceSet> + '_ {
-    move |_, v| {
-        let vantage = topo.vantages[v as usize].name.clone();
-        let set_name = set_name.clone();
-        Box::new(move |records: RecordStream| {
-            let mut builder = TraceSetBuilder::new().with_identity(vantage, set_name);
-            records.for_each_chunk(|c| builder.push_chunk(c));
-            builder.finish()
-        })
-    }
-}
-
-fn finish_sweep(sweep: VantageSweep<TraceSet>) -> MultiVantageCampaign {
-    let stats = sweep.stats;
-    let per_vantage: Vec<(TraceSet, EngineStats)> = sweep
-        .runs
-        .into_iter()
-        .map(|r| (r.output, r.engine_stats))
-        .collect();
-    let merged = TraceSet::merge_all(per_vantage.iter().map(|(ts, _)| ts));
+    vantages: &[u8],
+    set: &TargetSet,
+    cfg: &YarrpConfig,
+    stream: &StreamConfig,
+    parallel: bool,
+) -> MultiVantageCampaign {
+    let outcome = CampaignRunner::new(topo)
+        .targets(set)
+        .vantages(vantages)
+        .config(*cfg)
+        .streaming(*stream)
+        .parallel(parallel)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
     MultiVantageCampaign {
-        merged,
-        per_vantage,
-        stats,
+        merged: outcome.merged,
+        per_vantage: outcome
+            .runs
+            .into_iter()
+            .map(|r| (r.traces, r.stats))
+            .collect(),
+        stats: outcome.stats,
     }
 }
 
@@ -385,14 +391,7 @@ pub fn stream_multi_vantage(
     cfg: &YarrpConfig,
     stream: &StreamConfig,
 ) -> MultiVantageCampaign {
-    finish_sweep(run_multi_vantage_streaming(
-        topo,
-        vantages,
-        set,
-        cfg,
-        stream,
-        vantage_consumer(topo, set.name.clone()),
-    ))
+    multi_vantage_via_runner(topo, vantages, set, cfg, stream, false)
 }
 
 /// The concurrent variant of [`stream_multi_vantage`]: one
@@ -406,14 +405,7 @@ pub fn stream_multi_vantage_parallel(
     cfg: &YarrpConfig,
     stream: &StreamConfig,
 ) -> MultiVantageCampaign {
-    finish_sweep(run_multi_vantage_streaming_parallel(
-        topo,
-        vantages,
-        set,
-        cfg,
-        stream,
-        vantage_consumer(topo, set.name.clone()),
-    ))
+    multi_vantage_via_runner(topo, vantages, set, cfg, stream, true)
 }
 
 #[cfg(test)]

@@ -31,6 +31,8 @@ pub mod intern;
 pub mod metrics;
 pub mod quarantine;
 pub mod reference;
+pub mod runner;
+pub mod shard;
 pub mod snapshot;
 pub mod subnets;
 pub mod traces;
@@ -47,6 +49,11 @@ pub use metrics::{
     vantage_union_count, CampaignMetrics, VantageContribution,
 };
 pub use quarantine::{quarantine, quarantine_all, QuarantineConfig, QuarantineReport};
-pub use snapshot::{read_trace_set, write_trace_set, SnapReader, SnapWriter, SnapshotError};
+pub use runner::{CampaignOutcome, CampaignRun, CampaignRunner};
+pub use shard::{ShardRoute, ShardedTraceSet, ShardedTraceSetBuilder};
+pub use snapshot::{
+    read_sharded_snapshot, read_trace_set, write_sharded_snapshot, write_trace_set, SnapReader,
+    SnapWriter, SnapshotError, SnapshotManifest, StoreError,
+};
 pub use subnets::{discover_by_path_div, ia_hack, CandidateSubnet, PathDivParams};
 pub use traces::{AsnResolver, TraceSet, TraceView};

@@ -1,0 +1,654 @@
+//! Sharding the columnar [`TraceSet`] by target prefix.
+//!
+//! A single flat `TraceSet` serves one campaign well, but a
+//! longitudinal store accumulating many campaigns wants two things the
+//! flat layout can't give: `merge`/`canonical` that scale across cores,
+//! and an on-disk unit small enough to rewrite incrementally
+//! ([`crate::snapshot`]'s per-shard segments). [`ShardedTraceSet`]
+//! provides both by routing every target through a **fixed
+//! prefix→shard function** ([`ShardRoute`]): all addresses in one /64
+//! land in the same shard (a trace never straddles shards, and the
+//! same target routes identically in every set), so per-shard
+//! `merge`/`merge_all`/`canonical` are independent and fan out across
+//! the same work-queue pattern the campaign drivers use.
+//!
+//! Each shard is a complete, self-contained `TraceSet` — its own
+//! interner, its own (sorted) target subset — so every existing
+//! analysis pass runs on a shard unchanged. [`to_trace_set`] folds the
+//! disjoint shards back into one flat set; the pinned contract
+//! (property-tested in `tests/shard_props.rs`) is
+//!
+//! ```text
+//! ShardedTraceSet::from_set(&ts, k).to_trace_set().canonical() == ts.canonical()
+//! ```
+//!
+//! for any shard count, and likewise sharded `merge_all` against flat
+//! `merge_all`. Only interner id *assignment* may differ between the
+//! two assembly histories, which is exactly what [`TraceSet::canonical`]
+//! normalizes.
+//!
+//! [`to_trace_set`]: ShardedTraceSet::to_trace_set
+
+use crate::builder::TraceSetBuilder;
+use crate::intern::AddrInterner;
+use crate::traces::{TraceMeta, TraceSet, TraceView};
+use std::net::Ipv6Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use yarrp6::addrset::AddrSet;
+use yarrp6::ResponseRecord;
+
+/// One splitmix64 round — the same mixer `yarrp6::addrset` and
+/// `analysis::intern` use for address words.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The fixed prefix→shard routing function.
+///
+/// A target's shard is `splitmix64(top 64 bits) mod shards`: routing
+/// depends only on the /64 prefix — the paper's unit of target
+/// generation — so every address of one subnet stays in one shard
+/// (locality for subnet inference), while the mixer spreads clustered
+/// prefix allocations evenly across shards. The function is pure and
+/// versioned by the snapshot format: two processes with the same shard
+/// count route identically, which is what makes per-shard merge of
+/// independently built sets sound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRoute {
+    shards: u32,
+}
+
+impl ShardRoute {
+    /// A route over `shards` shards (at least 1).
+    pub fn new(shards: usize) -> ShardRoute {
+        ShardRoute {
+            shards: shards.max(1) as u32,
+        }
+    }
+
+    /// Number of shards this route spreads over.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard `addr` routes to. Constant per /64 prefix.
+    #[inline]
+    pub fn shard_of(&self, addr: Ipv6Addr) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        (mix64((u128::from(addr) >> 64) as u64) % self.shards as u64) as usize
+    }
+}
+
+/// Runs `f(0..n)` on the work-queue thread pool (the
+/// `yarrp6::campaign` pattern: fixed pool, atomic claim counter,
+/// results restored to input order). Falls back to the calling thread
+/// for a single shard.
+fn fan_out<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in rx {
+        out[i] = Some(v);
+    }
+    out.into_iter()
+        .map(|v| v.expect("shard worker lost"))
+        .collect()
+}
+
+/// A [`TraceSet`] partitioned into independent per-shard stores by the
+/// fixed [`ShardRoute`]. See the module docs for the contracts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedTraceSet {
+    route: ShardRoute,
+    /// One complete `TraceSet` per shard; shard `s` holds exactly the
+    /// targets with `route.shard_of(t) == s`, each with its own
+    /// interner. `rewritten_dropped` (a set-level counter with no
+    /// per-target home) lives on shard 0 by convention.
+    shards: Vec<TraceSet>,
+}
+
+impl ShardedTraceSet {
+    /// Partitions `ts` into `shards` shards. Each shard re-interns its
+    /// own responders in trace-walk order; shard target lists stay
+    /// sorted because a subsequence of a sorted list is sorted.
+    pub fn from_set(ts: &TraceSet, shards: usize) -> ShardedTraceSet {
+        Self::with_route(ts, ShardRoute::new(shards))
+    }
+
+    /// [`from_set`](Self::from_set) with an explicit route.
+    pub fn with_route(ts: &TraceSet, route: ShardRoute) -> ShardedTraceSet {
+        let n = route.shards();
+        // Bucket trace indices first so each shard's build is a single
+        // in-order walk (and can fan out if ever needed).
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &t) in ts.targets.iter().enumerate() {
+            buckets[route.shard_of(t)].push(i);
+        }
+        let mut shards: Vec<TraceSet> = fan_out(n, |s| {
+            let mut out = TraceSet {
+                vantage: ts.vantage.clone(),
+                target_set: ts.target_set.clone(),
+                rewritten_dropped: if s == 0 { ts.rewritten_dropped } else { 0 },
+                interner: AddrInterner::new(),
+                targets: Vec::with_capacity(buckets[s].len()),
+                metas: Vec::with_capacity(buckets[s].len()),
+                hops: Vec::new(),
+                unreach: Vec::new(),
+                sources: ts.sources.clone(),
+                prov: Vec::new(),
+            };
+            for &i in &buckets[s] {
+                let m = &ts.metas[i];
+                let hop_off = out.hops.len() as u32;
+                for &(ttl, id) in &ts.hops[m.hop_off as usize..(m.hop_off + m.hop_len) as usize] {
+                    let nid = out.interner.intern(ts.interner.resolve(id));
+                    out.hops.push((ttl, nid));
+                }
+                let unreach_off = out.unreach.len() as u32;
+                for &(ttl, id) in
+                    &ts.unreach[m.unreach_off as usize..(m.unreach_off + m.unreach_len) as usize]
+                {
+                    let nid = out.interner.intern(ts.interner.resolve(id));
+                    out.unreach.push((ttl, nid));
+                }
+                out.targets.push(ts.targets[i]);
+                out.metas.push(TraceMeta {
+                    hop_off,
+                    hop_len: m.hop_len,
+                    unreach_off,
+                    unreach_len: m.unreach_len,
+                    reached_at: m.reached_at,
+                });
+                if !ts.prov.is_empty() {
+                    out.prov.push(ts.prov[i]);
+                }
+            }
+            out
+        });
+        // Interner words referenced by no surviving row — dedup losers
+        // kept deliberately by `merge`/`canonical` because they are
+        // real observed responders (`discovery_delta` counts them) —
+        // have no target to route by; they live in shard 0, beside
+        // `rewritten_dropped`, sorted ascending for determinism.
+        let mut referenced = vec![false; ts.interner.len()];
+        for &(_, id) in ts.hops.iter().chain(&ts.unreach) {
+            referenced[id as usize] = true;
+        }
+        let mut orphans: Vec<u128> = ts
+            .interner
+            .words()
+            .iter()
+            .zip(&referenced)
+            .filter(|&(_, &r)| !r)
+            .map(|(&w, _)| w)
+            .collect();
+        orphans.sort_unstable();
+        for w in orphans {
+            shards[0].interner.intern(Ipv6Addr::from(w));
+        }
+        ShardedTraceSet { route, shards }
+    }
+
+    /// Reassembles a sharded set from already-partitioned shards (the
+    /// snapshot reader's path). The caller guarantees each shard's
+    /// targets route to it.
+    pub(crate) fn from_parts(route: ShardRoute, shards: Vec<TraceSet>) -> ShardedTraceSet {
+        debug_assert_eq!(route.shards(), shards.len());
+        ShardedTraceSet { route, shards }
+    }
+
+    /// The routing function this set was partitioned by.
+    pub fn route(&self) -> ShardRoute {
+        self.route
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard stores, in shard order.
+    pub fn shards(&self) -> &[TraceSet] {
+        &self.shards
+    }
+
+    /// One shard's store.
+    pub fn shard(&self, s: usize) -> &TraceSet {
+        &self.shards[s]
+    }
+
+    /// Total traces across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when no shard holds a trace.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// The trace probed toward `target`, routed straight to its shard
+    /// (one hash, one binary search — no cross-shard scan).
+    pub fn get(&self, target: Ipv6Addr) -> Option<TraceView<'_>> {
+        self.shards[self.route.shard_of(target)].get(target)
+    }
+
+    /// Merges with `other` shard-by-shard in parallel. Sound because
+    /// the shared route puts any given target in the same shard on
+    /// both sides, so per-shard [`TraceSet::merge`] sees exactly the
+    /// conflicts the flat merge would. Panics when the routes differ —
+    /// re-shard one side first.
+    pub fn merge(&self, other: &ShardedTraceSet) -> ShardedTraceSet {
+        assert_eq!(
+            self.route, other.route,
+            "cannot merge sharded sets with different routes"
+        );
+        let shards = fan_out(self.shards.len(), |s| {
+            self.shards[s].merge(&other.shards[s])
+        });
+        ShardedTraceSet {
+            route: self.route,
+            shards,
+        }
+    }
+
+    /// Merges many sharded sets: shard `s` of the result is the
+    /// single-pass k-way union over every input's shard `s`, all
+    /// shards in parallel on the work-queue pool. Bit-identical per
+    /// shard to `TraceSet::merge_all`'s pairwise fold — but where the
+    /// fold copies each column O(log k) times, the k-way pass copies
+    /// each surviving cell once, holding one small id-remap table per
+    /// input (cheap precisely because shard interners are a fraction
+    /// of the flat set's — the flat path can't afford k large tables
+    /// hot at once). After [`canonical`](Self::canonical) this equals
+    /// sharding the flat `merge_all` of the unsharded inputs. Panics
+    /// on mixed routes.
+    pub fn merge_all(sets: &[ShardedTraceSet]) -> ShardedTraceSet {
+        let Some(first) = sets.first() else {
+            return ShardedTraceSet::from_set(&TraceSet::default(), 1);
+        };
+        let route = first.route;
+        assert!(
+            sets.iter().all(|s| s.route == route),
+            "cannot merge sharded sets with different routes"
+        );
+        let shards = fan_out(route.shards(), |s| {
+            let per_shard: Vec<&TraceSet> = sets.iter().map(|set| &set.shards[s]).collect();
+            TraceSet::merge_kway(&per_shard)
+        });
+        ShardedTraceSet { route, shards }
+    }
+
+    /// Canonicalizes every shard ([`TraceSet::canonical`]) in
+    /// parallel: each shard's interner ids are reassigned by its
+    /// deterministic trace walk, making sets from different assembly
+    /// histories comparable shard-by-shard.
+    pub fn canonical(&self) -> ShardedTraceSet {
+        let shards = fan_out(self.shards.len(), |s| self.shards[s].canonical());
+        ShardedTraceSet {
+            route: self.route,
+            shards,
+        }
+    }
+
+    /// Folds the shards back into one flat [`TraceSet`]
+    /// (`merge_all` in shard order — the shards' target sets are
+    /// disjoint, so this is a pure union). Canonical forms satisfy
+    /// `from_set(&ts, k).to_trace_set().canonical() == ts.canonical()`.
+    pub fn to_trace_set(&self) -> TraceSet {
+        TraceSet::merge_all(&self.shards)
+    }
+
+    /// Walks every shard's interner in shard order, inserting into
+    /// `seen` and returning the addresses not previously present —
+    /// [`TraceSet::discovery_delta`] lifted over the sharded store.
+    /// Deterministic, but the order is shard-major (not the flat set's
+    /// first-discovery order).
+    pub fn discovery_delta(&self, seen: &mut AddrSet) -> Vec<Ipv6Addr> {
+        let mut fresh = Vec::new();
+        for shard in &self.shards {
+            fresh.extend(shard.discovery_delta(seen));
+        }
+        fresh
+    }
+
+    /// All distinct interface words across shards, ascending (shards
+    /// may share responders — a router's interface is reachable on
+    /// paths toward many prefixes — so this dedups).
+    pub fn interface_words(&self) -> Vec<u128> {
+        let per: Vec<Vec<u128>> = fan_out(self.shards.len(), |s| self.shards[s].interface_words());
+        let mut all: Vec<u128> = per.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// [`interface_words`](Self::interface_words) as addresses.
+    pub fn interface_addrs(&self) -> Vec<Ipv6Addr> {
+        self.interface_words()
+            .into_iter()
+            .map(Ipv6Addr::from)
+            .collect()
+    }
+
+    /// Interfaces in `self` that a prior snapshot had not seen — the
+    /// day-over-day discovery delta between two persisted stores.
+    pub fn interfaces_since(&self, prior: &ShardedTraceSet) -> Vec<Ipv6Addr> {
+        let mut seen = AddrSet::new();
+        prior.discovery_delta(&mut seen);
+        self.discovery_delta(&mut seen)
+    }
+
+    /// Targets whose observed trace differs between `prior` and
+    /// `self` — changed path, changed reachability, or a target only
+    /// one side knows. Sorted ascending. This is the snapshot-vs-
+    /// snapshot form of change detection the delta-seeded adaptive
+    /// loop keys on.
+    pub fn changed_targets(&self, prior: &ShardedTraceSet) -> Vec<Ipv6Addr> {
+        let mut changed = Vec::new();
+        for shard in &self.shards {
+            for view in shard.iter() {
+                match prior.get(view.target()) {
+                    Some(old) => {
+                        if !view.same_observations(&old) {
+                            changed.push(view.target());
+                        }
+                    }
+                    None => changed.push(view.target()),
+                }
+            }
+        }
+        for shard in &prior.shards {
+            for view in shard.iter() {
+                if self.get(view.target()).is_none() {
+                    changed.push(view.target());
+                }
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+}
+
+/// A record-stream consumer that routes each record to a per-shard
+/// [`TraceSetBuilder`] as it arrives — the shard-aware twin of the
+/// flat builder, for sinks that want the campaign to finish already
+/// partitioned. `finish` yields per-shard sets whose **canonical**
+/// forms equal [`ShardedTraceSet::from_set`] of the flat build (id
+/// assignment differs: the flat builder interns in global receive
+/// order, each shard builder in its own).
+pub struct ShardedTraceSetBuilder {
+    route: ShardRoute,
+    builders: Vec<TraceSetBuilder>,
+}
+
+impl ShardedTraceSetBuilder {
+    /// A builder routing over `shards` shards.
+    pub fn new(shards: usize) -> ShardedTraceSetBuilder {
+        let route = ShardRoute::new(shards);
+        ShardedTraceSetBuilder {
+            route,
+            builders: (0..route.shards())
+                .map(|_| TraceSetBuilder::new())
+                .collect(),
+        }
+    }
+
+    /// Stamps the campaign identity on every shard (shards of one set
+    /// share vantage and target-set names).
+    pub fn with_identity(
+        mut self,
+        vantage: std::sync::Arc<str>,
+        target_set: std::sync::Arc<str>,
+    ) -> Self {
+        self.builders = self
+            .builders
+            .into_iter()
+            .map(|b| b.with_identity(vantage.clone(), target_set.clone()))
+            .collect();
+        self
+    }
+
+    /// Routes one record to its target's shard.
+    pub fn push(&mut self, r: &ResponseRecord) {
+        self.builders[self.route.shard_of(r.target)].push(r);
+    }
+
+    /// Routes a chunk record-by-record (routing is per-target, so a
+    /// chunk spans shards).
+    pub fn push_chunk(&mut self, chunk: &[ResponseRecord]) {
+        for r in chunk {
+            self.push(r);
+        }
+    }
+
+    /// Records pushed so far, across all shards.
+    pub fn records_seen(&self) -> u64 {
+        self.builders.iter().map(|b| b.records_seen()).sum()
+    }
+
+    /// Finishes every shard. Checksum-rewritten drop counts (set-level,
+    /// no per-target home) consolidate onto shard 0, matching the
+    /// [`ShardedTraceSet::from_set`] convention.
+    pub fn finish(self) -> ShardedTraceSet {
+        let mut shards: Vec<TraceSet> = self.builders.into_iter().map(|b| b.finish()).collect();
+        let total: u64 = shards.iter().map(|s| s.rewritten_dropped).sum();
+        for s in &mut shards {
+            s.rewritten_dropped = 0;
+        }
+        shards[0].rewritten_dropped = total;
+        ShardedTraceSet {
+            route: self.route,
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yarrp6::{ProbeLog, ResponseKind};
+
+    fn rec(target: &str, responder: &str, ttl: u8, recv_us: u64) -> ResponseRecord {
+        ResponseRecord {
+            target: target.parse().unwrap(),
+            responder: responder.parse().unwrap(),
+            kind: ResponseKind::TimeExceeded,
+            probe_ttl: Some(ttl),
+            rtt_us: Some(1),
+            recv_us,
+            target_cksum_ok: true,
+        }
+    }
+
+    fn sample_set() -> TraceSet {
+        // Targets across several /64s so the route actually splits.
+        let mut records = Vec::new();
+        for p in 0u64..12 {
+            let t = format!("2001:db8:{p:x}::1");
+            records.push(rec(&t, &format!("2001:db8:ffff::{:x}", p % 5), 1, p));
+            records.push(rec(&t, &format!("2001:db8:fffe::{:x}", p % 3), 2, 100 + p));
+        }
+        let mut log = ProbeLog {
+            vantage: "V".into(),
+            target_set: "S".into(),
+            records,
+            ..Default::default()
+        };
+        log.sort_by_recv();
+        TraceSet::from_log(&log)
+    }
+
+    #[test]
+    fn route_is_prefix_constant() {
+        let route = ShardRoute::new(8);
+        let a: Ipv6Addr = "2001:db8:7::1".parse().unwrap();
+        let b: Ipv6Addr = "2001:db8:7::ffff".parse().unwrap();
+        assert_eq!(route.shard_of(a), route.shard_of(b));
+    }
+
+    #[test]
+    fn from_set_round_trips_through_canonical() {
+        let ts = sample_set();
+        for k in [1, 2, 3, 8] {
+            let sharded = ShardedTraceSet::from_set(&ts, k);
+            assert_eq!(sharded.len(), ts.len());
+            assert_eq!(
+                sharded.to_trace_set().canonical(),
+                ts.canonical(),
+                "shard count {k}"
+            );
+            // Every shard holds only its own targets.
+            for (s, shard) in sharded.shards().iter().enumerate() {
+                for &t in shard.targets() {
+                    assert_eq!(sharded.route().shard_of(t), s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn get_routes_to_the_right_shard() {
+        let ts = sample_set();
+        let sharded = ShardedTraceSet::from_set(&ts, 4);
+        for view in ts.iter() {
+            let got = sharded.get(view.target()).expect("target present");
+            assert!(got.same_observations(&view));
+        }
+        assert!(sharded.get("2001:db8:aaaa::1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn sharded_merge_matches_flat_merge() {
+        let ts = sample_set();
+        // Split the set into two halves by target parity and merge back.
+        let halves: Vec<TraceSet> = (0..2)
+            .map(|par| {
+                let keep: Vec<_> = ts
+                    .iter()
+                    .filter(|v| (u128::from(v.target()) as usize) % 2 == par)
+                    .map(|v| v.index())
+                    .collect();
+                let mut log = ProbeLog {
+                    vantage: "V".into(),
+                    target_set: "S".into(),
+                    ..Default::default()
+                };
+                for i in keep {
+                    let v = ts.view_at(i);
+                    for (ttl, hop) in v.hops() {
+                        log.records
+                            .push(rec(&v.target().to_string(), &hop.to_string(), ttl, 0));
+                    }
+                }
+                log.sort_by_recv();
+                TraceSet::from_log(&log)
+            })
+            .collect();
+        let flat = TraceSet::merge_all(&halves).canonical();
+        let sharded: Vec<ShardedTraceSet> = halves
+            .iter()
+            .map(|h| ShardedTraceSet::from_set(h, 4))
+            .collect();
+        let merged = ShardedTraceSet::merge_all(&sharded);
+        assert_eq!(merged.to_trace_set().canonical(), flat);
+    }
+
+    #[test]
+    fn discovery_matches_flat_interfaces() {
+        let ts = sample_set();
+        let sharded = ShardedTraceSet::from_set(&ts, 8);
+        assert_eq!(sharded.interface_words(), {
+            let mut w = ts.interface_words();
+            w.sort_unstable();
+            w
+        });
+        let mut seen = AddrSet::new();
+        let fresh = sharded.discovery_delta(&mut seen);
+        assert_eq!(fresh.len(), ts.interner().len());
+        // Second walk discovers nothing.
+        assert!(sharded.discovery_delta(&mut seen).is_empty());
+    }
+
+    #[test]
+    fn changed_targets_detects_differences() {
+        let ts = sample_set();
+        let a = ShardedTraceSet::from_set(&ts, 4);
+        assert!(a.changed_targets(&a).is_empty());
+        // A prior missing some targets: those count as changed.
+        let mut log = ProbeLog {
+            vantage: "V".into(),
+            target_set: "S".into(),
+            ..Default::default()
+        };
+        for v in ts.iter().take(5) {
+            for (ttl, hop) in v.hops() {
+                log.records
+                    .push(rec(&v.target().to_string(), &hop.to_string(), ttl, 0));
+            }
+        }
+        log.sort_by_recv();
+        let prior = ShardedTraceSet::from_set(&TraceSet::from_log(&log), 4);
+        let changed = a.changed_targets(&prior);
+        assert_eq!(changed.len(), ts.len() - 5);
+    }
+
+    #[test]
+    fn builder_routing_matches_from_set_canonically() {
+        let mut records = Vec::new();
+        for p in 0u64..12 {
+            let t = format!("2001:db8:{p:x}::1");
+            records.push(rec(&t, &format!("2001:db8:ffff::{:x}", p % 5), 1, p));
+        }
+        let mut log = ProbeLog {
+            vantage: "V".into(),
+            target_set: "S".into(),
+            records,
+            ..Default::default()
+        };
+        log.sort_by_recv();
+        let flat = TraceSet::from_log(&log);
+
+        let mut builder = ShardedTraceSetBuilder::new(4).with_identity("V".into(), "S".into());
+        builder.push_chunk(&log.records);
+        let built = builder.finish();
+        let want = ShardedTraceSet::from_set(&flat, 4);
+        assert_eq!(built.canonical(), want.canonical());
+    }
+}

@@ -315,6 +315,251 @@ pub fn read_trace_set(r: &mut SnapReader<'_>) -> Result<TraceSet, SnapshotError>
     })
 }
 
+// ---------------------------------------------------------------------------
+// Persistent sharded store: a versioned multi-shard on-disk format.
+//
+// A [`crate::shard::ShardedTraceSet`] persists as a directory —
+// `manifest.snap` plus one `shard-NNNN.seg` per shard. The manifest
+// records the format version, the routing parameters, and each
+// segment's byte length and FNV-1a checksum; each segment is the
+// shard's raw column dump (interner word table, target words, metas,
+// hop/unreachable cells — the `write_trace_set` layout, which is
+// already offset-addressable and mmap-friendly: no varints, no
+// compression, fixed-width cells). Writes are byte-deterministic:
+// persisting the same store twice produces identical files, so
+// day-over-day diffs of a snapshot directory are real topology diffs.
+
+use crate::shard::{ShardRoute, ShardedTraceSet};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Manifest magic: `"BSNP"`.
+pub const STORE_MAGIC: u32 = 0x4253_4e50;
+/// Segment magic: `"BSEG"`.
+pub const SEGMENT_MAGIC: u32 = 0x4253_4547;
+/// On-disk format version. Bump on any layout change; readers reject
+/// other versions rather than guessing.
+pub const STORE_VERSION: u32 = 1;
+
+/// Manifest file name inside a snapshot directory.
+pub const MANIFEST_FILE: &str = "manifest.snap";
+
+/// The name of shard `s`'s segment file.
+pub fn segment_file(s: usize) -> String {
+    format!("shard-{s:04}.seg")
+}
+
+/// FNV-1a over a byte slice — the same construction
+/// `beholder::checkpoint` uses for its config digest, applied here to
+/// whole segment files so bit rot fails loudly at load.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One segment's entry in the manifest: enough to detect truncation
+/// (length) and corruption (checksum) before decoding a byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Segment file length in bytes.
+    pub len: u64,
+    /// FNV-1a over the whole segment file.
+    pub fnv: u64,
+}
+
+/// The decoded `manifest.snap`: format version, routing parameters,
+/// per-segment integrity table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// Shard count — the [`ShardRoute`] parameter (the routing
+    /// function itself is versioned by [`STORE_VERSION`]).
+    pub n_shards: u32,
+    /// Per-shard integrity entries, in shard order.
+    pub segments: Vec<SegmentInfo>,
+}
+
+impl SnapshotManifest {
+    /// The route this snapshot's shards were partitioned by.
+    pub fn route(&self) -> ShardRoute {
+        ShardRoute::new(self.n_shards as usize)
+    }
+}
+
+/// Encodes a manifest. Byte-deterministic.
+pub fn encode_manifest(m: &SnapshotManifest) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.u32(STORE_MAGIC);
+    w.u32(STORE_VERSION);
+    w.u32(m.n_shards);
+    for seg in &m.segments {
+        w.u64(seg.len);
+        w.u64(seg.fnv);
+    }
+    w.into_bytes()
+}
+
+/// Decodes and validates a manifest: magic, version, a segment entry
+/// per shard, nothing trailing.
+pub fn decode_manifest(bytes: &[u8]) -> Result<SnapshotManifest, SnapshotError> {
+    let mut r = SnapReader::new(bytes);
+    if r.u32()? != STORE_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if r.u32()? != STORE_VERSION {
+        return Err(SnapshotError::BadValue("store version"));
+    }
+    let n_shards = r.u32()?;
+    if n_shards == 0 {
+        return Err(SnapshotError::BadValue("shard count"));
+    }
+    let mut segments = Vec::with_capacity(n_shards as usize);
+    for _ in 0..n_shards {
+        segments.push(SegmentInfo {
+            len: r.u64()?,
+            fnv: r.u64()?,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(SnapshotError::BadValue("trailing manifest bytes"));
+    }
+    Ok(SnapshotManifest { n_shards, segments })
+}
+
+/// Encodes one shard as a standalone segment: magic, version, then the
+/// [`write_trace_set`] column dump. Byte-deterministic.
+pub fn encode_segment(ts: &TraceSet) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.u32(SEGMENT_MAGIC);
+    w.u32(STORE_VERSION);
+    write_trace_set(&mut w, ts);
+    w.into_bytes()
+}
+
+/// Decodes one segment, rejecting wrong magic/version and trailing
+/// bytes.
+pub fn decode_segment(bytes: &[u8]) -> Result<TraceSet, SnapshotError> {
+    let mut r = SnapReader::new(bytes);
+    if r.u32()? != SEGMENT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if r.u32()? != STORE_VERSION {
+        return Err(SnapshotError::BadValue("store version"));
+    }
+    let ts = read_trace_set(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(SnapshotError::BadValue("trailing segment bytes"));
+    }
+    Ok(ts)
+}
+
+/// Why a persistent snapshot failed to load or save.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (missing directory, unreadable file, ...).
+    Io(std::io::Error),
+    /// A manifest or segment failed structural decoding.
+    Decode(SnapshotError),
+    /// A segment's bytes did not match the manifest's checksum.
+    Corrupt {
+        /// The shard whose segment is damaged.
+        segment: u32,
+    },
+    /// Manifest and directory disagree (a segment's length changed, a
+    /// target routed to the wrong shard, ...); the payload names the
+    /// inconsistency.
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot io: {e}"),
+            StoreError::Decode(e) => write!(f, "snapshot decode: {e}"),
+            StoreError::Corrupt { segment } => {
+                write!(f, "snapshot segment {segment} failed its checksum")
+            }
+            StoreError::Mismatch(what) => write!(f, "snapshot inconsistent: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+/// Persists a sharded store under `dir` (created if absent):
+/// `manifest.snap` plus one segment file per shard. Returns the
+/// manifest it wrote. Byte-deterministic — equal stores produce
+/// identical directories.
+pub fn write_sharded_snapshot(
+    dir: &Path,
+    set: &ShardedTraceSet,
+) -> Result<SnapshotManifest, StoreError> {
+    std::fs::create_dir_all(dir)?;
+    let mut segments = Vec::with_capacity(set.n_shards());
+    for (s, shard) in set.shards().iter().enumerate() {
+        let bytes = encode_segment(shard);
+        segments.push(SegmentInfo {
+            len: bytes.len() as u64,
+            fnv: fnv1a(&bytes),
+        });
+        let mut f = std::fs::File::create(dir.join(segment_file(s)))?;
+        f.write_all(&bytes)?;
+    }
+    let manifest = SnapshotManifest {
+        n_shards: set.n_shards() as u32,
+        segments,
+    };
+    let mut f = std::fs::File::create(dir.join(MANIFEST_FILE))?;
+    f.write_all(&encode_manifest(&manifest))?;
+    Ok(manifest)
+}
+
+/// Loads a sharded store from `dir`, verifying every segment's length
+/// and checksum against the manifest before decoding, and every
+/// decoded target's shard against the routing function — a snapshot
+/// that would merge under the wrong route is rejected, not repaired.
+pub fn read_sharded_snapshot(dir: &Path) -> Result<ShardedTraceSet, StoreError> {
+    let manifest = decode_manifest(&read_file(&dir.join(MANIFEST_FILE))?)?;
+    let route = manifest.route();
+    let mut shards = Vec::with_capacity(manifest.n_shards as usize);
+    for (s, seg) in manifest.segments.iter().enumerate() {
+        let bytes = read_file(&dir.join(segment_file(s)))?;
+        if bytes.len() as u64 != seg.len {
+            return Err(StoreError::Mismatch("segment length"));
+        }
+        if fnv1a(&bytes) != seg.fnv {
+            return Err(StoreError::Corrupt { segment: s as u32 });
+        }
+        let ts = decode_segment(&bytes)?;
+        if ts.targets().iter().any(|&t| route.shard_of(t) != s) {
+            return Err(StoreError::Mismatch("target routed to wrong shard"));
+        }
+        shards.push(ts);
+    }
+    Ok(ShardedTraceSet::from_parts(route, shards))
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -635,6 +635,125 @@ impl TraceSet {
         }
     }
 
+    /// Single-pass k-way union, bit-identical to
+    /// [`merge_all`](Self::merge_all)'s pairwise reduction (pinned by
+    /// the `merge_props` suite): interner ids append in
+    /// first-appearance, input-major order; the leftmost owner wins
+    /// per-target dedup; names and provenance join exactly as the fold
+    /// would. Where the reduction copies every column O(log k) times
+    /// and re-hashes the accumulated interner at each level, this
+    /// copies each surviving cell once and interns each input word
+    /// once — but it holds all k id-remap tables live at once, which
+    /// is what makes it the *sharded* store's merge
+    /// ([`crate::shard::ShardedTraceSet::merge_all`]): per-shard
+    /// interners are a fraction of the flat set's, so the k tables stay
+    /// small and hot. The flat `merge_all` keeps the associative fold
+    /// as the documented reference implementation.
+    pub(crate) fn merge_kway(refs: &[&TraceSet]) -> TraceSet {
+        match refs.len() {
+            0 => return TraceSet::default(),
+            1 => return refs[0].clone(),
+            _ => {}
+        }
+        // Names and tamper counter fold left; `join_names` dedups, so
+        // any grouping agrees.
+        let mut vantage = refs[0].vantage.clone();
+        let mut target_set = refs[0].target_set.clone();
+        let mut rewritten_dropped = refs[0].rewritten_dropped;
+        for s in &refs[1..] {
+            vantage = join_names(&vantage, &s.vantage);
+            target_set = join_names(&target_set, &s.target_set);
+            rewritten_dropped += s.rewritten_dropped;
+        }
+
+        // Interner union: input 0's ids are verbatim, later inputs get
+        // a remap table in their own id order — the fold's
+        // first-appearance order.
+        let mut interner = refs[0].interner.clone();
+        let id_remaps: Vec<Option<Vec<u32>>> = std::iter::once(None)
+            .chain(refs[1..].iter().map(|s| {
+                Some(
+                    s.interner
+                        .words()
+                        .iter()
+                        .map(|&w| interner.intern(Ipv6Addr::from(w)))
+                        .collect(),
+                )
+            }))
+            .collect();
+
+        // Provenance tables dedup by name in input order; a traceless
+        // input contributes nothing (its remap is never indexed).
+        let mut sources: Vec<Arc<str>> = Vec::new();
+        let src_remaps: Vec<Vec<u32>> = refs
+            .iter()
+            .map(|s| {
+                if s.is_empty() {
+                    return Vec::new();
+                }
+                s.sources()
+                    .iter()
+                    .map(|name| match sources.iter().position(|n| n == name) {
+                        Some(i) => i as u32,
+                        None => {
+                            sources.push(name.clone());
+                            (sources.len() - 1) as u32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let n_targets: usize = refs.iter().map(|s| s.targets.len()).sum();
+        let mut out = TraceSet {
+            vantage,
+            target_set,
+            rewritten_dropped,
+            interner,
+            targets: Vec::with_capacity(n_targets),
+            metas: Vec::with_capacity(n_targets),
+            hops: Vec::with_capacity(refs.iter().map(|s| s.hops.len()).sum()),
+            unreach: Vec::with_capacity(refs.iter().map(|s| s.unreach.len()).sum()),
+            sources,
+            prov: Vec::with_capacity(n_targets),
+        };
+
+        // Sorted k-pointer walk: each step takes the smallest pending
+        // target; the lowest-index input holding it owns the surviving
+        // trace (leftmost wins, as in the fold) and every input at that
+        // target advances.
+        let mut cursors = vec![0usize; refs.len()];
+        loop {
+            let mut min: Option<u128> = None;
+            for (s, &c) in refs.iter().zip(&cursors) {
+                if let Some(&t) = s.targets.get(c) {
+                    let w = u128::from(t);
+                    if min.is_none_or(|m| w < m) {
+                        min = Some(w);
+                    }
+                }
+            }
+            let Some(min) = min else { break };
+            let mut owner: Option<usize> = None;
+            for (i, (s, c)) in refs.iter().zip(&mut cursors).enumerate() {
+                if s.targets.get(*c).is_some_and(|&t| u128::from(t) == min) {
+                    if owner.is_none() {
+                        owner = Some(i);
+                    }
+                    *c += 1;
+                }
+            }
+            let i = owner.expect("min target has an owner");
+            out.push_merged_trace(
+                refs[i],
+                cursors[i] - 1,
+                id_remaps[i].as_deref(),
+                &src_remaps[i],
+            );
+        }
+        out
+    }
+
     /// The canonically re-interned form of this set: interner ids are
     /// reassigned by first use in a deterministic walk (traces in
     /// target order, each trace's hop cells then unreachable cells),
@@ -856,6 +975,29 @@ impl<'a> TraceView<'a> {
             }
         }
         out
+    }
+
+    /// True when both views report the same observations — identical
+    /// `(ttl, address)` hop sequences, the same destination-response
+    /// TTL, and the same unreachable cells *as a multiset* — regardless
+    /// of which set (and thus which interner id assignment) each view
+    /// lives in. The change detector of snapshot-vs-snapshot
+    /// comparison.
+    ///
+    /// Hop cells compare in order (they are TTL-ascending and deduped,
+    /// so the order is canonical). Unreachable cells keep record
+    /// (receive) order, which follows the prober's randomized schedule
+    /// — two probes of an unchanged target from differently composed
+    /// campaigns interleave differently — so they compare sorted.
+    pub fn same_observations(&self, other: &TraceView<'_>) -> bool {
+        if self.reached_at() != other.reached_at() || !self.hops().eq(other.hops()) {
+            return false;
+        }
+        let mut a: Vec<(u8, Ipv6Addr)> = self.unreachable().collect();
+        let mut b: Vec<(u8, Ipv6Addr)> = other.unreachable().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
     }
 }
 

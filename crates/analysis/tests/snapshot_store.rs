@@ -1,0 +1,232 @@
+//! Filesystem battery for the persistent sharded snapshot
+//! ([`analysis::snapshot`]): byte-determinism of the written
+//! directory, a faithful round trip, and — because a longitudinal
+//! store is only as good as its failure modes — loud rejection of
+//! truncation, bit rot, version skew, missing files, and segments
+//! whose targets route to the wrong shard.
+
+use analysis::snapshot::{
+    decode_segment, encode_manifest, encode_segment, fnv1a, segment_file, SegmentInfo,
+    MANIFEST_FILE,
+};
+use analysis::{
+    read_sharded_snapshot, write_sharded_snapshot, ShardedTraceSet, SnapshotError,
+    SnapshotManifest, StoreError, TraceSet,
+};
+use std::net::Ipv6Addr;
+use std::path::{Path, PathBuf};
+use v6packet::icmp6::DestUnreachCode;
+use yarrp6::{ProbeLog, ResponseKind, ResponseRecord};
+
+/// A unique scratch directory removed on drop, even when the test
+/// fails partway.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("beholder-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A deterministic synthetic store spread over several /64 prefixes so
+/// every shard of a small route is non-empty.
+fn sample_store(shards: usize) -> ShardedTraceSet {
+    let mut records = Vec::new();
+    let mut x = 0x9e37_79b9u64;
+    for i in 0..400u64 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let prefix = x & 0xf;
+        let target = Ipv6Addr::from(
+            (0x2001_0db8_u128 << 96) | (prefix as u128) << 64 | (x >> 32 & 0x3f) as u128,
+        );
+        let responder = Ipv6Addr::from((0x2001_0db8_ffff_u128 << 80) | (x >> 16 & 0xff) as u128);
+        let kind = match x % 5 {
+            0..=2 => ResponseKind::TimeExceeded,
+            3 => ResponseKind::DestUnreachable(DestUnreachCode::NoRoute),
+            _ => ResponseKind::EchoReply,
+        };
+        records.push(ResponseRecord {
+            target,
+            responder,
+            kind,
+            probe_ttl: Some((x % 16) as u8 + 1),
+            rtt_us: Some(x % 10_000),
+            recv_us: i * 10,
+            target_cksum_ok: !x.is_multiple_of(97),
+        });
+    }
+    let mut log = ProbeLog {
+        vantage: "snapshot-v".into(),
+        target_set: "snapshot-s".into(),
+        records,
+        ..Default::default()
+    };
+    log.sort_by_recv();
+    ShardedTraceSet::from_set(&TraceSet::from_log(&log), shards)
+}
+
+fn patch(path: &Path, offset: usize, f: impl FnOnce(&mut u8)) {
+    let mut bytes = std::fs::read(path).unwrap();
+    f(&mut bytes[offset]);
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn round_trip_is_faithful() {
+    let dir = TempDir::new("round-trip");
+    let store = sample_store(4);
+    let manifest = write_sharded_snapshot(dir.path(), &store).unwrap();
+    assert_eq!(manifest.n_shards, 4);
+    let back = read_sharded_snapshot(dir.path()).unwrap();
+    // Exact: same route, same shards, same interner id assignment.
+    assert!(back == store, "snapshot round trip diverged");
+    assert!(back.to_trace_set().canonical() == store.to_trace_set().canonical());
+}
+
+#[test]
+fn single_shard_and_empty_stores_round_trip() {
+    let dir = TempDir::new("degenerate");
+    for (name, store) in [
+        ("one", sample_store(1)),
+        ("empty", ShardedTraceSet::from_set(&TraceSet::default(), 3)),
+    ] {
+        let sub = dir.path().join(name);
+        write_sharded_snapshot(&sub, &store).unwrap();
+        assert!(read_sharded_snapshot(&sub).unwrap() == store);
+    }
+}
+
+#[test]
+fn writes_are_byte_deterministic() {
+    let dir = TempDir::new("determinism");
+    let store = sample_store(4);
+    let (a, b) = (dir.path().join("a"), dir.path().join("b"));
+    write_sharded_snapshot(&a, &store).unwrap();
+    write_sharded_snapshot(&b, &store).unwrap();
+    let mut files: Vec<String> = (0..4).map(segment_file).collect();
+    files.push(MANIFEST_FILE.to_string());
+    for f in files {
+        assert_eq!(
+            std::fs::read(a.join(&f)).unwrap(),
+            std::fs::read(b.join(&f)).unwrap(),
+            "{f} differs between two writes of the same store"
+        );
+    }
+}
+
+#[test]
+fn truncated_segment_is_rejected_before_decoding() {
+    let dir = TempDir::new("truncate");
+    write_sharded_snapshot(dir.path(), &sample_store(3)).unwrap();
+    let seg = dir.path().join(segment_file(1));
+    let bytes = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &bytes[..bytes.len() - 1]).unwrap();
+    match read_sharded_snapshot(dir.path()) {
+        Err(StoreError::Mismatch(what)) => assert_eq!(what, "segment length"),
+        other => panic!("expected length mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn bit_rot_fails_the_checksum() {
+    let dir = TempDir::new("bitrot");
+    write_sharded_snapshot(dir.path(), &sample_store(3)).unwrap();
+    // Flip one bit past the segment header; length is unchanged, so
+    // only the checksum can catch it — and it names the shard.
+    patch(&dir.path().join(segment_file(2)), 64, |b| *b ^= 0x40);
+    match read_sharded_snapshot(dir.path()) {
+        Err(StoreError::Corrupt { segment: 2 }) => {}
+        other => panic!("expected corrupt segment 2, got {other:?}"),
+    }
+}
+
+#[test]
+fn manifest_version_and_magic_skew_are_rejected() {
+    let dir = TempDir::new("skew");
+    write_sharded_snapshot(dir.path(), &sample_store(2)).unwrap();
+    // Bytes 4..8 are the little-endian store version.
+    patch(&dir.path().join(MANIFEST_FILE), 4, |b| *b ^= 0xff);
+    match read_sharded_snapshot(dir.path()) {
+        Err(StoreError::Decode(SnapshotError::BadValue("store version"))) => {}
+        other => panic!("expected version rejection, got {other:?}"),
+    }
+    patch(&dir.path().join(MANIFEST_FILE), 4, |b| *b ^= 0xff);
+    patch(&dir.path().join(MANIFEST_FILE), 0, |b| *b ^= 0xff);
+    match read_sharded_snapshot(dir.path()) {
+        Err(StoreError::Decode(SnapshotError::BadMagic)) => {}
+        other => panic!("expected magic rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn segment_version_skew_is_rejected() {
+    let shard = sample_store(1).shard(0).clone();
+    let mut bytes = encode_segment(&shard);
+    bytes[4] ^= 0xff;
+    match decode_segment(&bytes) {
+        Err(SnapshotError::BadValue("store version")) => {}
+        other => panic!("expected version rejection, got {other:?}"),
+    }
+    bytes[4] ^= 0xff;
+    assert!(decode_segment(&bytes).unwrap() == shard);
+}
+
+#[test]
+fn missing_segment_is_an_io_error() {
+    let dir = TempDir::new("missing");
+    write_sharded_snapshot(dir.path(), &sample_store(3)).unwrap();
+    std::fs::remove_file(dir.path().join(segment_file(0))).unwrap();
+    match read_sharded_snapshot(dir.path()) {
+        Err(StoreError::Io(_)) => {}
+        other => panic!("expected io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn misrouted_segment_is_rejected() {
+    let dir = TempDir::new("misroute");
+    let store = sample_store(2);
+    write_sharded_snapshot(dir.path(), &store).unwrap();
+    // Swap the two segment files and re-manifest with matching
+    // lengths/checksums: every integrity check passes, but the targets
+    // now sit in shards the route disagrees with.
+    let (f0, f1) = (
+        dir.path().join(segment_file(0)),
+        dir.path().join(segment_file(1)),
+    );
+    let (b0, b1) = (std::fs::read(&f0).unwrap(), std::fs::read(&f1).unwrap());
+    std::fs::write(&f0, &b1).unwrap();
+    std::fs::write(&f1, &b0).unwrap();
+    let manifest = SnapshotManifest {
+        n_shards: 2,
+        segments: vec![
+            SegmentInfo {
+                len: b1.len() as u64,
+                fnv: fnv1a(&b1),
+            },
+            SegmentInfo {
+                len: b0.len() as u64,
+                fnv: fnv1a(&b0),
+            },
+        ],
+    };
+    std::fs::write(dir.path().join(MANIFEST_FILE), encode_manifest(&manifest)).unwrap();
+    match read_sharded_snapshot(dir.path()) {
+        Err(StoreError::Mismatch(what)) => assert_eq!(what, "target routed to wrong shard"),
+        other => panic!("expected misroute rejection, got {other:?}"),
+    }
+}

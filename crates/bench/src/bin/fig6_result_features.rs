@@ -6,7 +6,7 @@ use beholder_bench::fmt::{header, human, row};
 use beholder_bench::Scenario;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv6Addr;
-use yarrp6::campaign::{run_campaigns_parallel, CampaignSpec};
+use yarrp6::campaign::{try_run_campaigns_parallel, CampaignSpec};
 use yarrp6::YarrpConfig;
 
 fn main() {
@@ -41,7 +41,10 @@ fn main() {
                 cfg,
             })
             .collect();
-        let outs = run_campaigns_parallel(&sc.topo, &specs);
+        let outs: Vec<_> = try_run_campaigns_parallel(&sc.topo, &specs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect();
         let mut r = R {
             name: set.name.trim_end_matches("-z64").to_string(),
             probes: 0,

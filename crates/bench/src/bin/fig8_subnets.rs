@@ -5,7 +5,7 @@
 use analysis::{discover_by_path_div, ia_hack, PathDivParams, TraceSet};
 use beholder_bench::fmt::human;
 use beholder_bench::Scenario;
-use yarrp6::campaign::{run_campaigns_parallel, CampaignSpec};
+use yarrp6::campaign::{try_run_campaigns_parallel, CampaignSpec};
 use yarrp6::YarrpConfig;
 
 const POINTS: [u8; 11] = [24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64];
@@ -45,7 +45,10 @@ fn main() {
                 cfg,
             })
             .collect();
-        let outs = run_campaigns_parallel(&sc.topo, &specs);
+        let outs: Vec<_> = try_run_campaigns_parallel(&sc.topo, &specs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect();
         // Traces are analyzed per vantage (paths from different vantages
         // must not be mixed into one trace); candidate sets are unioned.
         let mut cands: Vec<analysis::CandidateSubnet> = Vec::new();

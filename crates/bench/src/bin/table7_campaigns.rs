@@ -89,7 +89,10 @@ fn main() {
                 cfg,
             })
             .collect();
-        let outs = yarrp6::campaign::run_campaigns_parallel(&sc.topo, &specs);
+        let outs: Vec<_> = yarrp6::campaign::try_run_campaigns_parallel(&sc.topo, &specs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect();
         let mut logs = Vec::new();
         for (v, out) in outs.into_iter().enumerate() {
             per_vantage[v].1 += out.log.probes_sent;

@@ -203,6 +203,10 @@ pub struct StreamedCampaign<T> {
 ///
 /// Panics on campaign failure; [`try_run_campaign_streaming`] is the
 /// non-panicking form.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `try_run_campaign_streaming` or `analysis`'s `CampaignRunner`"
+)]
 pub fn run_campaign_streaming<T>(
     topo: &Arc<Topology>,
     vantage_idx: u8,
@@ -298,6 +302,10 @@ pub struct CampaignSpec<'a> {
 ///
 /// Panics on the first failed campaign; [`try_run_campaigns_parallel`]
 /// is the non-panicking form.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `try_run_campaigns_parallel` or `analysis`'s `CampaignRunner`"
+)]
 pub fn run_campaigns_parallel(
     topo: &Arc<Topology>,
     specs: &[CampaignSpec<'_>],
@@ -367,6 +375,10 @@ pub fn try_run_campaigns_parallel(
 ///
 /// Panics on the first failed campaign;
 /// [`try_run_campaigns_serial_streaming`] is the non-panicking form.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `try_run_campaigns_serial_streaming` or `analysis`'s `CampaignRunner`"
+)]
 pub fn run_campaigns_serial_streaming<T, C, F>(
     topo: &Arc<Topology>,
     specs: &[CampaignSpec<'_>],
@@ -438,6 +450,10 @@ where
 ///
 /// Panics on the first failed campaign;
 /// [`try_run_campaigns_parallel_streaming`] is the non-panicking form.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `try_run_campaigns_parallel_streaming` or `analysis`'s `CampaignRunner`"
+)]
 pub fn run_campaigns_parallel_streaming<T, C, F>(
     topo: &Arc<Topology>,
     specs: &[CampaignSpec<'_>],
@@ -843,6 +859,10 @@ fn sweep_from<T>(runs: Vec<StreamedCampaign<T>>) -> VantageSweep<T> {
 ///
 /// Panics on the first failed campaign;
 /// [`try_run_multi_vantage_streaming`] is the non-panicking form.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `try_run_multi_vantage_streaming` or `analysis`'s `CampaignRunner`"
+)]
 pub fn run_multi_vantage_streaming<T, C, F>(
     topo: &Arc<Topology>,
     vantages: &[u8],
@@ -891,6 +911,10 @@ where
 /// Panics on the first failed campaign;
 /// [`try_run_multi_vantage_streaming_parallel`] is the non-panicking
 /// form.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `try_run_multi_vantage_streaming_parallel` or `analysis`'s `CampaignRunner`"
+)]
 pub fn run_multi_vantage_streaming_parallel<T, C, F>(
     topo: &Arc<Topology>,
     vantages: &[u8],
@@ -935,6 +959,9 @@ where
 
 #[cfg(test)]
 mod tests {
+    // The panicking wrappers are deprecated but stay pinned by these
+    // tests until they are removed outright.
+    #![allow(deprecated)]
     use super::*;
     use simnet::config::TopologyConfig;
     use simnet::generate::generate;

@@ -40,14 +40,19 @@ pub mod sink;
 pub mod yarrp;
 
 pub use campaign::{
-    run_campaign, run_campaign_streaming, run_campaign_supervised,
-    run_campaigns_parallel_streaming, run_campaigns_serial_streaming,
-    run_campaigns_supervised_parallel, run_campaigns_supervised_serial,
-    run_multi_vantage_streaming, run_multi_vantage_streaming_parallel, try_run_campaign_streaming,
-    try_run_campaign_streaming_at, try_run_campaigns_parallel,
-    try_run_campaigns_parallel_streaming, try_run_campaigns_serial_streaming,
-    try_run_multi_vantage_streaming, try_run_multi_vantage_streaming_parallel, CampaignError,
-    CampaignResult, RetryPolicy, StreamedCampaign, SupervisedCampaign, VantageSweep,
+    run_campaign, run_campaign_supervised, run_campaigns_supervised_parallel,
+    run_campaigns_supervised_serial, try_run_campaign_streaming, try_run_campaign_streaming_at,
+    try_run_campaigns_parallel, try_run_campaigns_parallel_streaming,
+    try_run_campaigns_serial_streaming, try_run_multi_vantage_streaming,
+    try_run_multi_vantage_streaming_parallel, CampaignError, CampaignResult, RetryPolicy,
+    StreamedCampaign, SupervisedCampaign, VantageSweep,
+};
+// The panicking duplicates stay re-exported (with their deprecation)
+// so downstream `use yarrp6::run_campaign_streaming` keeps compiling.
+#[allow(deprecated)]
+pub use campaign::{
+    run_campaign_streaming, run_campaigns_parallel_streaming, run_campaigns_serial_streaming,
+    run_multi_vantage_streaming, run_multi_vantage_streaming_parallel,
 };
 pub use record::{DecodeError, DecodeStats, ProbeLog, ResponseKind, ResponseRecord};
 pub use sink::{RecordSink, RecordStream, SinkDisconnected, StreamConfig};

@@ -26,10 +26,15 @@ fn main() {
         max_ttl: 12,
         ..YarrpConfig::default()
     };
-    let sweep =
-        stream_multi_vantage_parallel(&topo, &[0, 1, 2], set, &cfg, &StreamConfig::default());
+    let sweep = CampaignRunner::new(&topo)
+        .targets(set)
+        .vantages(&[0, 1, 2])
+        .config(cfg)
+        .parallel(true)
+        .run()
+        .expect("sweep failed");
 
-    let per = || sweep.per_vantage.iter().map(|(ts, _)| ts);
+    let per = || sweep.runs.iter().map(|r| &r.traces);
     let rows = vantage_contributions(per());
     let union = vantage_union_count(per());
     println!(

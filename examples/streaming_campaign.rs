@@ -10,33 +10,35 @@
 
 use beholder::prelude::*;
 use std::sync::Arc;
-use yarrp6::campaign::CampaignSpec;
 
 fn main() {
     let topo = Arc::new(beholder::net::generate::generate(TopologyConfig::tiny(99)));
     let seeds = SeedCatalog::synthesize(&topo, 99);
     let catalog = TargetCatalog::build(&seeds, IidStrategy::FixedIid);
 
-    let cfg = YarrpConfig::default();
     let set_names = ["caida-z64", "fdns-z64", "cdn-k32-z64", "tum-z64"];
     let sets: Vec<&TargetSet> = set_names.iter().map(|n| catalog.get(n).unwrap()).collect();
+    let vantages: Vec<u8> = (0..topo.vantages.len() as u8).collect();
 
-    let mut specs = Vec::new();
-    for set in &sets {
-        for v in 0..topo.vantages.len() as u8 {
-            specs.push(CampaignSpec {
-                vantage_idx: v,
-                set,
-                cfg,
-            });
-        }
-    }
-
-    // All (vantage x set) campaigns in parallel; each worker streams
-    // its prober into a per-campaign TraceSetBuilder and hands back
-    // the finished columnar TraceSet plus the engine's accounting.
-    let stream = StreamConfig::default();
-    let results = stream_campaigns_parallel(&topo, &specs, &stream);
+    // One runner per set, all vantages on the work-queue pool; each
+    // worker streams its prober into a per-campaign TraceSetBuilder
+    // and hands back the finished columnar TraceSet plus the engine's
+    // accounting — `run()` always takes the streaming pipeline, so no
+    // campaign ever holds its record log.
+    let results: Vec<(TraceSet, EngineStats)> = sets
+        .iter()
+        .flat_map(|set| {
+            CampaignRunner::new(&topo)
+                .targets(set)
+                .vantages(&vantages)
+                .parallel(true)
+                .run()
+                .expect("campaign failed")
+                .runs
+                .into_iter()
+                .map(|r| (r.traces, r.stats))
+        })
+        .collect();
 
     println!(
         "{:<12} {:<10} {:>8} {:>8} {:>9} {:>7}",

@@ -74,7 +74,7 @@
 use crate::checkpoint::{config_digest, Checkpoint, ResumeError};
 use analysis::{
     discover_by_path_div, ia_hack, quarantine_all, stream_campaigns_supervised, AsnResolver,
-    PathDivParams, QuarantineConfig, TraceSet,
+    PathDivParams, QuarantineConfig, ShardedTraceSet, TraceSet,
 };
 use seeds::feedback::{feedback_list, FeedbackParams};
 // The workspace's shared splitmix64, for per-round generation seeds.
@@ -169,6 +169,29 @@ pub struct AdaptiveConfig {
     /// Thresholds for the quarantine stage; read only when
     /// [`quarantine_feedback`](Self::quarantine_feedback) is on.
     pub quarantine: QuarantineConfig,
+    /// Opt-in delta seeding (read by [`run_adaptive_delta`]): resume
+    /// discovery from a prior run's persisted sharded store, spending
+    /// budget only where the topology changed. `None` (the default)
+    /// leaves every other entry point bit-identical to earlier
+    /// releases — the field only matters to the delta driver.
+    pub delta_seeding: Option<DeltaSeedConfig>,
+}
+
+/// Knobs for [`run_adaptive_delta`]'s snapshot-seeded mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaSeedConfig {
+    /// How many already-known targets to re-probe as *canaries*: a
+    /// stride-sampled subset of the prior snapshot's targets whose
+    /// observations are compared against the stored ones. A canary
+    /// whose trace changed reopens its whole target-prefix shard for
+    /// re-probing (and resets the yield-floor streak).
+    pub canary_targets: usize,
+}
+
+impl Default for DeltaSeedConfig {
+    fn default() -> Self {
+        DeltaSeedConfig { canary_targets: 64 }
+    }
 }
 
 impl Default for AdaptiveConfig {
@@ -194,6 +217,7 @@ impl Default for AdaptiveConfig {
             retry: RetryPolicy::default(),
             quarantine_feedback: false,
             quarantine: QuarantineConfig::default(),
+            delta_seeding: None,
         }
     }
 }
@@ -397,7 +421,7 @@ pub fn run_adaptive(
     cfg: &AdaptiveConfig,
 ) -> AdaptiveResult {
     let st = LoopState::fresh(initial, cfg.vantages.len().max(1));
-    run_loop(topo, cfg, false, st, |_| {})
+    run_loop(topo, cfg, false, st, None, |_| {})
 }
 
 /// Runs the adaptive loop with each round's campaigns executed on the
@@ -410,7 +434,70 @@ pub fn run_adaptive_parallel(
     cfg: &AdaptiveConfig,
 ) -> AdaptiveResult {
     let st = LoopState::fresh(initial, cfg.vantages.len().max(1));
-    run_loop(topo, cfg, true, st, |_| {})
+    run_loop(topo, cfg, true, st, None, |_| {})
+}
+
+/// Runs the adaptive loop seeded from a prior run's persisted sharded
+/// store ([`ShardedTraceSet`], typically loaded with
+/// [`analysis::read_sharded_snapshot`]): everything the snapshot
+/// already discovered counts as seen, every target it already holds a
+/// trace for is pre-marked probed, and budget flows only to *new*
+/// targets — plus a stride-sampled set of **canaries**
+/// ([`DeltaSeedConfig::canary_targets`]) re-probed to detect topology
+/// change. A canary whose observations differ from the stored trace
+/// reopens its whole target-prefix shard (every stored target in the
+/// canary's [`ShardRoute`](analysis::ShardRoute) shard is re-queued)
+/// and resets the yield-floor streak, so changed regions are re-swept
+/// at full intensity while unchanged regions cost only their canaries.
+///
+/// Reads [`AdaptiveConfig::delta_seeding`] (its default when `None`).
+/// The result's `traces` include the prior shards (the merged view is
+/// the updated store); `stats`/`probes()` count only this run's
+/// probing. Delta runs are not checkpointable — the snapshot, not the
+/// checkpoint layer, is the durability story here.
+pub fn run_adaptive_delta(
+    topo: &Arc<Topology>,
+    initial: &TargetSet,
+    cfg: &AdaptiveConfig,
+    prior: &ShardedTraceSet,
+    parallel: bool,
+) -> AdaptiveResult {
+    let dcfg = cfg.delta_seeding.unwrap_or_default();
+    let mut st = LoopState::fresh(initial, cfg.vantages.len().max(1));
+    // The snapshot's discoveries seed the seen-set (they are not
+    // re-counted as yield) and its shards seed the kept trace record,
+    // so the result's merged view is the updated store.
+    prior.discovery_delta(&mut st.seen);
+    st.traces.extend(prior.shards().iter().cloned());
+    // Every stored target — the prior run's initial *and* feedback
+    // rounds — is pre-marked probed so no budget re-pays it (feedback
+    // generation from the seeded seen-set re-derives much of the prior
+    // run's target space; without this the delta run would re-sweep
+    // it). Canaries are exempted: they stay probeable for change
+    // detection. Shard target lists are disjoint, so one sort yields
+    // the stride-sampling order.
+    let mut known: Vec<Ipv6Addr> = prior
+        .shards()
+        .iter()
+        .flat_map(|s| s.targets().iter().copied())
+        .collect();
+    known.sort_unstable();
+    let canaries = stride_sample(&known, dcfg.canary_targets.max(1));
+    for &t in &known {
+        if canaries.binary_search(&t).is_err() {
+            st.probed.insert(t);
+        }
+    }
+    // The canaries ride the force queue into round 0: most stored
+    // targets are feedback-round derivations outside `initial`'s pool,
+    // so sampling the pool alone would re-probe almost none of them.
+    let delta = DeltaCtx {
+        prior,
+        force: canaries.clone(),
+        canaries,
+        reopened: vec![false; prior.n_shards()],
+    };
+    run_loop(topo, cfg, parallel, st, Some(delta), |_| {})
 }
 
 /// [`run_adaptive`] (or its parallel form) with a [`Checkpoint`]
@@ -429,7 +516,7 @@ pub fn run_adaptive_checkpointed(
 ) -> AdaptiveResult {
     let digest = config_digest(topo, cfg);
     let st = LoopState::fresh(initial, cfg.vantages.len().max(1));
-    run_loop(topo, cfg, parallel, st, |s| {
+    run_loop(topo, cfg, parallel, st, None, |s| {
         on_round(&Checkpoint::capture(digest, s))
     })
 }
@@ -462,9 +549,30 @@ pub fn resume_adaptive_checkpointed(
     if digest != ckpt.digest() {
         return Err(ResumeError::ConfigMismatch);
     }
-    Ok(run_loop(topo, cfg, parallel, ckpt.state().clone(), |s| {
-        on_round(&Checkpoint::capture(digest, s))
-    }))
+    Ok(run_loop(
+        topo,
+        cfg,
+        parallel,
+        ckpt.state().clone(),
+        None,
+        |s| on_round(&Checkpoint::capture(digest, s)),
+    ))
+}
+
+/// Cross-round context of a delta-seeded run ([`run_adaptive_delta`]):
+/// the prior store the canaries compare against, which shards have
+/// already been reopened, and the reopened targets queued for the next
+/// round. `None` everywhere else — the plain loop never looks at it.
+struct DeltaCtx<'a> {
+    prior: &'a ShardedTraceSet,
+    /// Stride-sampled known targets re-probed for change detection
+    /// (sorted — a subset of the sorted initial list).
+    canaries: Vec<Ipv6Addr>,
+    /// Reopen-once latch per prior shard.
+    reopened: Vec<bool>,
+    /// Targets queued for forced re-probing (reopened shards), drained
+    /// up to the round cap each round.
+    force: Vec<Ipv6Addr>,
 }
 
 fn run_loop(
@@ -472,6 +580,7 @@ fn run_loop(
     cfg: &AdaptiveConfig,
     parallel: bool,
     mut st: LoopState,
+    mut delta: Option<DeltaCtx<'_>>,
     mut on_round: impl FnMut(&LoopState),
 ) -> AdaptiveResult {
     assert!(!cfg.vantages.is_empty(), "at least one vantage required");
@@ -573,11 +682,31 @@ fn run_loop(
             .filter(|&a| !st.probed.contains(a))
             .collect();
         let cap = cfg.round_targets.min(budget_cap);
-        let targets = stride_sample(&unprobed, cap);
+        // Delta seeding: reopened-shard targets jump the queue — they
+        // fill the round up to the cap first (leftovers wait for the
+        // next round), the regular pool sample takes what remains.
+        let forced: Vec<Ipv6Addr> = match delta.as_mut() {
+            Some(d) if !d.force.is_empty() => {
+                let take = d.force.len().min(cap);
+                d.force.drain(..take).collect()
+            }
+            _ => Vec::new(),
+        };
+        let targets = if forced.is_empty() {
+            stride_sample(&unprobed, cap)
+        } else {
+            let mut t = forced;
+            t.extend(stride_sample(&unprobed, cap - t.len()));
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
         if targets.is_empty() {
             break StopReason::NoTargets;
         }
         for &t in &targets {
+            // Forced re-probes were already marked in a prior round (or
+            // at delta seeding); re-inserting is a harmless no-op.
             st.probed.insert(t);
         }
 
@@ -763,6 +892,7 @@ fn run_loop(
         // Mine the round: discovery deltas against the global seen-set,
         // inferred subnets, merged engine accounting (every supervised
         // attempt's probes count — retries burn real budget).
+        let sets_before = st.traces.len();
         let mut round_stats = EngineStats::default();
         let mut new_ifaces = 0u64;
         let mut new_subnets = 0u64;
@@ -865,6 +995,50 @@ fn run_loop(
             st.low_streak += 1;
         } else {
             st.low_streak = 0;
+        }
+
+        // Delta seeding: compare every canary probed this round against
+        // its stored trace. Changed (or vanished) observations reopen
+        // the canary's whole target-prefix shard — its stored targets
+        // queue for forced re-probing — and reset the yield streak so
+        // the floor can't stop the loop before the re-sweep runs.
+        if let Some(d) = delta.as_mut() {
+            let round_list = st
+                .round_targets
+                .last()
+                .expect("round list pushed just above");
+            let this_round = &st.traces[sets_before..];
+            let mut reopened_any = false;
+            for &c in &d.canaries {
+                if round_list.binary_search(&c).is_err() {
+                    continue; // not sampled this round
+                }
+                let changed = match (d.prior.get(c), this_round.iter().find_map(|ts| ts.get(c))) {
+                    (Some(p), Some(f)) => !f.same_observations(&p),
+                    (Some(_), None) => true, // trace vanished entirely
+                    (None, _) => false,      // canaries are prior targets
+                };
+                if changed {
+                    let s = d.prior.route().shard_of(c);
+                    if !d.reopened[s] {
+                        d.reopened[s] = true;
+                        // Canaries re-probe through their own sampling;
+                        // everything else in the shard queues.
+                        d.force.extend(
+                            d.prior
+                                .shard(s)
+                                .targets()
+                                .iter()
+                                .copied()
+                                .filter(|t| d.canaries.binary_search(t).is_err()),
+                        );
+                        reopened_any = true;
+                    }
+                }
+            }
+            if reopened_any {
+                st.low_streak = 0;
+            }
         }
 
         // Skip pool regeneration when the loop top is certain to stop —

@@ -14,9 +14,13 @@
 //! silently-divergent run.
 
 use crate::adaptive::{AdaptiveConfig, LoopState, RoundReport, VantageRound};
-use analysis::{read_trace_set, write_trace_set, SnapReader, SnapWriter, SnapshotError};
+use analysis::snapshot::{decode_segment, encode_segment, fnv1a};
+use analysis::{
+    read_trace_set, write_trace_set, SnapReader, SnapWriter, SnapshotError, StoreError,
+};
 use simnet::{EngineStats, Topology};
 use std::net::Ipv6Addr;
+use std::path::Path;
 use v6addr::Ipv6Prefix;
 use yarrp6::addrset::AddrSet;
 
@@ -27,6 +31,21 @@ const MAGIC: u32 = 0x4248_434B;
 /// refused (pre-adversarial builds cannot have produced state worth
 /// resuming under a schedule-bearing config anyway).
 const VERSION: u32 = 2;
+/// The directory format ([`Checkpoint::save_dir`]): instead of
+/// inlining every trace set, `checkpoint.bin` holds the loop scalars
+/// plus a segment table (length + FNV-1a per trace set), and each
+/// trace set lives in its own `trace-NNNN.seg` file alongside — the
+/// same per-segment encoding the persistent sharded store uses, so a
+/// later round appends new segment files without rewriting the old
+/// ones.
+const DIR_VERSION: u32 = 3;
+/// The scalar/table file of the directory format.
+const DIR_FILE: &str = "checkpoint.bin";
+
+/// Segment file name of the `i`-th trace set in the directory format.
+fn trace_file(i: usize) -> String {
+    format!("trace-{i:04}.seg")
+}
 
 /// Why a resume was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,38 +123,12 @@ impl Checkpoint {
         w.u32(VERSION);
         w.u64(self.digest);
         let st = &self.state;
-        w.u32(st.vweights.len() as u32);
-        for &v in &st.vweights {
-            w.f64(v);
-        }
-        w.u32(st.alive.len() as u32);
-        for &a in &st.alive {
-            w.bool(a);
-        }
-        write_addr_set(&mut w, &st.seen);
-        write_addr_set(&mut w, &st.probed);
-        w.u32(st.subnets.len() as u32);
-        for p in &st.subnets {
-            w.u128(p.base_word());
-            w.u8(p.len());
-        }
-        w.u32(st.rounds.len() as u32);
-        for r in &st.rounds {
-            write_round(&mut w, r);
-        }
-        w.u32(st.round_targets.len() as u32);
-        for rt in &st.round_targets {
-            write_addrs(&mut w, rt);
-        }
+        write_pre_traces(&mut w, st);
         w.u32(st.traces.len() as u32);
         for ts in &st.traces {
             write_trace_set(&mut w, ts);
         }
-        write_stats(&mut w, &st.stats);
-        w.u64(st.consumed);
-        w.u64(st.low_streak as u64);
-        write_addrs(&mut w, &st.pool);
-        w.u64(st.vclock_us);
+        write_post_traces(&mut w, st);
         w.into_bytes()
     }
 
@@ -151,72 +144,227 @@ impl Checkpoint {
             return Err(SnapshotError::BadValue("unsupported checkpoint version"));
         }
         let digest = r.u64()?;
+        let pre = read_pre_traces(&mut r)?;
         let n = r.u32()? as usize;
-        let mut vweights = Vec::with_capacity(n);
-        for _ in 0..n {
-            vweights.push(r.f64()?);
-        }
-        let n = r.u32()? as usize;
-        let mut alive = Vec::with_capacity(n);
-        for _ in 0..n {
-            alive.push(r.bool()?);
-        }
-        if alive.len() != vweights.len() {
-            return Err(SnapshotError::BadValue("alive/weight length mismatch"));
-        }
-        let seen = read_addr_set(&mut r)?;
-        let probed = read_addr_set(&mut r)?;
-        let n = r.u32()? as usize;
-        let mut subnets = Vec::with_capacity(n);
-        for _ in 0..n {
-            let word = r.u128()?;
-            let len = r.u8()?;
-            if len > 128 {
-                return Err(SnapshotError::BadValue("prefix length over 128"));
-            }
-            subnets.push(Ipv6Prefix::from_word(word, len));
-        }
-        let n = r.u32()? as usize;
-        let mut rounds = Vec::with_capacity(n);
-        for _ in 0..n {
-            rounds.push(read_round(&mut r)?);
-        }
-        let n = r.u32()? as usize;
-        let mut round_targets = Vec::with_capacity(n);
-        for _ in 0..n {
-            round_targets.push(read_addrs(&mut r)?);
-        }
-        let n = r.u32()? as usize;
-        let mut traces = Vec::with_capacity(n);
+        let mut traces = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
             traces.push(read_trace_set(&mut r)?);
         }
-        let stats = read_stats(&mut r)?;
-        let consumed = r.u64()?;
-        let low_streak = r.u64()? as usize;
-        let pool = read_addrs(&mut r)?;
-        let vclock_us = r.u64()?;
+        let post = read_post_traces(&mut r)?;
         if r.remaining() != 0 {
             return Err(SnapshotError::BadValue("trailing bytes after checkpoint"));
         }
         Ok(Checkpoint {
             digest,
-            state: LoopState {
-                vweights,
-                alive,
-                seen,
-                probed,
-                subnets,
-                rounds,
-                round_targets,
-                traces,
-                stats,
-                consumed,
-                low_streak,
-                pool,
-                vclock_us,
-            },
+            state: assemble_state(pre, traces, post),
         })
+    }
+
+    /// Persists the checkpoint as a **directory**: `checkpoint.bin`
+    /// holds the loop scalars plus a segment table, and each trace set
+    /// is its own `trace-NNNN.seg` file (the persistent store's
+    /// segment encoding). Since the trace record only ever grows by
+    /// appending campaign sets, successive round-boundary saves rewrite
+    /// the small scalar file and *add* segment files — earlier rounds'
+    /// segments are byte-identical and need no rewrite (an rsync-style
+    /// sink transfers only the delta).
+    pub fn save_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let st = &self.state;
+        let mut w = SnapWriter::new();
+        w.u32(MAGIC);
+        w.u32(DIR_VERSION);
+        w.u64(self.digest);
+        write_pre_traces(&mut w, st);
+        w.u32(st.traces.len() as u32);
+        for (i, ts) in st.traces.iter().enumerate() {
+            let seg = encode_segment(ts);
+            w.u64(seg.len() as u64);
+            w.u64(fnv1a(&seg));
+            std::fs::write(dir.join(trace_file(i)), &seg)?;
+        }
+        write_post_traces(&mut w, st);
+        std::fs::write(dir.join(DIR_FILE), w.into_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint saved by [`save_dir`](Self::save_dir),
+    /// verifying every segment's recorded length and FNV-1a before
+    /// decoding — a truncated or bit-flipped segment file is
+    /// [`StoreError::Mismatch`] / [`StoreError::Corrupt`], never a
+    /// panic or a silently wrong resume.
+    pub fn load_dir(dir: &Path) -> Result<Checkpoint, StoreError> {
+        let bytes = std::fs::read(dir.join(DIR_FILE))?;
+        let mut r = SnapReader::new(&bytes);
+        if r.u32()? != MAGIC {
+            return Err(StoreError::Decode(SnapshotError::BadMagic));
+        }
+        if r.u32()? != DIR_VERSION {
+            return Err(StoreError::Decode(SnapshotError::BadValue(
+                "unsupported checkpoint directory version",
+            )));
+        }
+        let digest = r.u64()?;
+        let pre = read_pre_traces(&mut r)?;
+        let n = r.u32()? as usize;
+        let mut traces = Vec::with_capacity(n.min(1 << 16));
+        for i in 0..n {
+            let len = r.u64()?;
+            let fnv = r.u64()?;
+            let seg = std::fs::read(dir.join(trace_file(i)))?;
+            if seg.len() as u64 != len {
+                return Err(StoreError::Mismatch("trace segment length"));
+            }
+            if fnv1a(&seg) != fnv {
+                return Err(StoreError::Corrupt { segment: i as u32 });
+            }
+            traces.push(decode_segment(&seg)?);
+        }
+        let post = read_post_traces(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(StoreError::Decode(SnapshotError::BadValue(
+                "trailing bytes after checkpoint",
+            )));
+        }
+        Ok(Checkpoint {
+            digest,
+            state: assemble_state(pre, traces, post),
+        })
+    }
+}
+
+/// The checkpointed loop fields serialized *before* the trace record,
+/// in encoding order.
+struct PreTraces {
+    vweights: Vec<f64>,
+    alive: Vec<bool>,
+    seen: AddrSet,
+    probed: AddrSet,
+    subnets: Vec<Ipv6Prefix>,
+    rounds: Vec<RoundReport>,
+    round_targets: Vec<Vec<Ipv6Addr>>,
+}
+
+/// The checkpointed loop fields serialized *after* the trace record.
+struct PostTraces {
+    stats: EngineStats,
+    consumed: u64,
+    low_streak: usize,
+    pool: Vec<Ipv6Addr>,
+    vclock_us: u64,
+}
+
+fn write_pre_traces(w: &mut SnapWriter, st: &LoopState) {
+    w.u32(st.vweights.len() as u32);
+    for &v in &st.vweights {
+        w.f64(v);
+    }
+    w.u32(st.alive.len() as u32);
+    for &a in &st.alive {
+        w.bool(a);
+    }
+    write_addr_set(w, &st.seen);
+    write_addr_set(w, &st.probed);
+    w.u32(st.subnets.len() as u32);
+    for p in &st.subnets {
+        w.u128(p.base_word());
+        w.u8(p.len());
+    }
+    w.u32(st.rounds.len() as u32);
+    for r in &st.rounds {
+        write_round(w, r);
+    }
+    w.u32(st.round_targets.len() as u32);
+    for rt in &st.round_targets {
+        write_addrs(w, rt);
+    }
+}
+
+fn read_pre_traces(r: &mut SnapReader<'_>) -> Result<PreTraces, SnapshotError> {
+    let n = r.u32()? as usize;
+    let mut vweights = Vec::with_capacity(n);
+    for _ in 0..n {
+        vweights.push(r.f64()?);
+    }
+    let n = r.u32()? as usize;
+    let mut alive = Vec::with_capacity(n);
+    for _ in 0..n {
+        alive.push(r.bool()?);
+    }
+    if alive.len() != vweights.len() {
+        return Err(SnapshotError::BadValue("alive/weight length mismatch"));
+    }
+    let seen = read_addr_set(r)?;
+    let probed = read_addr_set(r)?;
+    let n = r.u32()? as usize;
+    let mut subnets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let word = r.u128()?;
+        let len = r.u8()?;
+        if len > 128 {
+            return Err(SnapshotError::BadValue("prefix length over 128"));
+        }
+        subnets.push(Ipv6Prefix::from_word(word, len));
+    }
+    let n = r.u32()? as usize;
+    let mut rounds = Vec::with_capacity(n);
+    for _ in 0..n {
+        rounds.push(read_round(r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut round_targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        round_targets.push(read_addrs(r)?);
+    }
+    Ok(PreTraces {
+        vweights,
+        alive,
+        seen,
+        probed,
+        subnets,
+        rounds,
+        round_targets,
+    })
+}
+
+fn write_post_traces(w: &mut SnapWriter, st: &LoopState) {
+    write_stats(w, &st.stats);
+    w.u64(st.consumed);
+    w.u64(st.low_streak as u64);
+    write_addrs(w, &st.pool);
+    w.u64(st.vclock_us);
+}
+
+fn read_post_traces(r: &mut SnapReader<'_>) -> Result<PostTraces, SnapshotError> {
+    let stats = read_stats(r)?;
+    let consumed = r.u64()?;
+    let low_streak = r.u64()? as usize;
+    let pool = read_addrs(r)?;
+    let vclock_us = r.u64()?;
+    Ok(PostTraces {
+        stats,
+        consumed,
+        low_streak,
+        pool,
+        vclock_us,
+    })
+}
+
+fn assemble_state(pre: PreTraces, traces: Vec<analysis::TraceSet>, post: PostTraces) -> LoopState {
+    LoopState {
+        vweights: pre.vweights,
+        alive: pre.alive,
+        seen: pre.seen,
+        probed: pre.probed,
+        subnets: pre.subnets,
+        rounds: pre.rounds,
+        round_targets: pre.round_targets,
+        traces,
+        stats: post.stats,
+        consumed: post.consumed,
+        low_streak: post.low_streak,
+        pool: post.pool,
+        vclock_us: post.vclock_us,
     }
 }
 

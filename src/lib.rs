@@ -67,17 +67,19 @@ pub use yarrp6 as probe;
 pub mod prelude {
     pub use crate::adaptive::{
         resume_adaptive, resume_adaptive_checkpointed, run_adaptive, run_adaptive_checkpointed,
-        run_adaptive_parallel, AdaptiveConfig, AdaptiveResult, RoundReport, StopReason,
-        VantageRound,
+        run_adaptive_delta, run_adaptive_parallel, AdaptiveConfig, AdaptiveResult, DeltaSeedConfig,
+        RoundReport, StopReason, VantageRound,
     };
     pub use crate::checkpoint::{Checkpoint, ResumeError};
     pub use analysis::{
-        discover_by_path_div, ia_hack, quarantine, quarantine_all, stream_campaign,
-        stream_campaigns_parallel, stream_campaigns_serial, stream_campaigns_supervised,
-        stream_multi_vantage, stream_multi_vantage_parallel, vantage_contributions,
-        vantage_jaccard, vantage_union_count, AsnResolver, CandidateSubnet, MultiVantageCampaign,
-        PathDivParams, QuarantineConfig, QuarantineReport, SnapshotError, TraceSet,
-        TraceSetBuilder, TraceView, VantageContribution,
+        discover_by_path_div, ia_hack, quarantine, quarantine_all, read_sharded_snapshot,
+        stream_campaign, stream_campaigns_parallel, stream_campaigns_serial,
+        stream_campaigns_supervised, stream_multi_vantage, stream_multi_vantage_parallel,
+        vantage_contributions, vantage_jaccard, vantage_union_count, write_sharded_snapshot,
+        AsnResolver, CampaignOutcome, CampaignRun, CampaignRunner, CandidateSubnet,
+        MultiVantageCampaign, PathDivParams, QuarantineConfig, QuarantineReport, ShardRoute,
+        ShardedTraceSet, ShardedTraceSetBuilder, SnapshotError, SnapshotManifest, StoreError,
+        TraceSet, TraceSetBuilder, TraceView, VantageContribution,
     };
     pub use seeds::sources::SeedCatalog;
     pub use seeds::{SeedEntry, SeedList};

@@ -1,0 +1,131 @@
+//! Contracts of snapshot-seeded delta discovery
+//! ([`beholder::adaptive::run_adaptive_delta`]):
+//!
+//! * **unchanged world, cheaper sweep** — against a snapshot of its
+//!   own prior run, the delta loop probes strictly fewer targets than
+//!   the fresh run did while ending at the same discovered-interface
+//!   count (the canaries confirm nothing moved, so budget buys
+//!   nothing);
+//! * **determinism** — same `(topology, initial, config, snapshot)`
+//!   produces identical rounds, serial or parallel;
+//! * **changed world, reopened shards** — a snapshot whose stored
+//!   observations disagree with what the canaries re-probe forces the
+//!   mismatched shards back into the target pool, costing more than
+//!   the unchanged case.
+
+use beholder::prelude::*;
+use std::sync::Arc;
+
+fn fixture() -> (Arc<Topology>, TargetSet) {
+    // Rate limiting is the one schedule-dependent response path (token
+    // buckets drain differently under a 48-canary round than under a
+    // full sweep); neutralizing it makes observations a pure function
+    // of (target, ttl), which is what lets an unchanged world re-probe
+    // to identical canary observations. Loss/unresponsiveness are
+    // hash-keyed and deterministic either way.
+    let mut tc = TopologyConfig::tiled(42, 2);
+    tc.default_rl = beholder::net::config::RateLimitClass {
+        rate_pps: 1_000_000,
+        burst: 1_000_000,
+    };
+    tc.aggressive_frac = 0.0;
+    let topo = Arc::new(beholder::net::generate::generate(tc));
+    let seeds = SeedCatalog::synthesize(&topo, 42);
+    let z64 = targets::zn(&seeds.caida, 64);
+    let set = targets::synthesize::synthesize("delta-r0", &z64, IidStrategy::FixedIid);
+    (topo, set)
+}
+
+/// Round cap far above the initial set so the fresh run covers it in
+/// round 0 and the snapshot knows every responsive target.
+fn cfg() -> AdaptiveConfig {
+    AdaptiveConfig {
+        vantages: vec![0, 2],
+        probe_budget: 2_000_000,
+        round_targets: 4_096,
+        shards: 2,
+        max_rounds: 3,
+        // A positive yield floor with no patience is what lets the
+        // delta loop *stop* on an unchanged world: its canary round
+        // earns nothing, so the run ends there instead of re-deriving
+        // feedback targets from the seeded discovery set.
+        min_yield_per_kprobes: 0.5,
+        patience: 1,
+        delta_seeding: Some(DeltaSeedConfig { canary_targets: 48 }),
+        ..AdaptiveConfig::default()
+    }
+}
+
+fn targets_probed(res: &AdaptiveResult) -> u64 {
+    res.rounds.iter().map(|r| r.targets).sum()
+}
+
+fn snapshot_of(res: &AdaptiveResult) -> ShardedTraceSet {
+    ShardedTraceSet::from_set(&res.merged_traces(), 8)
+}
+
+#[test]
+fn unchanged_snapshot_probes_fewer_targets_for_equal_discovery() {
+    let (topo, set) = fixture();
+    let fresh = run_adaptive(&topo, &set, &cfg());
+    let prior = snapshot_of(&fresh);
+    let delta = run_adaptive_delta(&topo, &set, &cfg(), &prior, false);
+    assert!(
+        targets_probed(&delta) < targets_probed(&fresh),
+        "delta against an unchanged snapshot must probe strictly fewer targets \
+         (delta {} vs fresh {})",
+        targets_probed(&delta),
+        targets_probed(&fresh)
+    );
+    assert_eq!(
+        delta.unique_interfaces(),
+        fresh.unique_interfaces(),
+        "an unchanged world must yield the same discovered-interface count"
+    );
+}
+
+#[test]
+fn delta_runs_are_deterministic_serial_and_parallel() {
+    let (topo, set) = fixture();
+    let prior = snapshot_of(&run_adaptive(&topo, &set, &cfg()));
+    let a = run_adaptive_delta(&topo, &set, &cfg(), &prior, false);
+    let b = run_adaptive_delta(&topo, &set, &cfg(), &prior, true);
+    assert_eq!(a.round_targets, b.round_targets);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(a.traces.len(), b.traces.len());
+    for (x, y) in a.traces.iter().zip(&b.traces) {
+        assert!(x == y, "delta trace sets diverged between drivers");
+    }
+    assert_eq!(
+        a.interfaces.iter().collect::<Vec<_>>(),
+        b.interfaces.iter().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn changed_observations_reopen_their_shards() {
+    let (topo, set) = fixture();
+    let unchanged_prior = snapshot_of(&run_adaptive(&topo, &set, &cfg()));
+    // A snapshot taken with a much shorter TTL horizon: every stored
+    // path is a truncated version of what a canary re-probe sees, so
+    // canaries disagree and their shards must be re-swept.
+    let short = AdaptiveConfig {
+        yarrp: YarrpConfig {
+            max_ttl: 4,
+            ..YarrpConfig::default()
+        },
+        ..cfg()
+    };
+    let stale_prior = snapshot_of(&run_adaptive(&topo, &set, &short));
+
+    let calm = run_adaptive_delta(&topo, &set, &cfg(), &unchanged_prior, false);
+    let resweep = run_adaptive_delta(&topo, &set, &cfg(), &stale_prior, false);
+    assert!(
+        targets_probed(&resweep) > targets_probed(&calm),
+        "disagreeing canaries must reopen shards and probe more targets \
+         (stale {} vs unchanged {})",
+        targets_probed(&resweep),
+        targets_probed(&calm)
+    );
+}

@@ -65,7 +65,9 @@ fn extract_string(json: &str, key: &str) -> Option<String> {
 /// `yield_ratio`.
 fn headline_key(bench: &str) -> &'static [&'static str] {
     match bench {
-        "hotpath_pps" | "trace_analysis_pps" | "stream_campaign_pps" => &["speedup"],
+        "hotpath_pps" | "trace_analysis_pps" | "stream_campaign_pps" | "shard_snapshot_pps" => {
+            &["speedup"]
+        }
         "adaptive_yield" | "vantage_yield" | "churn_yield" | "poisoned_yield" => &["yield_ratio"],
         _ => &["speedup", "yield_ratio"],
     }
