@@ -18,17 +18,32 @@ use std::net::Ipv6Addr;
 const UNASSIGNED: u32 = u32::MAX;
 
 /// A router-level topology graph.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouterGraph {
     /// Node id → its interface addresses.
     pub nodes: Vec<Vec<Ipv6Addr>>,
     /// Undirected links between node ids (deduplicated, a < b).
     pub links: BTreeSet<(u32, u32)>,
+    /// Nodes none of whose interfaces ever appeared in a qualifying hop
+    /// window of any trace: alias groups whose members were verified by
+    /// probing but never observed on a path. They are *kept* in
+    /// [`nodes`](Self::nodes) (an alias verdict is real evidence) but
+    /// counted here so router-level metrics can exclude them —
+    /// [`observed_node_count`](Self::observed_node_count) is the
+    /// uninflated router count.
+    pub unobserved_alias_nodes: u32,
 }
 
 impl RouterGraph {
     /// Builds the graph from traces, merging interfaces per `aliases`.
     /// Interfaces outside any alias group become single-interface nodes.
+    ///
+    /// Alias-group members never seen in any trace stay in their node
+    /// and the node is tallied in
+    /// [`unobserved_alias_nodes`](Self::unobserved_alias_nodes) when
+    /// *no* member was observed — use
+    /// [`observed_node_count`](Self::observed_node_count) for router
+    /// counts that must not be inflated by probe-only evidence.
     pub fn build(traces: &TraceSet, aliases: &[Vec<Ipv6Addr>]) -> RouterGraph {
         let interner = traces.interner();
         let mut nodes: Vec<Vec<Ipv6Addr>> = Vec::with_capacity(aliases.len());
@@ -45,6 +60,9 @@ impl RouterGraph {
                 }
             }
         }
+        // Observation tally: an alias node some qualifying hop window
+        // touches is a path-observed router; the rest are probe-only.
+        let mut touched = vec![false; aliases.len()];
 
         let mut links = BTreeSet::new();
         for trace in traces.iter() {
@@ -56,9 +74,12 @@ impl RouterGraph {
                 let (t2, a2) = w[1];
                 if t2 - t1 <= 2 && a1 != a2 {
                     for iid in [a1, a2] {
-                        if node_of[iid as usize] == UNASSIGNED {
+                        let n = node_of[iid as usize];
+                        if n == UNASSIGNED {
                             node_of[iid as usize] = nodes.len() as u32;
                             nodes.push(vec![interner.resolve(iid)]);
+                        } else if let Some(t) = touched.get_mut(n as usize) {
+                            *t = true;
                         }
                     }
                     let (n1, n2) = (node_of[a1 as usize], node_of[a2 as usize]);
@@ -68,7 +89,120 @@ impl RouterGraph {
                 }
             }
         }
-        RouterGraph { nodes, links }
+        let unobserved_alias_nodes = touched.iter().filter(|&&t| !t).count() as u32;
+        RouterGraph {
+            nodes,
+            links,
+            unobserved_alias_nodes,
+        }
+    }
+
+    /// [`build`](Self::build) over *several* trace sets walked in
+    /// order, with one shared interface→node map across them — the
+    /// batch golden the incremental
+    /// [`RouterGraphBuilder`](crate::incremental::RouterGraphBuilder)
+    /// is pinned against (after [`canonical`](Self::canonical)
+    /// normalization on both sides). Per-campaign sets are walked as
+    /// given, so two campaigns tracing the same target both contribute
+    /// links — exactly the incremental ingest semantics, which differ
+    /// from building over a first-wins [`TraceSet::merge`].
+    pub fn build_multi(sets: &[&TraceSet], aliases: &[Vec<Ipv6Addr>]) -> RouterGraph {
+        let mut node_of: HashMap<Ipv6Addr, u32> = HashMap::new();
+        let mut nodes: Vec<Vec<Ipv6Addr>> = Vec::with_capacity(aliases.len());
+        for group in aliases {
+            let id = nodes.len() as u32;
+            nodes.push(group.clone());
+            for &a in group {
+                node_of.insert(a, id);
+            }
+        }
+        let mut touched = vec![false; aliases.len()];
+        let mut links = BTreeSet::new();
+        for traces in sets {
+            let interner = traces.interner();
+            for trace in traces.iter() {
+                for w in trace.hop_cells().windows(2) {
+                    let (t1, a1) = w[0];
+                    let (t2, a2) = w[1];
+                    if t2 - t1 <= 2 && a1 != a2 {
+                        for iid in [a1, a2] {
+                            let addr = interner.resolve(iid);
+                            match node_of.entry(addr) {
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(nodes.len() as u32);
+                                    nodes.push(vec![addr]);
+                                }
+                                std::collections::hash_map::Entry::Occupied(e) => {
+                                    if let Some(t) = touched.get_mut(*e.get() as usize) {
+                                        *t = true;
+                                    }
+                                }
+                            }
+                        }
+                        let (n1, n2) = (
+                            node_of[&interner.resolve(a1)],
+                            node_of[&interner.resolve(a2)],
+                        );
+                        if n1 != n2 {
+                            links.insert((n1.min(n2), n1.max(n2)));
+                        }
+                    }
+                }
+            }
+        }
+        let unobserved_alias_nodes = touched.iter().filter(|&&t| !t).count() as u32;
+        RouterGraph {
+            nodes,
+            links,
+            unobserved_alias_nodes,
+        }
+    }
+
+    /// The node-id-independent normal form: members sorted within each
+    /// node, nodes sorted by member list, links remapped accordingly.
+    /// Two graphs over the same observations built by different
+    /// interning or ingest orders canonicalize to equal values — the
+    /// comparison surface of the incremental-vs-batch golden tests.
+    pub fn canonical(&self) -> RouterGraph {
+        let mut sorted: Vec<Vec<Ipv6Addr>> = self
+            .nodes
+            .iter()
+            .map(|m| {
+                let mut m = m.clone();
+                m.sort_unstable();
+                m
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..sorted.len()).collect();
+        order.sort_by(|&a, &b| sorted[a].cmp(&sorted[b]));
+        let mut remap = vec![0u32; sorted.len()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old] = new as u32;
+        }
+        let nodes: Vec<Vec<Ipv6Addr>> = order
+            .iter()
+            .map(|&o| std::mem::take(&mut sorted[o]))
+            .collect();
+        let links = self
+            .links
+            .iter()
+            .map(|&(a, b)| {
+                let (x, y) = (remap[a as usize], remap[b as usize]);
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        RouterGraph {
+            nodes,
+            links,
+            unobserved_alias_nodes: self.unobserved_alias_nodes,
+        }
+    }
+
+    /// Router count excluding probe-only alias nodes
+    /// ([`unobserved_alias_nodes`](Self::unobserved_alias_nodes)) —
+    /// the honest numerator for collapse-ratio metrics.
+    pub fn observed_node_count(&self) -> usize {
+        self.nodes.len() - self.unobserved_alias_nodes as usize
     }
 
     /// Original map-based builder over the reference trace set — kept
@@ -97,6 +231,7 @@ impl RouterGraph {
                 })
             };
 
+        let mut touched = vec![false; aliases.len()];
         let mut links = BTreeSet::new();
         for trace in traces.traces.values() {
             let hops: Vec<(u8, Ipv6Addr)> = trace.hops.iter().map(|(&t, &a)| (t, a)).collect();
@@ -106,13 +241,23 @@ impl RouterGraph {
                 if t2 - t1 <= 2 && a1 != a2 {
                     let n1 = intern(a1, &mut nodes, &mut node_of);
                     let n2 = intern(a2, &mut nodes, &mut node_of);
+                    for n in [n1, n2] {
+                        if let Some(t) = touched.get_mut(n as usize) {
+                            *t = true;
+                        }
+                    }
                     if n1 != n2 {
                         links.insert((n1.min(n2), n1.max(n2)));
                     }
                 }
             }
         }
-        RouterGraph { nodes, links }
+        let unobserved_alias_nodes = touched.iter().filter(|&&t| !t).count() as u32;
+        RouterGraph {
+            nodes,
+            links,
+            unobserved_alias_nodes,
+        }
     }
 
     /// Number of router nodes observed in links.
@@ -202,16 +347,48 @@ mod tests {
     }
 
     #[test]
-    fn alias_group_absent_from_traces_is_harmless() {
+    fn alias_group_absent_from_traces_is_counted() {
         let t = trace("2001:db8::1", &[(1, "::a"), (2, "::b")]);
         let g = RouterGraph::build(
             &ts(vec![t]),
             &[vec!["::dead".parse().unwrap(), "::beef".parse().unwrap()]],
         );
         assert_eq!(g.links.len(), 1);
-        // The unused alias node exists but joins no link.
+        // The unused alias node exists but joins no link — and it is
+        // tallied so router counts can exclude it.
         assert_eq!(g.connected_node_count(), 2);
         assert_eq!(g.nodes.len(), 3);
+        assert_eq!(g.unobserved_alias_nodes, 1);
+        assert_eq!(g.observed_node_count(), 2);
+    }
+
+    #[test]
+    fn observed_alias_group_not_counted_unobserved() {
+        // One member of the group appears on a path: the node is a
+        // path-observed router.
+        let t1 = trace("2001:db8::1", &[(1, "::a"), (2, "::aa1")]);
+        let g = RouterGraph::build(
+            &ts(vec![t1]),
+            &[vec!["::aa1".parse().unwrap(), "::aa2".parse().unwrap()]],
+        );
+        assert_eq!(g.unobserved_alias_nodes, 0);
+        assert_eq!(g.observed_node_count(), g.nodes.len());
+    }
+
+    #[test]
+    fn canonical_is_order_invariant() {
+        let t1 = trace("2001:db8::1", &[(1, "::a"), (2, "::b"), (3, "::c")]);
+        let t2 = trace("2001:db8::2", &[(1, "::a"), (2, "::d")]);
+        let aliases = vec![vec!["::b".parse().unwrap(), "::d".parse().unwrap()]];
+        let s1 = ts(vec![t1.clone(), t2.clone()]);
+        let g12 =
+            RouterGraph::build_multi(&[&ts(vec![t1.clone()]), &ts(vec![t2.clone()])], &aliases);
+        let g21 = RouterGraph::build_multi(&[&ts(vec![t2]), &ts(vec![t1])], &aliases);
+        assert_eq!(g12.canonical(), g21.canonical());
+        assert_eq!(
+            RouterGraph::build(&s1, &aliases).canonical(),
+            g12.canonical()
+        );
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Incremental router-graph construction over interner ids: the
+//! per-round form of [`RouterGraph::build`] the adaptive loop uses.
+//!
+//! [`RouterGraphBuilder`] owns one [`AddrInterner`] whose dense ids are
+//! stable across rounds, a union-find forest over those ids (alias
+//! merges), the accumulated link set, and per-interface observation
+//! flags. Each adaptive round feeds it the round's kept trace sets
+//! ([`ingest`](RouterGraphBuilder::ingest) appends links) and the
+//! round's freshly verified alias groups
+//! ([`merge_alias_group`](RouterGraphBuilder::merge_alias_group) unions
+//! nodes) — no per-round rebuild of the whole graph.
+//!
+//! [`snapshot`](RouterGraphBuilder::snapshot) renders the current state
+//! as a **canonical** [`RouterGraph`] (members sorted within a node,
+//! nodes sorted by their first member, links node-id remapped), which
+//! is pinned bit-identical to the batch golden:
+//! `builder.snapshot() == RouterGraph::build_multi(&sets,
+//! &builder.alias_groups()).canonical()` for any ingest order — the
+//! equivalence the `graph_props` suite proves.
+
+use crate::graph::RouterGraph;
+use analysis::intern::AddrInterner;
+use analysis::TraceSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv6Addr;
+
+/// The raw fields of a [`RouterGraphBuilder`], for byte-deterministic
+/// serialization (the adaptive checkpoint layer): interner words in id
+/// order, union-find arrays, per-id flags, and the link set as id
+/// pairs. Rebuilding with [`RouterGraphBuilder::from_parts`] restores
+/// the exact builder — including the union-find's internal parent
+/// structure, so later merges evolve identically to an uninterrupted
+/// run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RouterGraphParts {
+    /// Interned addresses, in id order.
+    pub words: Vec<u128>,
+    /// Union-find parent per id.
+    pub parent: Vec<u32>,
+    /// Union-find rank per id.
+    pub rank: Vec<u8>,
+    /// Id took part in a qualifying hop window.
+    pub observed: Vec<bool>,
+    /// Id belongs to a merged alias group.
+    pub alias_member: Vec<bool>,
+    /// Links as interface-id pairs (lo < hi).
+    pub links: Vec<(u32, u32)>,
+}
+
+/// Incrementally maintained router-level graph state. See the module
+/// docs for the update model and the batch-equivalence contract.
+#[derive(Clone, Debug, Default)]
+pub struct RouterGraphBuilder {
+    interner: AddrInterner,
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Links at *interface* granularity (lo id < hi id); collapsed to
+    /// node pairs only at snapshot time, so an alias merge after the
+    /// fact retroactively fuses already-recorded links.
+    links: BTreeSet<(u32, u32)>,
+    observed: Vec<bool>,
+    alias_member: Vec<bool>,
+}
+
+impl RouterGraphBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        RouterGraphBuilder::default()
+    }
+
+    /// Interns `addr`, growing the union-find arrays alongside.
+    fn id_of(&mut self, addr: Ipv6Addr) -> u32 {
+        let id = self.interner.intern(addr);
+        while self.parent.len() <= id as usize {
+            self.parent.push(self.parent.len() as u32);
+            self.rank.push(0);
+            self.observed.push(false);
+            self.alias_member.push(false);
+        }
+        id
+    }
+
+    /// Union-find root with path halving.
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Root without mutation (for snapshots off a shared reference).
+    fn find_ro(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Appends the trace set's links: consecutive responding hops with
+    /// at most one silent TTL between them (`t2 - t1 <= 2`) — the same
+    /// rule as [`RouterGraph::build`]. Both endpoints of every
+    /// qualifying window are marked *observed*; interfaces that appear
+    /// only outside qualifying windows stay unobserved and join the
+    /// snapshot only if an alias group names them.
+    pub fn ingest(&mut self, traces: &TraceSet) {
+        // Local-id → own-id map, built once per set (the trace walk
+        // then never re-hashes an address).
+        let map: Vec<u32> = traces
+            .interner()
+            .words()
+            .iter()
+            .map(|&w| self.id_of(Ipv6Addr::from(w)))
+            .collect();
+        for trace in traces.iter() {
+            for w in trace.hop_cells().windows(2) {
+                let (t1, a1) = w[0];
+                let (t2, a2) = w[1];
+                if t2 - t1 <= 2 && a1 != a2 {
+                    let (x, y) = (map[a1 as usize], map[a2 as usize]);
+                    self.observed[x as usize] = true;
+                    self.observed[y as usize] = true;
+                    self.links.insert((x.min(y), x.max(y)));
+                }
+            }
+        }
+    }
+
+    /// Unions the group's interfaces into one node. Members never seen
+    /// in any trace are interned here and join the node anyway (they
+    /// are counted, not hidden — see
+    /// [`RouterGraph::unobserved_alias_nodes`]).
+    pub fn merge_alias_group(&mut self, group: &[Ipv6Addr]) {
+        let ids: Vec<u32> = group.iter().map(|&a| self.id_of(a)).collect();
+        for &id in &ids {
+            self.alias_member[id as usize] = true;
+        }
+        for pair in ids.windows(2) {
+            let (ra, rb) = (self.find(pair[0]), self.find(pair[1]));
+            if ra == rb {
+                continue;
+            }
+            // Union by rank keeps the forest shallow; the *resulting
+            // partition* is order-independent even though the parent
+            // arrays differ.
+            match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+                std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+                std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+                std::cmp::Ordering::Equal => {
+                    self.parent[rb as usize] = ra;
+                    self.rank[ra as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// The current alias partition: every union-find class holding at
+    /// least one alias member, members sorted, classes sorted. Feeding
+    /// this to [`RouterGraph::build_multi`] over the ingested sets
+    /// reproduces [`snapshot`](Self::snapshot) — the golden contract.
+    pub fn alias_groups(&self) -> Vec<Vec<Ipv6Addr>> {
+        let mut by_root: BTreeMap<u32, Vec<Ipv6Addr>> = BTreeMap::new();
+        for id in 0..self.parent.len() as u32 {
+            if self.alias_member[id as usize] {
+                by_root
+                    .entry(self.find_ro(id))
+                    .or_default()
+                    .push(self.interner.resolve(id));
+            }
+        }
+        let mut groups: Vec<Vec<Ipv6Addr>> = by_root
+            .into_values()
+            .map(|mut g| {
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        groups.sort();
+        groups
+    }
+
+    /// Alias-group members that never appeared in a qualifying hop
+    /// window of any ingested trace.
+    pub fn unobserved_alias_members(&self) -> u64 {
+        self.alias_member
+            .iter()
+            .zip(&self.observed)
+            .filter(|&(&am, &ob)| am && !ob)
+            .count() as u64
+    }
+
+    /// Interfaces that appeared in a qualifying hop window — the
+    /// denominator of the router-collapse ratio (unobserved alias
+    /// members are excluded so the ratio is not flattered by
+    /// interfaces discovery never saw).
+    pub fn observed_interface_count(&self) -> usize {
+        self.observed.iter().filter(|&&o| o).count()
+    }
+
+    /// Renders the current state as a canonical [`RouterGraph`]: nodes
+    /// are the union-find classes restricted to observed or
+    /// alias-member interfaces, members sorted within a node, nodes
+    /// sorted by their first member, links remapped to node ids with
+    /// intra-node links dropped.
+    pub fn snapshot(&self) -> RouterGraph {
+        let mut by_root: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for id in 0..self.parent.len() as u32 {
+            if self.observed[id as usize] || self.alias_member[id as usize] {
+                by_root.entry(self.find_ro(id)).or_default().push(id);
+            }
+        }
+        // (sorted members, root, any-member-observed) per node, sorted
+        // by member list — the canonical node order.
+        let mut raw: Vec<(Vec<Ipv6Addr>, u32, bool)> = by_root
+            .into_iter()
+            .map(|(root, ids)| {
+                let mut members: Vec<Ipv6Addr> =
+                    ids.iter().map(|&i| self.interner.resolve(i)).collect();
+                members.sort_unstable();
+                let obs = ids.iter().any(|&i| self.observed[i as usize]);
+                (members, root, obs)
+            })
+            .collect();
+        raw.sort();
+        let node_of_root: BTreeMap<u32, u32> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, root, _))| (root, i as u32))
+            .collect();
+        let unobserved = raw.iter().filter(|&&(_, _, obs)| !obs).count() as u32;
+        let nodes: Vec<Vec<Ipv6Addr>> = raw.into_iter().map(|(m, _, _)| m).collect();
+        let mut links = BTreeSet::new();
+        for &(x, y) in &self.links {
+            let (nx, ny) = (
+                node_of_root[&self.find_ro(x)],
+                node_of_root[&self.find_ro(y)],
+            );
+            if nx != ny {
+                links.insert((nx.min(ny), nx.max(ny)));
+            }
+        }
+        RouterGraph {
+            nodes,
+            links,
+            unobserved_alias_nodes: unobserved,
+        }
+    }
+
+    /// Serializes the builder into its raw parts (checkpointing).
+    pub fn to_parts(&self) -> RouterGraphParts {
+        RouterGraphParts {
+            words: self.interner.words().to_vec(),
+            parent: self.parent.clone(),
+            rank: self.rank.clone(),
+            observed: self.observed.clone(),
+            alias_member: self.alias_member.clone(),
+            links: self.links.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuilds a builder from [`to_parts`](Self::to_parts) output.
+    /// Returns `None` when the parts are inconsistent (length
+    /// mismatches, out-of-range ids, duplicate words) — corrupt input
+    /// is refused, never a panic later.
+    pub fn from_parts(parts: &RouterGraphParts) -> Option<RouterGraphBuilder> {
+        let n = parts.words.len();
+        if parts.parent.len() != n
+            || parts.rank.len() != n
+            || parts.observed.len() != n
+            || parts.alias_member.len() != n
+        {
+            return None;
+        }
+        let mut interner = AddrInterner::with_capacity(n);
+        for &w in &parts.words {
+            interner.intern(Ipv6Addr::from(w));
+        }
+        if interner.len() != n {
+            return None; // duplicate words
+        }
+        if parts.parent.iter().any(|&p| p as usize >= n) {
+            return None;
+        }
+        let mut links = BTreeSet::new();
+        for &(a, b) in &parts.links {
+            if a >= b || b as usize >= n {
+                return None;
+            }
+            links.insert((a, b));
+        }
+        Some(RouterGraphBuilder {
+            interner,
+            parent: parts.parent.clone(),
+            rank: parts.rank.clone(),
+            links,
+            observed: parts.observed.clone(),
+            alias_member: parts.alias_member.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::reference::Trace;
+
+    fn trace(target: &str, hops: &[(u8, &str)]) -> Trace {
+        let mut t = Trace::new(target.parse().unwrap());
+        for &(ttl, h) in hops {
+            t.hops.insert(ttl, h.parse().unwrap());
+        }
+        t
+    }
+
+    fn ts(traces: Vec<Trace>) -> TraceSet {
+        TraceSet::from_traces(traces)
+    }
+
+    #[test]
+    fn incremental_matches_batch_single_set() {
+        let set = ts(vec![
+            trace("2001:db8::1", &[(1, "::a"), (2, "::b"), (4, "::c")]),
+            trace("2001:db8::2", &[(1, "::a"), (2, "::d")]),
+        ]);
+        let aliases = vec![vec!["::b".parse().unwrap(), "::d".parse().unwrap()]];
+        let mut b = RouterGraphBuilder::new();
+        b.ingest(&set);
+        b.merge_alias_group(&aliases[0]);
+        let golden = RouterGraph::build_multi(&[&set], &b.alias_groups()).canonical();
+        assert_eq!(b.snapshot(), golden);
+        assert_eq!(
+            RouterGraph::build(&set, &aliases).canonical(),
+            golden,
+            "single-set build_multi must agree with build"
+        );
+    }
+
+    #[test]
+    fn alias_merge_fuses_previously_recorded_links() {
+        // Links land before the alias is known; the merge must collapse
+        // them retroactively.
+        let set = ts(vec![
+            trace("2001:db8::1", &[(1, "::a"), (2, "::aa1")]),
+            trace("2001:db8::2", &[(1, "::a"), (2, "::aa2")]),
+        ]);
+        let mut b = RouterGraphBuilder::new();
+        b.ingest(&set);
+        assert_eq!(b.snapshot().connected_node_count(), 3);
+        b.merge_alias_group(&["::aa1".parse().unwrap(), "::aa2".parse().unwrap()]);
+        let g = b.snapshot();
+        assert_eq!(g.connected_node_count(), 2);
+        assert_eq!(g.links.len(), 1);
+    }
+
+    #[test]
+    fn unobserved_members_are_counted_not_hidden() {
+        let set = ts(vec![trace("2001:db8::1", &[(1, "::a"), (2, "::b")])]);
+        let mut b = RouterGraphBuilder::new();
+        b.ingest(&set);
+        b.merge_alias_group(&["::dead".parse().unwrap(), "::beef".parse().unwrap()]);
+        assert_eq!(b.unobserved_alias_members(), 2);
+        let g = b.snapshot();
+        assert_eq!(g.nodes.len(), 3);
+        assert_eq!(g.unobserved_alias_nodes, 1);
+        assert_eq!(g.observed_node_count(), 2);
+        // A group with one observed member counts as observed.
+        b.merge_alias_group(&["::a".parse().unwrap(), "::cafe".parse().unwrap()]);
+        let g = b.snapshot();
+        assert_eq!(g.unobserved_alias_nodes, 1);
+        assert_eq!(b.unobserved_alias_members(), 3);
+    }
+
+    #[test]
+    fn parts_round_trip_exactly() {
+        let set = ts(vec![trace(
+            "2001:db8::1",
+            &[(1, "::a"), (2, "::b"), (3, "::c")],
+        )]);
+        let mut b = RouterGraphBuilder::new();
+        b.ingest(&set);
+        b.merge_alias_group(&["::b".parse().unwrap(), "::9".parse().unwrap()]);
+        let parts = b.to_parts();
+        let rb = RouterGraphBuilder::from_parts(&parts).expect("valid parts");
+        assert_eq!(rb.to_parts(), parts);
+        assert_eq!(rb.snapshot(), b.snapshot());
+        // Corrupt variants are refused.
+        let mut bad = parts.clone();
+        bad.parent.push(0);
+        assert!(RouterGraphBuilder::from_parts(&bad).is_none());
+        let mut bad = parts.clone();
+        bad.parent[0] = 999;
+        assert!(RouterGraphBuilder::from_parts(&bad).is_none());
+        let mut bad = parts.clone();
+        bad.links.push((5, 5));
+        assert!(RouterGraphBuilder::from_parts(&bad).is_none());
+        let mut bad = parts;
+        bad.words.push(bad.words[0]);
+        bad.parent.push(bad.parent.len() as u32);
+        bad.rank.push(0);
+        bad.observed.push(false);
+        bad.alias_member.push(false);
+        assert!(
+            RouterGraphBuilder::from_parts(&bad).is_none(),
+            "duplicate words must be refused"
+        );
+    }
+}

@@ -11,12 +11,23 @@
 //! Requests and declares two interfaces aliases when their
 //! identification sequences interleave along one monotonic counter.
 //!
-//! * [`speedtrap`] — the prober and the monotonic-bound alias test;
+//! * [`speedtrap`] — the prober and the monotonic-bound alias test,
+//!   plus the budgeted/supervised campaign entry points the adaptive
+//!   loop drives ([`resolve_aliases_supervised`]);
 //! * [`graph`] — collapsing an interface-level trace set into a
-//!   router-level graph using resolved aliases (ITDK-style).
+//!   router-level graph using resolved aliases (ITDK-style);
+//! * [`incremental`] — the per-round [`RouterGraphBuilder`]: union-find
+//!   alias merges and appended links over a shared interner, pinned
+//!   bit-identical (after canonicalization) to the batch
+//!   [`RouterGraph::build_multi`] golden.
 
 pub mod graph;
+pub mod incremental;
 pub mod speedtrap;
 
 pub use graph::RouterGraph;
-pub use speedtrap::{resolve_aliases, AliasConfig, AliasSets};
+pub use incremental::{RouterGraphBuilder, RouterGraphParts};
+pub use speedtrap::{
+    resolve_aliases, resolve_aliases_budgeted, resolve_aliases_supervised, AliasConfig, AliasSets,
+    SupervisedAliasRun,
+};

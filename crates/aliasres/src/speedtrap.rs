@@ -15,11 +15,13 @@
 //!    Verified pairs are merged with union-find.
 
 use serde::{Deserialize, Serialize};
-use simnet::Engine;
+use simnet::{Engine, EngineStats};
 use std::collections::HashMap;
 use std::net::Ipv6Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use v6packet::frag::parse_fragmented_echo_reply;
 use v6packet::{csum, ip6, proto_num, Ipv6Header};
+use yarrp6::campaign::RetryPolicy;
 
 /// Speedtrap parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -61,6 +63,15 @@ pub struct AliasSets {
     pub unresponsive: Vec<Ipv6Addr>,
     /// Probes sent.
     pub probes: u64,
+    /// Candidate pairs the monotonic-bound test confirmed (merged).
+    pub pairs_confirmed: u64,
+    /// Candidate pairs the MBT ran on and rejected — non-monotonic,
+    /// over-span, or a sample lost mid-triple.
+    pub pairs_rejected: u64,
+    /// The probe budget ran out before every candidate interface (or
+    /// candidate pair) was tested; the sets cover only what was paid
+    /// for. Untested interfaces appear in no list.
+    pub truncated: bool,
 }
 
 impl AliasSets {
@@ -182,20 +193,46 @@ fn sample(
 }
 
 /// Runs speedtrap from `vantage_idx` over `interfaces`.
+/// Unlimited-budget wrapper around [`resolve_aliases_budgeted`]
+/// starting at virtual time 0 — the original entry point, bit-identical
+/// to earlier releases.
 pub fn resolve_aliases(
     engine: &mut Engine,
     vantage_idx: u8,
     interfaces: &[Ipv6Addr],
     cfg: &AliasConfig,
 ) -> AliasSets {
+    resolve_aliases_budgeted(engine, vantage_idx, interfaces, cfg, 0, u64::MAX)
+}
+
+/// [`resolve_aliases`] under a probe budget on an explicit virtual
+/// clock: probing starts at `start_us` (so a fault schedule sees alias
+/// probes where they really land — after the round's campaigns) and
+/// stops, phase by phase, once `max_probes` probes are spent. A
+/// truncated run marks [`AliasSets::truncated`]; interfaces the budget
+/// never reached appear in no output list, so callers re-offer them
+/// later instead of mistaking them for unresponsive.
+pub fn resolve_aliases_budgeted(
+    engine: &mut Engine,
+    vantage_idx: u8,
+    interfaces: &[Ipv6Addr],
+    cfg: &AliasConfig,
+    start_us: u64,
+    max_probes: u64,
+) -> AliasSets {
     let src = engine.topology().vantages[vantage_idx as usize].addr;
-    let mut now_us = 0u64;
+    let mut now_us = start_us;
     let mut probes = 0u64;
+    let mut truncated = false;
 
     // Phase 1: elicitation.
     let mut samples: Vec<(Ipv6Addr, u32)> = Vec::new();
     let mut unresponsive = Vec::new();
     for (i, &iface) in interfaces.iter().enumerate() {
+        if probes >= max_probes {
+            truncated = true;
+            break;
+        }
         match sample(engine, src, iface, cfg, &mut now_us, &mut probes, i as u16) {
             Some(id) => samples.push((iface, id)),
             None => unresponsive.push(iface),
@@ -247,7 +284,15 @@ pub fn resolve_aliases(
             r
         }
     }
+    let mut pairs_confirmed = 0u64;
+    let mut pairs_rejected = 0u64;
     for (a, b) in candidate_pairs {
+        // An MBT triple costs three probes; don't start one the budget
+        // can't finish.
+        if probes.saturating_add(3) > max_probes {
+            truncated = true;
+            break;
+        }
         let s1 = sample(engine, src, a, cfg, &mut now_us, &mut probes, 100);
         let s2 = sample(engine, src, b, cfg, &mut now_us, &mut probes, 101);
         let s3 = sample(engine, src, a, cfg, &mut now_us, &mut probes, 102);
@@ -255,12 +300,17 @@ pub fn resolve_aliases(
             let monotonic = i1 < i2 && i2 < i3;
             let tight = i3.wrapping_sub(i1) <= cfg.mbt_span;
             if monotonic && tight {
+                pairs_confirmed += 1;
                 let ra = find(&mut parent, a);
                 let rb = find(&mut parent, b);
                 if ra != rb {
                     parent.insert(ra, rb);
                 }
+            } else {
+                pairs_rejected += 1;
             }
+        } else {
+            pairs_rejected += 1;
         }
     }
 
@@ -289,6 +339,116 @@ pub fn resolve_aliases(
         singletons,
         unresponsive,
         probes,
+        pairs_confirmed,
+        pairs_rejected,
+        truncated,
+    }
+}
+
+/// The outcome of one supervised alias-resolution campaign
+/// ([`resolve_aliases_supervised`]): the final completed attempt's
+/// sets (if any), engine accounting merged over **every** attempt
+/// (retries burn budget too), and the virtual-time span the whole
+/// campaign occupied.
+#[derive(Clone, Debug)]
+pub struct SupervisedAliasRun {
+    /// Vantage the probing ran from.
+    pub vantage_idx: u8,
+    /// The final completed attempt's sets, or `None` when every attempt
+    /// failed hard (panic).
+    pub sets: Option<AliasSets>,
+    /// The panic message that ended the last failed attempt.
+    pub error: Option<String>,
+    /// Engine accounting merged over all attempts.
+    pub stats: EngineStats,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Virtual time the supervised campaign occupied: every attempt's
+    /// probing span plus every backoff.
+    pub elapsed_us: u64,
+    /// Exhausted retries, or the final attempt was still a blackout
+    /// (fault drops charged, zero fragmented replies).
+    pub degraded: bool,
+}
+
+/// Runs [`resolve_aliases_budgeted`] under the campaign supervisor's
+/// rules, mirroring `yarrp6::campaign::run_campaign_supervised`: each
+/// attempt probes a **fresh engine** starting at the accumulated
+/// virtual clock, a panicking attempt or a *blackout* (injected-fault
+/// drops with zero fragmented replies — the signature of probing into
+/// an outage window) retries with the policy's exponential backoff on
+/// the virtual clock, and exhausted retries come back `degraded`
+/// instead of panicking. Deterministic: the same inputs and fault
+/// schedule always produce the same outcome.
+pub fn resolve_aliases_supervised(
+    topo: &std::sync::Arc<simnet::Topology>,
+    vantage_idx: u8,
+    interfaces: &[Ipv6Addr],
+    cfg: &AliasConfig,
+    policy: &RetryPolicy,
+    start_us: u64,
+    max_probes: u64,
+) -> SupervisedAliasRun {
+    let max_attempts = policy.max_attempts().max(1);
+    let step_us = 1_000_000 / cfg.rate_pps.max(1);
+    let mut stats = EngineStats::default();
+    let mut clock = start_us;
+    let mut attempt = 0u32;
+    loop {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            let mut engine = Engine::new(topo.clone());
+            let sets = resolve_aliases_budgeted(
+                &mut engine,
+                vantage_idx,
+                interfaces,
+                cfg,
+                clock,
+                max_probes,
+            );
+            (sets, engine.stats)
+        }));
+        attempt += 1;
+        match res {
+            Ok((sets, engine_stats)) => {
+                stats.merge(&engine_stats);
+                clock = clock.saturating_add(sets.probes.saturating_mul(step_us));
+                let blackout =
+                    engine_stats.fault_dropped_total() > 0 && engine_stats.frag_echo_replies == 0;
+                if blackout && policy.retry_blackout && attempt < max_attempts {
+                    clock = clock.saturating_add(policy.backoff_us(attempt - 1));
+                    continue;
+                }
+                return SupervisedAliasRun {
+                    vantage_idx,
+                    sets: Some(sets),
+                    error: None,
+                    stats,
+                    attempts: attempt,
+                    elapsed_us: clock - start_us,
+                    degraded: blackout,
+                };
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "opaque panic payload".into());
+                if attempt < max_attempts {
+                    clock = clock.saturating_add(policy.backoff_us(attempt - 1));
+                    continue;
+                }
+                return SupervisedAliasRun {
+                    vantage_idx,
+                    sets: None,
+                    error: Some(message),
+                    stats,
+                    attempts: attempt,
+                    elapsed_us: clock - start_us,
+                    degraded: true,
+                };
+            }
+        }
     }
 }
 

@@ -1,0 +1,245 @@
+//! The incremental router graph's two contracts, pinned:
+//!
+//! * **order independence** — union-find alias merging yields the same
+//!   partition (and the same canonical graph) whatever order groups
+//!   and trace sets arrive in, even though the internal parent arrays
+//!   differ;
+//! * **batch equivalence** — for any ingest history,
+//!   `builder.snapshot()` is bit-identical to the batch golden
+//!   `RouterGraph::build_multi(&sets, &builder.alias_groups())
+//!   .canonical()` — on random inputs, on real campaign output over
+//!   every probe protocol, across vantages, and on quarantined sets.
+
+use aliasres::{RouterGraph, RouterGraphBuilder};
+use analysis::reference::Trace;
+use analysis::{quarantine_all, stream_campaign, QuarantineConfig, TraceSet};
+use proptest::prelude::*;
+use proptest::strategy::FnStrategy;
+use proptest::test_runner::TestRng;
+use simnet::config::TopologyConfig;
+use simnet::generate::generate;
+use std::net::Ipv6Addr;
+use std::sync::Arc;
+use targets::TargetSet;
+use v6packet::probe::Protocol;
+use yarrp6::{StreamConfig, YarrpConfig};
+
+/// A small closed address universe keeps collisions (and therefore
+/// links, merges and node fusions) frequent at proptest scale.
+fn addr(i: u8) -> Ipv6Addr {
+    Ipv6Addr::from(0x2001_0db8_0000_0000_0000_0000_0000_0000u128 + i as u128)
+}
+
+fn trace_from(target: u8, hops: &[(u8, u8)]) -> Trace {
+    let mut t = Trace::new(addr(target));
+    for &(ttl, h) in hops {
+        t.hops.insert(ttl.max(1), addr(h));
+    }
+    t
+}
+
+/// One random trace set: 1..6 traces, each with 1..6 hops drawn from
+/// the 32-address universe at TTLs 1..12.
+fn gen_trace_set(rng: &mut TestRng) -> TraceSet {
+    let n = 1 + (rng.next_u64() % 5) as usize;
+    let traces = (0..n)
+        .map(|_| {
+            let target = rng.next_u64() as u8;
+            let nh = 1 + (rng.next_u64() % 5) as usize;
+            let hops: Vec<(u8, u8)> = (0..nh)
+                .map(|_| (1 + (rng.next_u64() % 11) as u8, (rng.next_u64() % 32) as u8))
+                .collect();
+            trace_from(target, &hops)
+        })
+        .collect::<Vec<_>>();
+    TraceSet::from_traces(traces)
+}
+
+fn trace_set_strategy() -> impl Strategy<Value = TraceSet> {
+    FnStrategy(gen_trace_set)
+}
+
+fn sets_strategy() -> impl Strategy<Value = Vec<TraceSet>> {
+    FnStrategy(|rng: &mut TestRng| {
+        let n = 1 + (rng.next_u64() % 3) as usize;
+        (0..n).map(|_| gen_trace_set(rng)).collect()
+    })
+}
+
+/// 0..5 alias groups of 2..4 members each, over the same universe
+/// (overlapping groups exercise transitive union).
+fn groups_strategy() -> impl Strategy<Value = Vec<Vec<Ipv6Addr>>> {
+    FnStrategy(|rng: &mut TestRng| {
+        let n = (rng.next_u64() % 5) as usize;
+        (0..n)
+            .map(|_| {
+                let m = 2 + (rng.next_u64() % 3) as usize;
+                (0..m).map(|_| addr((rng.next_u64() % 32) as u8)).collect()
+            })
+            .collect()
+    })
+}
+
+/// The golden form: batch build over the same per-campaign sets and
+/// the builder's own resolved partition, canonicalized.
+fn golden(sets: &[TraceSet], b: &RouterGraphBuilder) -> RouterGraph {
+    let refs: Vec<&TraceSet> = sets.iter().collect();
+    RouterGraph::build_multi(&refs, &b.alias_groups()).canonical()
+}
+
+proptest! {
+    /// Merging the same alias groups in any order produces the same
+    /// partition and the same canonical snapshot.
+    #[test]
+    fn alias_merge_is_order_independent(
+        set in trace_set_strategy(),
+        groups in groups_strategy(),
+    ) {
+        let mut fwd = RouterGraphBuilder::new();
+        fwd.ingest(&set);
+        for g in &groups {
+            fwd.merge_alias_group(g);
+        }
+        let mut rev = RouterGraphBuilder::new();
+        rev.ingest(&set);
+        for g in groups.iter().rev() {
+            let flipped: Vec<Ipv6Addr> = g.iter().rev().copied().collect();
+            rev.merge_alias_group(&flipped);
+        }
+        prop_assert_eq!(fwd.alias_groups(), rev.alias_groups());
+        prop_assert_eq!(fwd.snapshot(), rev.snapshot());
+    }
+
+    /// Interleaving ingests and merges arbitrarily still matches the
+    /// all-at-once batch golden.
+    #[test]
+    fn incremental_matches_batch_on_random_input(
+        sets in sets_strategy(),
+        groups in groups_strategy(),
+    ) {
+        let mut b = RouterGraphBuilder::new();
+        // Interleave: one set, then one group, until both run dry —
+        // the adaptive loop's actual shape.
+        let mut gi = groups.iter();
+        for set in &sets {
+            b.ingest(set);
+            if let Some(g) = gi.next() {
+                b.merge_alias_group(g);
+            }
+        }
+        for g in gi {
+            b.merge_alias_group(g);
+        }
+        prop_assert_eq!(b.snapshot(), golden(&sets, &b));
+    }
+
+    /// Ingesting the same sets in a different order changes nothing
+    /// canonical (links and observations are set-unions).
+    #[test]
+    fn ingest_order_is_canonical_noise(
+        sets in sets_strategy(),
+        groups in groups_strategy(),
+    ) {
+        let mut fwd = RouterGraphBuilder::new();
+        for set in &sets {
+            fwd.ingest(set);
+        }
+        let mut rev = RouterGraphBuilder::new();
+        for set in sets.iter().rev() {
+            rev.ingest(set);
+        }
+        for g in &groups {
+            fwd.merge_alias_group(g);
+            rev.merge_alias_group(g);
+        }
+        prop_assert_eq!(fwd.snapshot(), rev.snapshot());
+    }
+}
+
+/// One real campaign per protocol: the incremental graph over streamed
+/// prober output (not hand-built traces) must match the batch golden,
+/// with the topology's ground-truth alias groups merged in.
+#[test]
+fn campaign_golden_all_protocols() {
+    let topo = Arc::new(generate(TopologyConfig::tiny(42)));
+    let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(80).collect();
+    let set = TargetSet::new("alias-golden", addrs);
+    let aliases: Vec<Vec<Ipv6Addr>> = topo.ground_truth_aliases().into_iter().take(16).collect();
+    for protocol in [Protocol::Icmp6, Protocol::Udp, Protocol::Tcp] {
+        let cfg = YarrpConfig {
+            protocol,
+            ..YarrpConfig::default()
+        };
+        let (traces, _) = stream_campaign(&topo, 0, &set, &cfg, &StreamConfig::default());
+        let mut b = RouterGraphBuilder::new();
+        b.ingest(&traces);
+        for g in &aliases {
+            b.merge_alias_group(g);
+        }
+        let refs = [&traces];
+        let golden = RouterGraph::build_multi(&refs, &b.alias_groups()).canonical();
+        assert_eq!(b.snapshot(), golden, "protocol {protocol:?}");
+    }
+}
+
+/// Multi-vantage: per-campaign ingest across two vantages equals the
+/// batch golden over both sets — and the two ingest orders agree.
+#[test]
+fn campaign_golden_multi_vantage() {
+    let topo = Arc::new(generate(TopologyConfig::tiny(42)));
+    let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(80).collect();
+    let set = TargetSet::new("alias-golden", addrs);
+    let cfg = YarrpConfig::default();
+    let (t0, _) = stream_campaign(&topo, 0, &set, &cfg, &StreamConfig::default());
+    let (t1, _) = stream_campaign(&topo, 1, &set, &cfg, &StreamConfig::default());
+    let aliases: Vec<Vec<Ipv6Addr>> = topo.ground_truth_aliases().into_iter().take(16).collect();
+
+    let mut b = RouterGraphBuilder::new();
+    b.ingest(&t0);
+    b.ingest(&t1);
+    for g in &aliases {
+        b.merge_alias_group(g);
+    }
+    let refs = [&t0, &t1];
+    let golden = RouterGraph::build_multi(&refs, &b.alias_groups()).canonical();
+    assert_eq!(b.snapshot(), golden);
+
+    let mut rev = RouterGraphBuilder::new();
+    rev.ingest(&t1);
+    rev.ingest(&t0);
+    for g in &aliases {
+        rev.merge_alias_group(g);
+    }
+    assert_eq!(
+        rev.snapshot(),
+        golden,
+        "vantage ingest order must not matter"
+    );
+}
+
+/// Quarantine-scrubbed campaign output flows through the same
+/// equivalence: what the adaptive loop ingests with
+/// `quarantine_feedback` on still matches the batch golden over the
+/// scrubbed sets.
+#[test]
+fn campaign_golden_quarantined_input() {
+    let topo = Arc::new(generate(TopologyConfig::tiny(42)));
+    let addrs: Vec<Ipv6Addr> = topo.hosts().map(|(a, _)| a).take(80).collect();
+    let set = TargetSet::new("alias-golden", addrs);
+    let cfg = YarrpConfig::default();
+    let (t0, _) = stream_campaign(&topo, 0, &set, &cfg, &StreamConfig::default());
+    let (t1, _) = stream_campaign(&topo, 1, &set, &cfg, &StreamConfig::default());
+    let (scrubbed, _) = quarantine_all(&[&t0, &t1], &QuarantineConfig::default());
+    let aliases: Vec<Vec<Ipv6Addr>> = topo.ground_truth_aliases().into_iter().take(16).collect();
+
+    let mut b = RouterGraphBuilder::new();
+    for ts in &scrubbed {
+        b.ingest(ts);
+    }
+    for g in &aliases {
+        b.merge_alias_group(g);
+    }
+    let refs: Vec<&TraceSet> = scrubbed.iter().collect();
+    let golden = RouterGraph::build_multi(&refs, &b.alias_groups()).canonical();
+    assert_eq!(b.snapshot(), golden);
+}

@@ -8,6 +8,7 @@
 
 use crate::config::TopologyConfig;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::net::Ipv6Addr;
 use std::sync::Arc;
 use v6addr::{Asn, BgpTable, Ipv6Prefix, PrefixTrie};
@@ -298,6 +299,44 @@ impl Topology {
             .filter(|r| !r.alt_addrs.is_empty())
             .map(|r| r.all_addrs().collect())
             .collect()
+    }
+
+    /// Ground-truth alias groups restricted to `ifaces`: for each
+    /// router owning at least two of the given interfaces, the owned
+    /// subset. The scoring reference for alias resolution over a
+    /// *discovered* interface set — interfaces discovery never saw
+    /// can't be expected from the resolver.
+    pub fn ground_truth_aliases_among(&self, ifaces: &[Ipv6Addr]) -> Vec<Vec<Ipv6Addr>> {
+        let mut by_router: BTreeMap<RouterId, Vec<Ipv6Addr>> = BTreeMap::new();
+        for &a in ifaces {
+            if let Some(rid) = self.router_by_iface(a) {
+                by_router.entry(rid).or_default().push(a);
+            }
+        }
+        let mut groups: Vec<Vec<Ipv6Addr>> = by_router
+            .into_values()
+            .filter(|g| g.len() >= 2)
+            .map(|mut g| {
+                g.sort_unstable();
+                g.dedup();
+                g
+            })
+            .filter(|g| g.len() >= 2)
+            .collect();
+        groups.sort();
+        groups
+    }
+
+    /// Ground-truth router count behind `ifaces`: how many distinct
+    /// routers own the given interface addresses (non-router addresses
+    /// count for nothing). The target a perfect alias resolver would
+    /// collapse the set to.
+    pub fn ground_truth_router_count(&self, ifaces: &[Ipv6Addr]) -> usize {
+        let routers: std::collections::BTreeSet<RouterId> = ifaces
+            .iter()
+            .filter_map(|&a| self.router_by_iface(a))
+            .collect();
+        routers.len()
     }
 
     /// Ground-truth interior ("distribution") subnets with city labels,

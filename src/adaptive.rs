@@ -72,6 +72,7 @@
 //! `simnet` (the network under test).
 
 use crate::checkpoint::{config_digest, Checkpoint, ResumeError};
+use aliasres::{resolve_aliases_supervised, AliasConfig, RouterGraph, RouterGraphBuilder};
 use analysis::{
     discover_by_path_div, ia_hack, quarantine_all, stream_campaigns_supervised, AsnResolver,
     PathDivParams, QuarantineConfig, ShardedTraceSet, TraceSet,
@@ -80,7 +81,7 @@ use seeds::feedback::{feedback_list, FeedbackParams};
 // The workspace's shared splitmix64, for per-round generation seeds.
 use simnet::flow::mix64 as mix;
 use simnet::{EngineStats, Topology};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv6Addr;
 use std::sync::Arc;
 use targets::{feedback_targets, stride_sample, IidStrategy, TargetSet};
@@ -169,12 +170,52 @@ pub struct AdaptiveConfig {
     /// Thresholds for the quarantine stage; read only when
     /// [`quarantine_feedback`](Self::quarantine_feedback) is on.
     pub quarantine: QuarantineConfig,
+    /// Router-level resolution: when `true`, every round is followed by
+    /// a speedtrap alias-probing stage — candidate interface pairs are
+    /// derived from the round's discoveries (shared /64, shared
+    /// trace-neighborhood), probed under the supervised campaign rules
+    /// on the loop's virtual clock, charged against the same global
+    /// probe budget, and merged into an incrementally maintained
+    /// [`RouterGraph`] ([`AdaptiveResult::router_level`]). When `false`
+    /// (the default) no alias probe is ever sent and the loop is
+    /// bit-identical to earlier releases.
+    pub alias_resolution: bool,
+    /// Knobs for the alias stage; read only when
+    /// [`alias_resolution`](Self::alias_resolution) is on.
+    pub alias: AliasStageConfig,
     /// Opt-in delta seeding (read by [`run_adaptive_delta`]): resume
     /// discovery from a prior run's persisted sharded store, spending
     /// budget only where the topology changed. `None` (the default)
     /// leaves every other entry point bit-identical to earlier
     /// releases — the field only matters to the delta driver.
     pub delta_seeding: Option<DeltaSeedConfig>,
+}
+
+/// Knobs for the per-round alias-resolution stage
+/// ([`AdaptiveConfig::alias_resolution`]).
+#[derive(Clone, Copy, Debug)]
+pub struct AliasStageConfig {
+    /// Speedtrap prober parameters (probe size, rate, cluster window,
+    /// MBT span).
+    pub probe: AliasConfig,
+    /// Cap on candidate interfaces offered to the prober per round
+    /// (stride-sampled when the derived candidate set overflows, so
+    /// the stage spans the whole address range).
+    pub max_candidates_per_round: usize,
+    /// Per-round cap on alias probes, on top of the loop's remaining
+    /// global budget (whichever is smaller wins). A truncated stage
+    /// leaves untested interfaces fresh for the next round.
+    pub max_probes_per_round: u64,
+}
+
+impl Default for AliasStageConfig {
+    fn default() -> Self {
+        AliasStageConfig {
+            probe: AliasConfig::default(),
+            max_candidates_per_round: 256,
+            max_probes_per_round: 20_000,
+        }
+    }
 }
 
 /// Knobs for [`run_adaptive_delta`]'s snapshot-seeded mode.
@@ -217,6 +258,8 @@ impl Default for AdaptiveConfig {
             retry: RetryPolicy::default(),
             quarantine_feedback: false,
             quarantine: QuarantineConfig::default(),
+            alias_resolution: false,
+            alias: AliasStageConfig::default(),
             delta_seeding: None,
         }
     }
@@ -294,6 +337,21 @@ pub struct RoundReport {
     pub rl_dropped_default: u64,
     /// Bucket-audited suppression split: aggressive-class limiters.
     pub rl_dropped_aggressive: u64,
+    /// Routers in the incremental router-level graph after this round's
+    /// alias stage (observed nodes only — alias groups discovery never
+    /// saw are excluded). 0 when
+    /// [`AdaptiveConfig::alias_resolution`] is off.
+    pub routers: u64,
+    /// Alias candidate pairs the monotonic-bound test confirmed this
+    /// round. 0 when the stage is off.
+    pub alias_pairs_confirmed: u64,
+    /// Alias candidate pairs the MBT ran on and rejected this round.
+    /// 0 when the stage is off.
+    pub alias_pairs_rejected: u64,
+    /// Probes the alias stage spent this round (supervised attempts
+    /// included; part of [`probes`](Self::probes) and charged against
+    /// the global budget). 0 when the stage is off.
+    pub alias_probes: u64,
     /// Per-vantage accounting, in [`AdaptiveConfig::vantages`] order.
     pub per_vantage: Vec<VantageRound>,
 }
@@ -331,8 +389,48 @@ pub struct AdaptiveResult {
     pub interfaces: AddrSet,
     /// All inferred subnet prefixes, in discovery order.
     pub subnets: Vec<Ipv6Prefix>,
+    /// The router-level view accumulated by the alias stage; `None`
+    /// when [`AdaptiveConfig::alias_resolution`] is off.
+    pub router_level: Option<RouterLevelResult>,
     /// Why the loop stopped.
     pub stop: StopReason,
+}
+
+/// What the alias stage earned over the whole run
+/// ([`AdaptiveResult::router_level`]).
+#[derive(Clone, Debug)]
+pub struct RouterLevelResult {
+    /// The canonical router-level graph: union-find alias classes over
+    /// every ingested trace link.
+    pub graph: RouterGraph,
+    /// Interfaces observed in qualifying hop windows — the denominator
+    /// of [`collapse_ratio`](Self::collapse_ratio).
+    pub interfaces: u64,
+    /// Probes the alias stage spent (all rounds, all supervised
+    /// attempts).
+    pub alias_probes: u64,
+    /// Candidate pairs the monotonic-bound test confirmed.
+    pub pairs_confirmed: u64,
+    /// Candidate pairs the MBT rejected.
+    pub pairs_rejected: u64,
+}
+
+impl RouterLevelResult {
+    /// Routers resolved: observed nodes of the graph (alias groups
+    /// discovery never saw are kept in the graph but not counted here).
+    pub fn routers(&self) -> usize {
+        self.graph.observed_node_count()
+    }
+
+    /// `routers / interfaces` — below 1.0 exactly when alias resolution
+    /// collapsed interfaces into multi-interface routers.
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.interfaces == 0 {
+            1.0
+        } else {
+            self.routers() as f64 / self.interfaces as f64
+        }
+    }
 }
 
 impl AdaptiveResult {
@@ -391,6 +489,29 @@ pub(crate) struct LoopState {
     /// Accumulated virtual time: where the next round's campaigns
     /// start on the fault schedule's clock.
     pub(crate) vclock_us: u64,
+    /// Alias-stage state; `Some` exactly when
+    /// [`AdaptiveConfig::alias_resolution`] is on (installed at loop
+    /// start, carried through checkpoints).
+    pub(crate) alias: Option<AliasState>,
+}
+
+/// Cross-round state of the alias-resolution stage.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AliasState {
+    /// The incrementally maintained router-level graph.
+    pub(crate) builder: RouterGraphBuilder,
+    /// Interfaces the prober has already tested (listed in a prior
+    /// stage's groups/singletons/unresponsive). Candidates stay
+    /// re-offerable — cross-round pairing needs the old member probed
+    /// alongside the new one — but a round with no *fresh* member in a
+    /// bucket re-probes nobody.
+    pub(crate) probed: AddrSet,
+    /// MBT-confirmed pairs over all rounds.
+    pub(crate) pairs_confirmed: u64,
+    /// MBT-rejected pairs over all rounds.
+    pub(crate) pairs_rejected: u64,
+    /// Alias probes charged against the budget over all rounds.
+    pub(crate) probes: u64,
 }
 
 impl LoopState {
@@ -409,6 +530,7 @@ impl LoopState {
             low_streak: 0,
             pool: initial.addrs.clone(),
             vclock_us: 0,
+            alias: None,
         }
     }
 }
@@ -584,6 +706,12 @@ fn run_loop(
     mut on_round: impl FnMut(&LoopState),
 ) -> AdaptiveResult {
     assert!(!cfg.vantages.is_empty(), "at least one vantage required");
+    // Install the alias stage's cross-round state on a fresh run; a
+    // resumed run arrives with it already populated (or absent, when
+    // the stage is off — the checkpoint round-trips both).
+    if cfg.alias_resolution && st.alias.is_none() {
+        st.alias = Some(AliasState::default());
+    }
     let shards = cfg.shards.max(1);
     let k = cfg.vantages.len();
     assert_eq!(st.vweights.len(), k, "state/config vantage count mismatch");
@@ -933,12 +1061,135 @@ fn run_loop(
             }
             st.traces.push(ts);
         }
+
+        // Alias-resolution stage (opt-in): extend the incremental
+        // router graph with the round's kept sets, derive candidate
+        // sibling interfaces from the discoveries, and speedtrap them
+        // under the supervised campaign rules — on the loop's virtual
+        // clock (after the round's campaigns), charged against the
+        // same global probe budget. Default off: no probe is sent and
+        // none of the round's accounting moves.
+        let mut alias_elapsed = 0u64;
+        let (mut alias_probes, mut alias_confirmed, mut alias_rejected) = (0u64, 0u64, 0u64);
+        let mut routers = 0u64;
+        if let Some(al) = st.alias.as_mut() {
+            for ts in &st.traces[sets_before..] {
+                al.builder.ingest(ts);
+            }
+            // Fresh responders: this round's interfaces the prober has
+            // not yet tested. A candidate bucket with no fresh member
+            // was fully adjudicated in an earlier round.
+            let mut fresh = AddrSet::new();
+            for ts in &st.traces[sets_before..] {
+                for &w in ts.interner().words() {
+                    let a = Ipv6Addr::from(w);
+                    if !al.probed.contains(a) {
+                        fresh.insert(a);
+                    }
+                }
+            }
+            let mut cand: BTreeSet<Ipv6Addr> = BTreeSet::new();
+            if !fresh.is_empty() {
+                // Shared-/64 heuristic over the whole trace record:
+                // interfaces numbered out of one /64 are prime
+                // same-router candidates. Old members of a bucket with
+                // a fresh arrival re-probe, so cross-round pairs can
+                // still confirm. Recomputed from checkpointed state —
+                // resume derives it bit-identically.
+                let mut by64: BTreeMap<u64, BTreeSet<Ipv6Addr>> = BTreeMap::new();
+                for ts in &st.traces {
+                    for &w in ts.interner().words() {
+                        by64.entry((w >> 64) as u64)
+                            .or_default()
+                            .insert(Ipv6Addr::from(w));
+                    }
+                }
+                for bucket in by64.values() {
+                    if bucket.len() >= 2 && bucket.iter().any(|&a| fresh.contains(a)) {
+                        cand.extend(bucket.iter().copied());
+                    }
+                }
+                // Shared trace-neighborhood: interfaces answering at
+                // one TTL for targets in one /64 occupy the same
+                // topological position — sibling candidates even
+                // across /64 boundaries.
+                let mut byhop: BTreeMap<(u64, u8), BTreeSet<Ipv6Addr>> = BTreeMap::new();
+                for ts in &st.traces[sets_before..] {
+                    let words = ts.interner().words();
+                    for tv in ts.iter() {
+                        let t64 = (u128::from(tv.target()) >> 64) as u64;
+                        for &(ttl, aid) in tv.hop_cells() {
+                            byhop
+                                .entry((t64, ttl))
+                                .or_default()
+                                .insert(Ipv6Addr::from(words[aid as usize]));
+                        }
+                    }
+                }
+                for bucket in byhop.values() {
+                    if bucket.len() >= 2 && bucket.iter().any(|&a| fresh.contains(a)) {
+                        cand.extend(bucket.iter().copied());
+                    }
+                }
+            }
+            let cand: Vec<Ipv6Addr> = cand.into_iter().collect();
+            let cand = stride_sample(&cand, cfg.alias.max_candidates_per_round);
+            let remaining = cfg
+                .probe_budget
+                .saturating_sub(st.consumed)
+                .saturating_sub(round_stats.probes);
+            let cap = cfg.alias.max_probes_per_round.min(remaining);
+            if !cand.is_empty() && cap > 0 {
+                if let Some(vi) = st.alive.iter().position(|&a| a) {
+                    let run = resolve_aliases_supervised(
+                        topo,
+                        cfg.vantages[vi],
+                        &cand,
+                        &cfg.alias.probe,
+                        &cfg.retry,
+                        st.vclock_us.saturating_add(round_elapsed),
+                        cap,
+                    );
+                    round_stats.merge(&run.stats);
+                    alias_probes = run.stats.probes;
+                    alias_elapsed = run.elapsed_us;
+                    per_v[vi].probes += run.stats.probes;
+                    per_v[vi].fault_dropped += run.stats.fault_dropped_total();
+                    per_v[vi].attempts = per_v[vi].attempts.max(run.attempts);
+                    if run.degraded {
+                        per_v[vi].degraded = true;
+                    }
+                    if let Some(sets) = run.sets {
+                        alias_confirmed = sets.pairs_confirmed;
+                        alias_rejected = sets.pairs_rejected;
+                        for g in &sets.groups {
+                            al.builder.merge_alias_group(g);
+                            for &a in g {
+                                al.probed.insert(a);
+                            }
+                        }
+                        for &a in sets.singletons.iter().chain(&sets.unresponsive) {
+                            al.probed.insert(a);
+                        }
+                    }
+                }
+            }
+            al.probes += alias_probes;
+            al.pairs_confirmed += alias_confirmed;
+            al.pairs_rejected += alias_rejected;
+            routers = al.builder.snapshot().observed_node_count() as u64;
+        }
+
         st.stats.merge(&round_stats);
         st.consumed += round_stats.probes;
         // All of a round's campaigns run concurrently in virtual time;
         // the round occupies the slowest one's span (including retry
-        // backoffs), and the next round starts after it.
-        st.vclock_us = st.vclock_us.saturating_add(round_elapsed);
+        // backoffs), the alias stage runs after it, and the next round
+        // starts after both.
+        st.vclock_us = st
+            .vclock_us
+            .saturating_add(round_elapsed)
+            .saturating_add(alias_elapsed);
 
         // Liveness: a vantage whose every campaign degraded is dead —
         // its weight zeroes and later rounds exclude it. (A vantage
@@ -984,6 +1235,10 @@ fn run_loop(
             rate_limited: round_stats.rate_limited,
             rl_dropped_default: round_stats.rl_dropped_default,
             rl_dropped_aggressive: round_stats.rl_dropped_aggressive,
+            routers,
+            alias_pairs_confirmed: alias_confirmed,
+            alias_pairs_rejected: alias_rejected,
+            alias_probes,
             per_vantage: per_v,
         });
         st.round_targets.push(targets);
@@ -1096,6 +1351,13 @@ fn run_loop(
         on_round(&st);
     };
 
+    let router_level = st.alias.map(|al| RouterLevelResult {
+        graph: al.builder.snapshot(),
+        interfaces: al.builder.observed_interface_count() as u64,
+        alias_probes: al.probes,
+        pairs_confirmed: al.pairs_confirmed,
+        pairs_rejected: al.pairs_rejected,
+    });
     AdaptiveResult {
         rounds: st.rounds,
         round_targets: st.round_targets,
@@ -1103,6 +1365,7 @@ fn run_loop(
         stats: st.stats,
         interfaces: st.seen,
         subnets: st.subnets,
+        router_level,
         stop,
     }
 }

@@ -13,7 +13,8 @@
 //! with [`ResumeError::ConfigMismatch`] instead of producing a
 //! silently-divergent run.
 
-use crate::adaptive::{AdaptiveConfig, LoopState, RoundReport, VantageRound};
+use crate::adaptive::{AdaptiveConfig, AliasState, LoopState, RoundReport, VantageRound};
+use aliasres::{RouterGraphBuilder, RouterGraphParts};
 use analysis::snapshot::{decode_segment, encode_segment, fnv1a};
 use analysis::{
     read_trace_set, write_trace_set, SnapReader, SnapWriter, SnapshotError, StoreError,
@@ -26,11 +27,13 @@ use yarrp6::addrset::AddrSet;
 
 /// `"BHCK"` — beholder checkpoint.
 const MAGIC: u32 = 0x4248_434B;
-/// Version 2: [`EngineStats`] gained the five adversarial counters,
-/// which widened the fixed stats block. Version-1 checkpoints are
-/// refused (pre-adversarial builds cannot have produced state worth
-/// resuming under a schedule-bearing config anyway).
-const VERSION: u32 = 2;
+/// Version 3: [`RoundReport`] gained the router-level counters and the
+/// loop state carries the alias stage's cross-round state (incremental
+/// router-graph builder, tested-interface set, pair verdict totals).
+/// Older checkpoints are refused — the alias stage's absence from them
+/// is indistinguishable from "stage off", and resuming a stage-on run
+/// without its graph would silently diverge.
+const VERSION: u32 = 3;
 /// The directory format ([`Checkpoint::save_dir`]): instead of
 /// inlining every trace set, `checkpoint.bin` holds the loop scalars
 /// plus a segment table (length + FNV-1a per trace set), and each
@@ -38,7 +41,7 @@ const VERSION: u32 = 2;
 /// same per-segment encoding the persistent sharded store uses, so a
 /// later round appends new segment files without rewriting the old
 /// ones.
-const DIR_VERSION: u32 = 3;
+const DIR_VERSION: u32 = 4;
 /// The scalar/table file of the directory format.
 const DIR_FILE: &str = "checkpoint.bin";
 
@@ -252,6 +255,7 @@ struct PostTraces {
     low_streak: usize,
     pool: Vec<Ipv6Addr>,
     vclock_us: u64,
+    alias: Option<AliasState>,
 }
 
 fn write_pre_traces(w: &mut SnapWriter, st: &LoopState) {
@@ -333,6 +337,10 @@ fn write_post_traces(w: &mut SnapWriter, st: &LoopState) {
     w.u64(st.low_streak as u64);
     write_addrs(w, &st.pool);
     w.u64(st.vclock_us);
+    w.bool(st.alias.is_some());
+    if let Some(al) = &st.alias {
+        write_alias_state(w, al);
+    }
 }
 
 fn read_post_traces(r: &mut SnapReader<'_>) -> Result<PostTraces, SnapshotError> {
@@ -341,12 +349,91 @@ fn read_post_traces(r: &mut SnapReader<'_>) -> Result<PostTraces, SnapshotError>
     let low_streak = r.u64()? as usize;
     let pool = read_addrs(r)?;
     let vclock_us = r.u64()?;
+    let alias = if r.bool()? {
+        Some(read_alias_state(r)?)
+    } else {
+        None
+    };
     Ok(PostTraces {
         stats,
         consumed,
         low_streak,
         pool,
         vclock_us,
+        alias,
+    })
+}
+
+/// The alias stage's cross-round state: the incremental router-graph
+/// builder's raw parts (interner words in id order, union-find arrays,
+/// flags, id-pair links — exact restoration keeps later merges
+/// evolving identically), the tested-interface set, and the verdict
+/// totals.
+fn write_alias_state(w: &mut SnapWriter, al: &AliasState) {
+    let parts = al.builder.to_parts();
+    w.u32(parts.words.len() as u32);
+    for &word in &parts.words {
+        w.u128(word);
+    }
+    for &p in &parts.parent {
+        w.u32(p);
+    }
+    for &rk in &parts.rank {
+        w.u8(rk);
+    }
+    for &o in &parts.observed {
+        w.bool(o);
+    }
+    for &m in &parts.alias_member {
+        w.bool(m);
+    }
+    w.u32(parts.links.len() as u32);
+    for &(a, b) in &parts.links {
+        w.u32(a);
+        w.u32(b);
+    }
+    write_addr_set(w, &al.probed);
+    w.u64(al.pairs_confirmed);
+    w.u64(al.pairs_rejected);
+    w.u64(al.probes);
+}
+
+fn read_alias_state(r: &mut SnapReader<'_>) -> Result<AliasState, SnapshotError> {
+    let n = r.u32()? as usize;
+    let mut parts = RouterGraphParts::default();
+    for _ in 0..n {
+        parts.words.push(r.u128()?);
+    }
+    for _ in 0..n {
+        parts.parent.push(r.u32()?);
+    }
+    for _ in 0..n {
+        parts.rank.push(r.u8()?);
+    }
+    for _ in 0..n {
+        parts.observed.push(r.bool()?);
+    }
+    for _ in 0..n {
+        parts.alias_member.push(r.bool()?);
+    }
+    let nl = r.u32()? as usize;
+    for _ in 0..nl {
+        let a = r.u32()?;
+        let b = r.u32()?;
+        parts.links.push((a, b));
+    }
+    let builder = RouterGraphBuilder::from_parts(&parts)
+        .ok_or(SnapshotError::BadValue("inconsistent router-graph state"))?;
+    let probed = read_addr_set(r)?;
+    let pairs_confirmed = r.u64()?;
+    let pairs_rejected = r.u64()?;
+    let probes = r.u64()?;
+    Ok(AliasState {
+        builder,
+        probed,
+        pairs_confirmed,
+        pairs_rejected,
+        probes,
     })
 }
 
@@ -365,6 +452,7 @@ fn assemble_state(pre: PreTraces, traces: Vec<analysis::TraceSet>, post: PostTra
         low_streak: post.low_streak,
         pool: post.pool,
         vclock_us: post.vclock_us,
+        alias: post.alias,
     }
 }
 
@@ -431,6 +519,10 @@ fn write_round(w: &mut SnapWriter, r: &RoundReport) {
     w.u64(r.rate_limited);
     w.u64(r.rl_dropped_default);
     w.u64(r.rl_dropped_aggressive);
+    w.u64(r.routers);
+    w.u64(r.alias_pairs_confirmed);
+    w.u64(r.alias_pairs_rejected);
+    w.u64(r.alias_probes);
     w.u32(r.per_vantage.len() as u32);
     for p in &r.per_vantage {
         w.u8(p.vantage);
@@ -454,6 +546,10 @@ fn read_round(r: &mut SnapReader<'_>) -> Result<RoundReport, SnapshotError> {
     let rate_limited = r.u64()?;
     let rl_dropped_default = r.u64()?;
     let rl_dropped_aggressive = r.u64()?;
+    let routers = r.u64()?;
+    let alias_pairs_confirmed = r.u64()?;
+    let alias_pairs_rejected = r.u64()?;
+    let alias_probes = r.u64()?;
     let n = r.u32()? as usize;
     let mut per_vantage = Vec::with_capacity(n.min(256));
     for _ in 0..n {
@@ -478,6 +574,10 @@ fn read_round(r: &mut SnapReader<'_>) -> Result<RoundReport, SnapshotError> {
         rate_limited,
         rl_dropped_default,
         rl_dropped_aggressive,
+        routers,
+        alias_pairs_confirmed,
+        alias_pairs_rejected,
+        alias_probes,
         per_vantage,
     })
 }

@@ -35,6 +35,13 @@
 //! the complete loop state at every round boundary so a killed run
 //! resumes bit-identically ([`adaptive::resume_adaptive`]).
 //!
+//! With [`adaptive::AdaptiveConfig::alias_resolution`] on (default
+//! off, bit-identical without it), each round additionally feeds its
+//! discoveries through speedtrap alias resolution under the same
+//! probe budget and accumulates an incremental router-level graph
+//! ([`adaptive::RouterLevelResult`]) — the paper's router-level view
+//! of the topology, checkpointed along with everything else.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -67,10 +74,15 @@ pub use yarrp6 as probe;
 pub mod prelude {
     pub use crate::adaptive::{
         resume_adaptive, resume_adaptive_checkpointed, run_adaptive, run_adaptive_checkpointed,
-        run_adaptive_delta, run_adaptive_parallel, AdaptiveConfig, AdaptiveResult, DeltaSeedConfig,
-        RoundReport, StopReason, VantageRound,
+        run_adaptive_delta, run_adaptive_parallel, AdaptiveConfig, AdaptiveResult,
+        AliasStageConfig, DeltaSeedConfig, RoundReport, RouterLevelResult, StopReason,
+        VantageRound,
     };
     pub use crate::checkpoint::{Checkpoint, ResumeError};
+    pub use aliasres::{
+        resolve_aliases, resolve_aliases_budgeted, resolve_aliases_supervised, AliasConfig,
+        AliasSets, RouterGraph, RouterGraphBuilder, SupervisedAliasRun,
+    };
     pub use analysis::{
         discover_by_path_div, ia_hack, quarantine, quarantine_all, read_sharded_snapshot,
         stream_campaign, stream_campaigns_parallel, stream_campaigns_serial,

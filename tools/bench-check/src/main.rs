@@ -69,6 +69,8 @@ fn headline_key(bench: &str) -> &'static [&'static str] {
             &["speedup"]
         }
         "adaptive_yield" | "vantage_yield" | "churn_yield" | "poisoned_yield" => &["yield_ratio"],
+        // Both phases report a precision; the gate watches the worse.
+        "alias_resolution_pps" => &["precision"],
         _ => &["speedup", "yield_ratio"],
     }
 }
@@ -259,6 +261,19 @@ mod tests {
         assert_eq!(bench, "adaptive_yield");
         assert!((v - 1.675).abs() < 1e-9);
         assert!(headline("{\"no\": 1}").is_none());
+    }
+
+    #[test]
+    fn alias_headline_is_worst_precision() {
+        let j = r#"{
+  "bench": "alias_resolution_pps",
+  "scenario": "tiled x2",
+  "standalone": { "pps": 240000, "precision": 1.0000, "recall": 0.98 },
+  "adaptive": { "precision": 0.9412, "recall": 0.9000 }
+}"#;
+        let (bench, v) = headline(j).unwrap();
+        assert_eq!(bench, "alias_resolution_pps");
+        assert!((v - 0.9412).abs() < 1e-9, "worse precision wins: {v}");
     }
 
     #[test]
